@@ -1,0 +1,14 @@
+"""Bench: Engine agreement ablation (ablation).
+
+Statistical vs chunk-level mechanistic QoE engine on headline
+problem rates.
+"""
+
+from repro.experiments.runners import run_ablation_engines
+
+
+def bench_abl_engines(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_ablation_engines, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

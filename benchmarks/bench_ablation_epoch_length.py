@@ -1,0 +1,15 @@
+"""Bench: epoching-granularity sensitivity (ablation).
+
+The paper fixes one-hour epochs because that is its dataset's finest
+granularity; this ablation re-runs the join-failure analysis at 30
+minutes and 2 hours over the first two days of the week trace.
+"""
+
+from repro.experiments.runners import run_ablation_epoch_length
+
+
+def bench_abl_epoch_length(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_ablation_epoch_length, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

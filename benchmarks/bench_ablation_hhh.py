@@ -1,0 +1,14 @@
+"""Bench: HHH baseline ablation (ablation).
+
+Critical-cluster detector vs a hierarchical-heavy-hitter baseline
+on planted ground truth (paper Section 7 comparison).
+"""
+
+from repro.experiments.runners import run_ablation_hhh
+
+
+def bench_abl_hhh(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_ablation_hhh, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

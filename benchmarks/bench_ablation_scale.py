@@ -1,0 +1,13 @@
+"""Bench: Scale ablation (ablation).
+
+Pipeline throughput (sessions/second) vs per-epoch trace volume.
+"""
+
+from repro.experiments.runners import run_ablation_scale
+
+
+def bench_abl_scale(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_ablation_scale, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

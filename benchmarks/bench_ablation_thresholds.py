@@ -1,0 +1,14 @@
+"""Bench: Threshold sensitivity ablation (ablation).
+
+Problem/critical structure under varied ratio multipliers and
+metric thresholds (the paper claims qualitative robustness).
+"""
+
+from repro.experiments.runners import run_ablation_thresholds
+
+
+def bench_abl_thresholds(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_ablation_thresholds, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

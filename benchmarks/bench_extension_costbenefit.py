@@ -1,0 +1,54 @@
+"""Bench: cost-aware remediation (paper Section 6 extension).
+
+Not a paper artifact: the paper flags cost-benefit analysis of
+remedial measures as future work. This bench sweeps a remediation
+budget and compares greedy cost-aware selection of critical clusters
+against the paper's cost-blind coverage ranking.
+"""
+
+from repro.analysis.costbenefit import cost_benefit_analysis
+from repro.analysis.render import render_table
+from repro.experiments.runners import ExperimentResult
+
+
+import numpy as np
+
+
+def _run(ctx) -> ExperimentResult:
+    rows = []
+    data = {}
+    fractions = (0.01, 0.03, 0.1, 1.0)
+    for metric in ("buffering_ratio", "join_failure"):
+        ma = ctx.analysis[metric]
+        # Probe the total cost once, then sweep tight budget fractions
+        # where the orderings actually diverge.
+        probe = cost_benefit_analysis(ma)
+        total_cost = float(probe.budgets[-1])
+        budgets = np.array([f * total_cost for f in fractions])
+        result = cost_benefit_analysis(ma, budgets=budgets)
+        for frac, aware, blind in zip(
+            fractions, result.cost_aware, result.cost_blind
+        ):
+            rows.append(
+                [metric, f"{frac:.0%} of total", aware.n_fixed,
+                 aware.improvement, blind.improvement]
+            )
+        data[metric] = {
+            "budget_fractions": list(fractions),
+            "cost_aware": [p.improvement for p in result.cost_aware],
+            "cost_blind": [p.improvement for p in result.cost_blind],
+        }
+    text = render_table(
+        ["Metric", "Budget", "Clusters fixed (aware)",
+         "Cost-aware improvement", "Cost-blind improvement"],
+        rows,
+        title="Extension — cost-aware vs cost-blind remediation (paper §6)",
+    )
+    return ExperimentResult("ext-costbenefit", "Cost-benefit extension",
+                            text, data)
+
+
+def bench_ext_costbenefit(benchmark, week_context, report):
+    result = benchmark.pedantic(_run, args=(week_context,),
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,14 @@
+"""Bench: Quality metric CDFs (Figure 1).
+
+CDFs of buffering ratio, bitrate and join time over the week, plus
+the headline quantile statements the paper reads off them.
+"""
+
+from repro.experiments.runners import run_fig1
+
+
+def bench_fig01(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig1, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

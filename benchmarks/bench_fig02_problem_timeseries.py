@@ -1,0 +1,14 @@
+"""Bench: Problem-session timeseries (Figure 2).
+
+Hourly fraction of problem sessions for the four metrics, their
+consistency statistics and the (weak) cross-metric correlations.
+"""
+
+from repro.experiments.runners import run_fig2
+
+
+def bench_fig02(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig2, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

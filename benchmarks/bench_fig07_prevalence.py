@@ -1,0 +1,14 @@
+"""Bench: Problem-cluster prevalence (Figure 7).
+
+Inverse CDF of problem-cluster prevalence per metric: the skewed
+distribution with a recurrent-problem head.
+"""
+
+from repro.experiments.runners import run_fig7
+
+
+def bench_fig07(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig7, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

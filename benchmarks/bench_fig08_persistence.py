@@ -1,0 +1,14 @@
+"""Bench: Problem-cluster persistence (Figure 8(a,b)).
+
+Inverse CDFs of median and max problem-cluster streak lengths:
+many problems persist for hours, a tail lasts a day.
+"""
+
+from repro.experiments.runners import run_fig8
+
+
+def bench_fig08(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig8, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,14 @@
+"""Bench: Cluster count timeseries (Figure 9).
+
+Problem vs critical cluster counts per hour for join time, and the
+mean reduction factor.
+"""
+
+from repro.experiments.runners import run_fig9
+
+
+def bench_fig09(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig9, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,14 @@
+"""Bench: Critical-cluster type breakdown (Figure 10).
+
+Attribution of problem sessions to critical-cluster attribute-type
+signatures (Site/CDN/ASN/ConnectionType dominate).
+"""
+
+from repro.experiments.runners import run_fig10
+
+
+def bench_fig10(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig10, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

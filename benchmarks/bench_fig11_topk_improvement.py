@@ -1,0 +1,14 @@
+"""Bench: Top-k improvement curves (Figure 11(a,b,c)).
+
+Fraction of problem sessions alleviated by fixing the top-k
+critical clusters ranked by prevalence, persistence and coverage.
+"""
+
+from repro.experiments.runners import run_fig11
+
+
+def bench_fig11(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig11, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

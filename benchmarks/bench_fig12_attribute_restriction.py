@@ -1,0 +1,14 @@
+"""Bench: Attribute-restricted selection (Figure 12).
+
+Join-failure improvement when fixing only Site / ASN / CDN /
+ConnType clusters vs considering every critical cluster.
+"""
+
+from repro.experiments.runners import run_fig12
+
+
+def bench_fig12(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig12, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

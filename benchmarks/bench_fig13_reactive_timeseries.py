@@ -1,0 +1,14 @@
+"""Bench: Reactive repair timeseries (Figure 13).
+
+Join-failure problem sessions per hour before/after a reactive
+strategy with a one-hour detection delay.
+"""
+
+from repro.experiments.runners import run_fig13
+
+
+def bench_fig13(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_fig13, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,57 @@
+"""Bench: core pipeline components (not a paper artifact).
+
+Times the three core stages on one representative epoch of the week
+trace — per-epoch aggregation, problem-cluster detection, and the
+critical-cluster phase-transition search — plus a full single-metric
+day of pipeline. These are the costs that dominate every experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate_epoch
+from repro.core.critical import find_critical_clusters
+from repro.core.epoching import split_into_epochs
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.pipeline import AnalysisConfig, analyze_trace
+from repro.core.problems import find_problem_clusters
+
+
+@pytest.fixture(scope="module")
+def epoch_inputs(week_context):
+    table = week_context.trace.table
+    grid, per_epoch = split_into_epochs(table, week_context.analysis.grid)
+    rows = max(per_epoch, key=len)  # busiest epoch
+    return table, rows
+
+
+def bench_epoch_aggregation(benchmark, epoch_inputs):
+    table, rows = epoch_inputs
+    agg = benchmark(aggregate_epoch, table, rows, JOIN_FAILURE)
+    assert agg.total_sessions == len(rows)
+
+
+def bench_problem_cluster_detection(benchmark, epoch_inputs):
+    table, rows = epoch_inputs
+    agg = aggregate_epoch(table, rows, JOIN_FAILURE)
+    problems = benchmark(find_problem_clusters, agg)
+    assert problems.n_clusters >= 0
+
+
+def bench_critical_cluster_search(benchmark, epoch_inputs):
+    table, rows = epoch_inputs
+    agg = aggregate_epoch(table, rows, JOIN_FAILURE)
+    problems = find_problem_clusters(agg)
+    critical = benchmark(find_critical_clusters, problems)
+    assert critical.coverage <= problems.coverage + 1e-9
+
+
+def bench_full_pipeline_one_day(benchmark, week_context):
+    table = week_context.trace.table
+    day = table.select(np.nonzero(table.start_time < 24 * 3600.0)[0])
+    config = AnalysisConfig(metrics=(JOIN_FAILURE,))
+    analysis = benchmark.pedantic(
+        analyze_trace, args=(day,), kwargs={"config": config},
+        rounds=1, iterations=1,
+    )
+    assert analysis.grid.n_epochs == 24

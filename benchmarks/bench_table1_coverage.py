@@ -1,0 +1,14 @@
+"""Bench: Critical-cluster coverage (Table 1).
+
+Mean problem/critical cluster counts and coverage per metric: a
+small critical set explains most clustered problem sessions.
+"""
+
+from repro.experiments.runners import run_table1
+
+
+def bench_tab1(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_table1, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

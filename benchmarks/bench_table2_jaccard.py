@@ -1,0 +1,14 @@
+"""Bench: Cross-metric Jaccard overlap (Table 2).
+
+Jaccard similarity of the top-100 critical clusters between metric
+pairs: the sets are largely disjoint.
+"""
+
+from repro.experiments.runners import run_table2
+
+
+def bench_tab2(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_table2, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

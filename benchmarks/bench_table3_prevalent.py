@@ -1,0 +1,14 @@
+"""Bench: Most prevalent critical clusters (Table 3).
+
+Critical clusters with >60% prevalence by attribute type, matched
+against the planted ground-truth catalogue.
+"""
+
+from repro.experiments.runners import run_table3
+
+
+def bench_tab3(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_table3, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,14 @@
+"""Bench: Proactive what-if (Table 4).
+
+History-based proactive fixing: intra-week (4d train / 3d test)
+and inter-week (week 1 -> week 2) vs the per-window oracle.
+"""
+
+from repro.experiments.runners import run_table4
+
+
+def bench_tab4(benchmark, two_week_context, report):
+    result = benchmark.pedantic(
+        run_table4, args=(two_week_context,), rounds=1, iterations=1
+    )
+    report(result)

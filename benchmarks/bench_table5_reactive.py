@@ -1,0 +1,13 @@
+"""Bench: Reactive what-if (Table 5).
+
+Mean reactive improvement per metric vs the zero-delay potential.
+"""
+
+from repro.experiments.runners import run_table5
+
+
+def bench_tab5(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_table5, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

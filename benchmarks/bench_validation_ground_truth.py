@@ -1,0 +1,15 @@
+"""Bench: Ground-truth validation (substrate validation).
+
+Precision/recall of the critical-cluster detector against the
+planted event catalogue (not in the paper: enabled by the
+synthetic substrate).
+"""
+
+from repro.experiments.runners import run_validation
+
+
+def bench_validation(benchmark, week_context, report):
+    result = benchmark.pedantic(
+        run_validation, args=(week_context,), rounds=1, iterations=1
+    )
+    report(result)

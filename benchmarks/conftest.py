@@ -1,0 +1,53 @@
+"""Benchmark harness fixtures.
+
+Each bench regenerates one table/figure of the paper on the standard
+week-scale workload (two weeks for Table 4). The expensive parts —
+trace generation and the full clustering pipeline — are built once per
+session and shared; each bench times its own experiment computation and
+prints the reproduced rows/series (also written to
+``benchmarks/results/<id>.txt`` for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import default_context
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def week_context():
+    """One week, 168 hourly epochs, ~440k sessions (most figures)."""
+    return default_context("week", seed=42)
+
+
+@pytest.fixture(scope="session")
+def two_week_context():
+    """The paper's full two-week span (needed by Table 4 inter-week)."""
+    return default_context("two_weeks", seed=42)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(capsys, results_dir):
+    """Print a result (past pytest's capture) and persist it."""
+
+    def _report(result):
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print()
+            print("=" * 78)
+            print(result.text)
+        return result
+
+    return _report

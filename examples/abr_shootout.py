@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""ABR algorithm shoot-out on the chunk-level player substrate.
+
+The paper's Table 3 traces several chronic problems to player-side
+choices (single-bitrate sites, high-bitrate-only ladders). This example
+uses the mechanistic substrate directly — Markov bandwidth, player
+buffer, CDN edge — to quantify how the choice of adaptation algorithm
+moves the paper's metrics on identical network conditions:
+
+* a single-bitrate player (no adaptation at all),
+* a fixed top-rung player (what "high bitrate sites" behave like),
+* throughput-rate-based adaptation,
+* buffer-based adaptation (BBA-style).
+
+Run:  python examples/abr_shootout.py
+"""
+
+import numpy as np
+
+from repro.analysis.render import render_table
+from repro.sim import (
+    BufferBasedABR,
+    CDNServer,
+    FixedBitrateABR,
+    MarkovBandwidth,
+    RateBasedABR,
+    VideoManifest,
+    simulate_session,
+)
+
+N_SESSIONS = 300
+MEAN_BANDWIDTH_KBPS = 3200.0  # a congested cable/DSL link
+
+MANIFEST = VideoManifest(
+    ladder_kbps=(400.0, 1000.0, 2500.0, 5000.0),
+    segment_duration_s=4.0,
+    total_duration_s=240.0,
+)
+
+PLAYERS = {
+    "single-bitrate (1.0 Mbps)": lambda: FixedBitrateABR(rung=1),
+    "fixed top rung (5 Mbps)": lambda: FixedBitrateABR(rung=3),
+    "rate-based (EWMA, 0.85 margin)": lambda: RateBasedABR(),
+    "buffer-based (BBA-style)": lambda: BufferBasedABR(),
+}
+
+
+def main() -> None:
+    server = CDNServer(
+        name="edge", rtt_s=0.04, failure_prob=0.005,
+        throughput_cap_kbps=1e9,
+    )
+    rows = []
+    for label, make_abr in PLAYERS.items():
+        rng = np.random.default_rng(11)
+        buf_ratios, bitrates, joins, switches, failures = [], [], [], [], 0
+        for _ in range(N_SESSIONS):
+            result = simulate_session(
+                manifest=MANIFEST,
+                abr=make_abr(),
+                bandwidth=MarkovBandwidth(MEAN_BANDWIDTH_KBPS, rng),
+                server=server,
+                rng=rng,
+                watch_duration_s=180.0,
+            )
+            if result.failed:
+                failures += 1
+                continue
+            buf_ratios.append(result.buffering_ratio)
+            bitrates.append(result.avg_bitrate_kbps)
+            joins.append(result.join_time_s)
+            switches.append(result.rung_switches)
+        rows.append(
+            [
+                label,
+                float(np.mean(buf_ratios)),
+                float(np.mean(np.array(buf_ratios) > 0.05)),
+                float(np.mean(bitrates)),
+                float(np.median(joins)),
+                float(np.mean(switches)),
+                failures,
+            ]
+        )
+
+    print(render_table(
+        ["Player", "Mean buf ratio", "P(buf>5%)", "Mean bitrate kbps",
+         "Median join s", "Mean switches", "Join failures"],
+        rows,
+        title=f"ABR shoot-out over a {MEAN_BANDWIDTH_KBPS:.0f} kbps "
+        f"Markov-modulated link ({N_SESSIONS} sessions each)",
+    ))
+    print(
+        "\nThe fixed top-rung player reproduces the paper's "
+        "'high-bitrate site' pathology (heavy buffering + slow joins); "
+        "adaptation trades a little bitrate for far fewer stalls."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Post-mortem of a planted CDN outage.
+
+Scenario: a CDN suffers a 6-hour join-failure outage overnight. This
+script plants exactly that event into an otherwise calm trace, then
+answers the operational questions the paper's machinery is built for:
+
+* When did the pipeline first flag the outage, and at what grain
+  (the CDN, not its hundreds of per-ASN manifestations)?
+* How long did the problem event persist (streak coalescing, §4.1)?
+* How many problem sessions would a reactive fix after one hour have
+  saved (the §5.3 simulation)?
+
+Run:  python examples/cdn_outage_postmortem.py
+"""
+
+import numpy as np
+
+from repro import analyze_trace
+from repro.analysis.render import render_kv, render_series
+from repro.analysis.whatif import reactive_simulation
+from repro.core.clusters import ClusterKey
+from repro.trace import (
+    EventCatalog,
+    EventEffects,
+    GroundTruthEvent,
+    StandardWorkloads,
+    generate_trace,
+)
+from repro.trace.entities import build_world
+
+OUTAGE_START = 8  # epoch (hour) the outage begins
+OUTAGE_HOURS = 6
+
+
+def main() -> None:
+    spec = StandardWorkloads.tiny(seed=21)
+    world = build_world(spec.world, np.random.default_rng(spec.seed))
+    victim_cdn = world.cdns[1].name
+
+    outage = GroundTruthEvent(
+        event_id="outage-001",
+        tag="cdn-origin-overload",
+        category="major",
+        primary_metric="join_failure",
+        constraints=(("cdn", victim_cdn),),
+        start_epoch=OUTAGE_START,
+        duration_epochs=OUTAGE_HOURS,
+        effects=EventEffects(join_failure_odds=40.0),
+    )
+    trace = generate_trace(spec, world=world, catalog=EventCatalog([outage]))
+    analysis = analyze_trace(trace.table, grid=trace.grid)
+    ma = analysis["join_failure"]
+
+    # Detection: in which epochs was the CDN flagged critical?
+    outage_key = ClusterKey.from_mapping({"cdn": victim_cdn})
+    flagged = [
+        e.epoch for e in ma.epochs if outage_key in e.critical_clusters
+    ]
+    timeline = ma.critical_timelines().get(outage_key)
+    streaks = timeline.streaks() if timeline else []
+
+    print(render_kv(
+        {
+            "victim CDN": victim_cdn,
+            "outage window (planted)": f"hours {OUTAGE_START}-"
+            f"{OUTAGE_START + OUTAGE_HOURS - 1}",
+            "flagged critical in hours": ", ".join(map(str, flagged)) or "never",
+            "detected streaks": ", ".join(
+                f"start={s.start} len={s.length}h" for s in streaks
+            ) or "none",
+        },
+        title="Outage detection",
+    ))
+
+    # Grain: the detector must pin the CDN itself, not CDN x ASN shards.
+    deeper = [
+        key.label()
+        for e in ma.epochs
+        for key in e.critical_clusters
+        if key != outage_key and "cdn" in key.attributes
+        and key.value_of("cdn") == victim_cdn
+    ]
+    print(f"\nDeeper {victim_cdn} critical shards flagged: "
+          f"{sorted(set(deeper)) or 'none (correctly pinned at CDN level)'}")
+
+    # What would reacting after one hour have saved?
+    result = reactive_simulation(ma, detection_delay_epochs=1)
+    print()
+    print(render_series(
+        np.arange(len(result.original_series)),
+        {
+            "original": result.original_series,
+            "after_reactive_fix": result.after_series,
+        },
+        x_label="hour",
+        precision=0,
+        title="Join-failure problem sessions per hour (paper Fig. 13 shape)",
+    ))
+    print(f"\nReactive repair (1h detection delay) alleviates "
+          f"{result.improvement:.0%} of all join-failure problem sessions "
+          f"(zero-delay potential: {result.potential:.0%}).")
+
+
+if __name__ == "__main__":
+    main()

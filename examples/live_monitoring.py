@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Live monitoring: streaming the reactive strategy as a component.
+
+The paper's reactive analysis (Section 5.3) assumes someone watches the
+critical clusters hour by hour. This example is that someone: an
+:class:`~repro.core.online.OnlineDetector` consumes one epoch of
+telemetry at a time, raises alerts when clusters turn critical,
+confirms them after they persist (the one-hour detection delay), and
+accounts the problem sessions that acting on each confirmed alert
+would have saved.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro.core.epoching import split_into_epochs
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.online import OnlineDetector
+from repro.analysis.render import render_table
+from repro.trace import StandardWorkloads, generate_trace
+
+
+def main() -> None:
+    trace = generate_trace(StandardWorkloads.tiny(seed=31))
+    grid, per_epoch = split_into_epochs(trace.table, trace.grid)
+    planted = {e.cluster_key: e.tag for e in trace.catalog}
+
+    # confirm_after=2 mirrors the paper's one-hour detection delay;
+    # clear_after=2 adds hysteresis so structural causes that hover
+    # around the significance threshold do not flap raise/clear.
+    detector = OnlineDetector(JOIN_FAILURE, confirm_after=2, clear_after=2)
+    print("Streaming", grid.n_epochs, "hourly epochs of join-failure telemetry...\n")
+    for epoch in range(grid.n_epochs):
+        observation = detector.observe_epoch(trace.table, per_epoch[epoch])
+        for event in observation.events:
+            cause = planted.get(event.alert.key, "organic/unknown")
+            print(f"[h{epoch:02d}] {event.kind.upper():9s} "
+                  f"{event.alert.key.label()}  (cause: {cause})")
+
+    print()
+    rows = []
+    for alert in sorted(
+        detector.all_alerts,
+        key=lambda a: -a.actionable_alleviation,
+    ):
+        rows.append([
+            alert.key.label(),
+            alert.raised_epoch,
+            alert.cleared_epoch if alert.cleared_epoch is not None else "open",
+            alert.duration_epochs,
+            "yes" if alert.is_confirmed else "no",
+            alert.actionable_alleviation,
+            planted.get(alert.key, "organic/unknown"),
+        ])
+    print(render_table(
+        ["Cluster", "Raised", "Cleared", "Hours", "Confirmed",
+         "Actionable alleviation", "Planted cause"],
+        rows,
+        title="Alert ledger after one day",
+        precision=1,
+    ))
+    print(
+        f"\nActing on confirmed alerts would have saved "
+        f"{detector.total_actionable_alleviation:.0f} problem sessions."
+    )
+
+
+if __name__ == "__main__":
+    main()

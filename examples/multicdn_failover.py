@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Multi-CDN failover at chunk level: the mechanism behind the remedy.
+
+The paper speculates that single-CDN "low priority" sites "could have
+potentially benefited from using multiple CDNs". This example runs the
+mechanism on the player substrate: identical sessions, identical
+network conditions, one population pinned to a flaky CDN and one
+allowed to fail over (retry joins on the next CDN, switch mid-stream
+after sustained stalls).
+
+Run:  python examples/multicdn_failover.py
+"""
+
+from repro.analysis.render import render_table
+from repro.sim import (
+    CDNServer,
+    FixedBitrateABR,
+    RateBasedABR,
+    VideoManifest,
+    compare_single_vs_multi_cdn,
+)
+
+MANIFEST = VideoManifest(
+    ladder_kbps=(400.0, 1000.0, 2500.0, 5000.0),
+    segment_duration_s=4.0,
+    total_duration_s=240.0,
+)
+
+SCENARIOS = {
+    "flaky primary (20% join failures)": dict(
+        servers=[
+            CDNServer("primary_flaky", rtt_s=0.04, failure_prob=0.20,
+                      throughput_cap_kbps=1e9),
+            CDNServer("backup_stable", rtt_s=0.06, failure_prob=0.005,
+                      throughput_cap_kbps=1e9),
+        ],
+        failure_odds=1.0,
+    ),
+    # A high-bitrate-only player (the paper's Table 3 join-time/
+    # buffering anecdote) pinned to a congested edge: the lone CDN
+    # cannot sustain the rung, failover can.
+    "congested primary, high-bitrate site": dict(
+        servers=[
+            CDNServer("primary_congested", rtt_s=0.04, failure_prob=0.01,
+                      throughput_cap_kbps=3_000.0),
+            CDNServer("backup_fast", rtt_s=0.06, failure_prob=0.01,
+                      throughput_cap_kbps=1e9),
+        ],
+        failure_odds=1.0,
+        make_abr=lambda: FixedBitrateABR(rung=3),
+    ),
+}
+
+
+def main() -> None:
+    rows = []
+    for label, scenario in SCENARIOS.items():
+        comparison = compare_single_vs_multi_cdn(
+            MANIFEST,
+            scenario.get("make_abr", RateBasedABR),
+            scenario["servers"],
+            mean_bandwidth_kbps=9_000.0,
+            n_sessions=250,
+            seed=5,
+            failure_odds=scenario["failure_odds"],
+        )
+        rows.append([
+            label,
+            comparison.single_failure_rate,
+            comparison.multi_failure_rate,
+            comparison.single_mean_buffering_ratio,
+            comparison.multi_mean_buffering_ratio,
+            comparison.mean_switches,
+        ])
+    print(render_table(
+        ["Scenario", "Fail rate (single)", "Fail rate (multi)",
+         "Buf ratio (single)", "Buf ratio (multi)", "Mean switches"],
+        rows,
+        title="Single-CDN vs multi-CDN failover (250 sessions each)",
+    ))
+    print(
+        "\nJoin failures collapse when a backup CDN can field the retry, "
+        "and sustained stalls trigger mid-stream switches off the "
+        "congested edge — the chunk-level mechanism behind the paper's "
+        "multi-CDN suggestion."
+    )
+
+
+if __name__ == "__main__":
+    main()

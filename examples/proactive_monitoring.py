@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Proactive "bad apples" monitoring over a multi-day trace.
+
+The paper's Section 5.2 asks: if an operator studies a few days of
+history, picks the worst 1% of critical clusters, and fixes them, how
+much of the *future* problem mass disappears? This example runs that
+simulation on a three-day trace (train on the first two days, evaluate
+on the third) and prints the chosen clusters with their planted causes.
+
+Run:  python examples/proactive_monitoring.py
+"""
+
+from repro import analyze_trace
+from repro.analysis.render import render_kv, render_table
+from repro.analysis.whatif import proactive_simulation, rank_critical_clusters
+from repro.core.pipeline import restrict_epochs
+from repro.trace import StandardWorkloads, generate_trace
+
+TRAIN_EPOCHS = 48  # first two days
+TOP_FRACTION = 0.05  # small trace: 5% plays the role of the paper's 1%
+
+
+def main() -> None:
+    trace = generate_trace(StandardWorkloads.small(seed=13))
+    analysis = analyze_trace(trace.table, grid=trace.grid)
+    n = trace.spec.n_epochs
+    planted = {e.cluster_key: e.tag for e in trace.catalog}
+
+    rows = []
+    chosen_report: dict[str, str] = {}
+    for name, ma in analysis.metrics.items():
+        train = restrict_epochs(ma, range(0, TRAIN_EPOCHS))
+        test = restrict_epochs(ma, range(TRAIN_EPOCHS, n))
+        result = proactive_simulation(train, test, top_fraction=TOP_FRACTION)
+        rows.append(
+            [name, result.improvement, result.potential,
+             result.fraction_of_potential]
+        )
+        ranked = rank_critical_clusters(train, by="coverage")
+        k = max(int(round(TOP_FRACTION * len(ranked))), 1) if ranked else 0
+        for key in ranked[:k]:
+            chosen_report[f"{name}: {key.label()}"] = planted.get(
+                key, "(organic/noise)"
+            )
+
+    print(render_table(
+        ["Metric", "Future improvement", "Oracle potential", "Fraction of oracle"],
+        rows,
+        title=f"Proactive fixing: top {TOP_FRACTION:.0%} clusters from the "
+        f"first {TRAIN_EPOCHS} h, evaluated on hours "
+        f"{TRAIN_EPOCHS}-{n - 1} (paper Table 4 shape)",
+    ))
+    print()
+    print(render_kv(chosen_report, title="Clusters the operator would fix"))
+
+
+if __name__ == "__main__":
+    main()

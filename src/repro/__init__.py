@@ -1,0 +1,86 @@
+"""repro — reproduction of "Shedding Light on the Structure of Internet
+Video Quality Problems in the Wild" (Jiang, Sekar, Stoica, Zhang;
+CoNEXT 2013).
+
+Public API layout:
+
+* :mod:`repro.core` — quality metrics, cluster lattice, problem- and
+  critical-cluster detection, prevalence/persistence (the paper's
+  methodology, Sections 3-4).
+* :mod:`repro.trace` — synthetic session-trace substrate with planted
+  ground-truth problem events (substitute for the proprietary Conviva
+  dataset).
+* :mod:`repro.sim` — chunk-level player/CDN simulation substrate (a
+  mechanistic alternative QoE engine).
+* :mod:`repro.analysis` — figure/table computations and the what-if
+  improvement engine (Section 5).
+* :mod:`repro.experiments` — registry regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import generate_trace, analyze_trace, StandardWorkloads
+
+    trace = generate_trace(StandardWorkloads.small(seed=7))
+    analysis = analyze_trace(trace.table)
+    print(analysis["join_failure"].mean_critical_clusters)
+"""
+
+from repro.core import (
+    ALL_METRICS,
+    AnalysisConfig,
+    AttributeSchema,
+    BITRATE,
+    BUFFERING_RATIO,
+    ClusterKey,
+    DEFAULT_SCHEMA,
+    JOIN_FAILURE,
+    JOIN_TIME,
+    MetricThresholds,
+    ProblemClusterConfig,
+    QualityMetric,
+    Session,
+    SessionTable,
+    TraceAnalysis,
+    analyze_trace,
+    metric_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_METRICS",
+    "AnalysisConfig",
+    "AttributeSchema",
+    "BITRATE",
+    "BUFFERING_RATIO",
+    "ClusterKey",
+    "DEFAULT_SCHEMA",
+    "JOIN_FAILURE",
+    "JOIN_TIME",
+    "MetricThresholds",
+    "ProblemClusterConfig",
+    "QualityMetric",
+    "Session",
+    "SessionTable",
+    "TraceAnalysis",
+    "analyze_trace",
+    "metric_by_name",
+    "generate_trace",
+    "StandardWorkloads",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports: keep `import repro` light and avoid import cycles
+    # while the trace substrate depends on repro.core.
+    if name == "generate_trace":
+        from repro.trace import generate_trace
+
+        return generate_trace
+    if name == "StandardWorkloads":
+        from repro.trace import StandardWorkloads
+
+        return StandardWorkloads
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

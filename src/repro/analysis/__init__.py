@@ -1,0 +1,140 @@
+"""Analysis layer: figure/table computations and what-if simulations.
+
+Maps one-to-one onto the paper's evaluation artifacts; see the
+per-experiment index in DESIGN.md.
+"""
+
+from repro.analysis.cdfs import (
+    ECDF,
+    default_grid,
+    headline_statistics,
+    metric_ecdf,
+    quality_cdfs,
+)
+from repro.analysis.timeseries import (
+    ClusterCountSeries,
+    ProblemRatioSeries,
+    cluster_count_timeseries,
+    cross_metric_correlation,
+    problem_ratio_timeseries,
+    problem_session_counts,
+    unattributed_problem_counts,
+)
+from repro.analysis.breakdown import (
+    BreakdownSector,
+    critical_type_breakdown,
+    single_attribute_share,
+)
+from repro.analysis.whatif import (
+    ImprovementCurve,
+    ProactiveResult,
+    ReactiveResult,
+    attribute_restricted_curves,
+    cluster_alleviation,
+    oracle_improvement,
+    proactive_simulation,
+    rank_critical_clusters,
+    reactive_simulation,
+    topk_improvement_curve,
+)
+from repro.analysis.tables import (
+    CoverageRow,
+    PrevalentCluster,
+    PrevalentClusterTable,
+    coverage_table,
+    jaccard_table,
+    prevalent_critical_clusters,
+    reduction_summary,
+)
+from repro.analysis.validation import (
+    EventRecovery,
+    ValidationReport,
+    validate_all,
+    validate_metric,
+)
+from repro.analysis.drilldown import (
+    AttributeSlice,
+    DrilldownReport,
+    drill_down,
+)
+from repro.analysis.associations import (
+    AttributeAssociation,
+    attribute_associations,
+    cramers_v,
+    explain_split_attribution,
+    value_concentration,
+)
+from repro.analysis.engagement import (
+    EngagementImpact,
+    EngagementModel,
+    cluster_engagement_impact,
+    engagement_weighted_ranking,
+)
+from repro.analysis.report import build_report, write_report
+from repro.analysis.costbenefit import (
+    BudgetPoint,
+    CostBenefitResult,
+    CostModel,
+    cost_benefit_analysis,
+)
+from repro.analysis.render import render_kv, render_series, render_table
+
+__all__ = [
+    "ECDF",
+    "default_grid",
+    "headline_statistics",
+    "metric_ecdf",
+    "quality_cdfs",
+    "ClusterCountSeries",
+    "ProblemRatioSeries",
+    "cluster_count_timeseries",
+    "cross_metric_correlation",
+    "problem_ratio_timeseries",
+    "problem_session_counts",
+    "unattributed_problem_counts",
+    "BreakdownSector",
+    "critical_type_breakdown",
+    "single_attribute_share",
+    "ImprovementCurve",
+    "ProactiveResult",
+    "ReactiveResult",
+    "attribute_restricted_curves",
+    "cluster_alleviation",
+    "oracle_improvement",
+    "proactive_simulation",
+    "rank_critical_clusters",
+    "reactive_simulation",
+    "topk_improvement_curve",
+    "CoverageRow",
+    "PrevalentCluster",
+    "PrevalentClusterTable",
+    "coverage_table",
+    "jaccard_table",
+    "prevalent_critical_clusters",
+    "reduction_summary",
+    "EventRecovery",
+    "ValidationReport",
+    "validate_all",
+    "validate_metric",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "AttributeSlice",
+    "DrilldownReport",
+    "drill_down",
+    "BudgetPoint",
+    "CostBenefitResult",
+    "CostModel",
+    "cost_benefit_analysis",
+    "EngagementImpact",
+    "EngagementModel",
+    "cluster_engagement_impact",
+    "engagement_weighted_ranking",
+    "build_report",
+    "write_report",
+    "AttributeAssociation",
+    "attribute_associations",
+    "cramers_v",
+    "explain_split_attribution",
+    "value_concentration",
+]

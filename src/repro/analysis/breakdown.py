@@ -1,0 +1,124 @@
+"""Critical-cluster type breakdown (paper Figure 10).
+
+Figure 10 attributes every problem session to the *type* of critical
+cluster that explains it — the combination of attribute dimensions
+(e.g. ``[Site, *, *, *, *, *, *]`` or ``[*, CDN, *, ConnectionType, *,
+*, *]``) — plus two residual sectors: problem sessions in problem
+clusters that no critical cluster explains, and problem sessions
+outside any (significant) problem cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.core.pipeline import MetricAnalysis
+
+#: Residual sector labels (mirroring the paper's legend).
+NOT_ATTRIBUTED = "Not attributed to critical cluster"
+NOT_IN_PROBLEM_CLUSTER = "Not in any problem cluster"
+
+
+@dataclass
+class BreakdownSector:
+    """One pie sector: an attribute-type signature and its share."""
+
+    signature: str
+    problem_sessions: float
+    fraction: float
+
+
+def signature_label(attributes: tuple[str, ...], schema: AttributeSchema) -> str:
+    """Paper-style signature, e.g. ``[Site, *, ASN, *, *, *, *]``."""
+    constrained = set(attributes)
+    parts = [name if name in constrained else "*" for name in schema.names]
+    return "[" + ", ".join(parts) + "]"
+
+
+def critical_type_breakdown(
+    ma: MetricAnalysis,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    max_sectors: int = 8,
+) -> list[BreakdownSector]:
+    """Figure 10 for one metric.
+
+    Aggregates attributed problem sessions over the whole trace by the
+    attribute-type signature of the critical cluster, keeps the top
+    ``max_sectors`` signatures, folds the rest into "Other
+    combinations", and appends the two residual sectors.
+    """
+    by_signature: dict[tuple[str, ...], float] = {}
+    total_problems = 0.0
+    attributed = 0.0
+    in_problem_clusters = 0.0
+    for epoch in ma.epochs:
+        total_problems += epoch.total_problems
+        in_problem_clusters += (
+            epoch.problem_cluster_coverage * epoch.total_problems
+        )
+        for key, attribution in epoch.critical_clusters.items():
+            sig = key.attributes
+            by_signature[sig] = (
+                by_signature.get(sig, 0.0) + attribution.attributed_problems
+            )
+            attributed += attribution.attributed_problems
+
+    if total_problems <= 0:
+        return []
+
+    ranked = sorted(by_signature.items(), key=lambda kv: -kv[1])
+    sectors = [
+        BreakdownSector(
+            signature=signature_label(sig, schema),
+            problem_sessions=count,
+            fraction=count / total_problems,
+        )
+        for sig, count in ranked[:max_sectors]
+    ]
+    other = sum(count for _, count in ranked[max_sectors:])
+    if other > 0:
+        sectors.append(
+            BreakdownSector(
+                signature="Other combinations",
+                problem_sessions=other,
+                fraction=other / total_problems,
+            )
+        )
+    unexplained = max(in_problem_clusters - attributed, 0.0)
+    outside = max(total_problems - in_problem_clusters, 0.0)
+    sectors.append(
+        BreakdownSector(
+            signature=NOT_ATTRIBUTED,
+            problem_sessions=unexplained,
+            fraction=unexplained / total_problems,
+        )
+    )
+    sectors.append(
+        BreakdownSector(
+            signature=NOT_IN_PROBLEM_CLUSTER,
+            problem_sessions=outside,
+            fraction=outside / total_problems,
+        )
+    )
+    return sectors
+
+
+def single_attribute_share(
+    ma: MetricAnalysis, attributes: tuple[str, ...] = ("site", "cdn", "asn", "connection_type")
+) -> dict[str, float]:
+    """Share of attributed problem sessions per single-attribute type.
+
+    The paper's headline: Site, CDN, ASN and ConnectionType dominate
+    the critical clusters across metrics (Section 4.3).
+    """
+    totals: dict[str, float] = {a: 0.0 for a in attributes}
+    attributed = 0.0
+    for epoch in ma.epochs:
+        for key, attribution in epoch.critical_clusters.items():
+            attributed += attribution.attributed_problems
+            if len(key.attributes) == 1 and key.attributes[0] in totals:
+                totals[key.attributes[0]] += attribution.attributed_problems
+    if attributed == 0:
+        return {a: 0.0 for a in attributes}
+    return {a: v / attributed for a, v in totals.items()}

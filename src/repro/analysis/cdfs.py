@@ -1,0 +1,98 @@
+"""Empirical distributions of the quality metrics (paper Figure 1).
+
+Figure 1 shows CDFs of buffering ratio, bitrate and join time over the
+week (join failures are binary, so no distribution). These helpers
+compute ECDFs and the headline quantile statements the paper calls out
+("more than 5% of sessions have a buffering ratio larger than 10%",
+"more than 80% of sessions observe an average bitrate less than
+2 Mbps", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import BITRATE, BUFFERING_RATIO, JOIN_TIME, QualityMetric
+from repro.core.sessions import SessionTable
+
+
+@dataclass
+class ECDF:
+    """Empirical CDF over finite metric values."""
+
+    values: np.ndarray  # sorted
+
+    def __post_init__(self) -> None:
+        vals = np.asarray(self.values, dtype=np.float64)
+        vals = vals[np.isfinite(vals)]
+        self.values = np.sort(vals)
+
+    @property
+    def n(self) -> int:
+        return self.values.size
+
+    def at(self, x: np.ndarray | float) -> np.ndarray | float:
+        """P(value <= x)."""
+        if self.n == 0:
+            raise ValueError("ECDF over empty sample")
+        result = np.searchsorted(self.values, np.asarray(x, dtype=np.float64),
+                                 side="right") / self.n
+        return float(result) if np.isscalar(x) else result
+
+    def exceed(self, x: float) -> float:
+        """P(value > x)."""
+        return 1.0 - float(self.at(x))
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        if self.n == 0:
+            raise ValueError("ECDF over empty sample")
+        return np.quantile(self.values, q)
+
+    def curve(self, grid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) over a supplied grid — the printable figure series."""
+        grid = np.asarray(grid, dtype=np.float64)
+        return grid, np.asarray(self.at(grid))
+
+
+#: The three continuous Figure 1 metrics.
+FIGURE1_METRICS: tuple[QualityMetric, ...] = (BUFFERING_RATIO, BITRATE, JOIN_TIME)
+
+
+def metric_ecdf(table: SessionTable, metric: QualityMetric) -> ECDF:
+    """ECDF of one metric over its valid sessions."""
+    valid = metric.valid_mask(table)
+    return ECDF(metric.values(table)[valid])
+
+
+def quality_cdfs(table: SessionTable) -> dict[str, ECDF]:
+    """ECDFs for the three Figure 1 metrics."""
+    return {m.name: metric_ecdf(table, m) for m in FIGURE1_METRICS}
+
+
+def default_grid(metric: QualityMetric) -> np.ndarray:
+    """Plot grids matching the paper's axes.
+
+    Buffering ratio and join time use log-spaced grids (the paper's
+    x-axes are log scale); bitrate is linear 0..10 Mbps.
+    """
+    if metric.name == "buffering_ratio":
+        return np.logspace(-5, 0, 26)
+    if metric.name == "bitrate":
+        return np.linspace(0.0, 10_000.0, 26)
+    if metric.name == "join_time":
+        return np.logspace(-1, 3, 26)  # 0.1 s .. 1000 s
+    raise ValueError(f"no Figure 1 grid for metric {metric.name!r}")
+
+
+def headline_statistics(table: SessionTable) -> dict[str, float]:
+    """The sentences the paper reads off Figure 1, as numbers."""
+    cdfs = quality_cdfs(table)
+    return {
+        "frac_buffering_ratio_gt_10pct": cdfs["buffering_ratio"].exceed(0.10),
+        "frac_buffering_ratio_gt_5pct": cdfs["buffering_ratio"].exceed(0.05),
+        "frac_join_time_gt_10s": cdfs["join_time"].exceed(10.0),
+        "frac_bitrate_lt_2mbps": float(cdfs["bitrate"].at(2000.0)),
+        "frac_bitrate_lt_700kbps": float(cdfs["bitrate"].at(700.0)),
+    }

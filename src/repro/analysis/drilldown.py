@@ -1,0 +1,190 @@
+"""Drill-down diagnosis of a critical cluster (paper Section 6).
+
+The paper's "more diagnostic capabilities" discussion proposes
+triggering finer-grained analysis when a critical cluster is observed
+(e.g. per-server stats for a CDN cluster). With session telemetry this
+translates to conditional slicing: within the cluster's sessions,
+
+* which values of each *other* attribute concentrate the problem mass
+  (is the bad CDN bad everywhere, or only toward two ASNs?),
+* how the cluster's problem ratio moves over the day (outage vs
+  structural), and
+* how the cluster's metric distribution compares with the global one.
+
+``drill_down`` computes all three from a trace; the result renders as
+the kind of report an operator would attach to an incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.render import render_kv, render_series, render_table
+from repro.core.clusters import ClusterKey
+from repro.core.epoching import EpochGrid
+from repro.core.metrics import MetricThresholds, QualityMetric
+from repro.core.sessions import SessionTable
+
+
+@dataclass
+class AttributeSlice:
+    """Problem concentration for one value of one refining attribute."""
+
+    attribute: str
+    value: str
+    sessions: int
+    problems: int
+
+    @property
+    def ratio(self) -> float:
+        return self.problems / self.sessions if self.sessions else 0.0
+
+
+@dataclass
+class DrilldownReport:
+    """Diagnosis of one cluster for one metric."""
+
+    key: ClusterKey
+    metric: str
+    cluster_sessions: int
+    cluster_problems: int
+    global_ratio: float
+    slices: dict[str, list[AttributeSlice]] = field(default_factory=dict)
+    hourly_ratio: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    hours: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def cluster_ratio(self) -> float:
+        if self.cluster_sessions == 0:
+            return 0.0
+        return self.cluster_problems / self.cluster_sessions
+
+    def worst_slices(self, top: int = 3) -> list[AttributeSlice]:
+        """The refining slices with the highest problem ratios."""
+        flat = [s for slices in self.slices.values() for s in slices]
+        flat.sort(key=lambda s: (-s.ratio, -s.problems))
+        return flat[:top]
+
+    def concentrated_attributes(self, factor: float = 2.0) -> list[str]:
+        """Attributes where some value's ratio is ``factor``x the
+        cluster's own ratio — pointers to a deeper cause."""
+        out = []
+        base = max(self.cluster_ratio, 1e-12)
+        for attribute, slices in self.slices.items():
+            if any(s.ratio >= factor * base and s.problems > 0 for s in slices):
+                out.append(attribute)
+        return out
+
+    def render(self, max_values: int = 4) -> str:
+        blocks = [
+            render_kv(
+                {
+                    "cluster": self.key.label(),
+                    "metric": self.metric,
+                    "sessions": self.cluster_sessions,
+                    "problem sessions": self.cluster_problems,
+                    "cluster problem ratio": self.cluster_ratio,
+                    "global problem ratio": self.global_ratio,
+                },
+                title="Drill-down",
+            )
+        ]
+        for attribute, slices in self.slices.items():
+            rows = [
+                [s.value, s.sessions, s.problems, s.ratio]
+                for s in slices[:max_values]
+            ]
+            blocks.append(
+                render_table(
+                    [attribute, "Sessions", "Problems", "Ratio"],
+                    rows,
+                    title=f"By {attribute} (worst first)",
+                )
+            )
+        if self.hours.size:
+            blocks.append(
+                render_series(
+                    self.hours,
+                    {"problem_ratio": self.hourly_ratio},
+                    x_label="hour",
+                    title="Cluster problem ratio by hour",
+                    max_rows=24,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _cluster_rows(table: SessionTable, key: ClusterKey) -> np.ndarray:
+    rows = np.ones(len(table), dtype=bool)
+    for attribute, value in key.pairs:
+        col = table.schema.index(attribute)
+        try:
+            code = table.vocabs[col].index(value)
+        except ValueError:
+            return np.zeros(len(table), dtype=bool)
+        rows &= table.codes[:, col] == code
+    return rows
+
+
+def drill_down(
+    table: SessionTable,
+    key: ClusterKey,
+    metric: QualityMetric,
+    grid: EpochGrid | None = None,
+    thresholds: MetricThresholds | None = None,
+    min_slice_sessions: int = 20,
+) -> DrilldownReport:
+    """Diagnose cluster ``key`` for ``metric`` over a trace."""
+    valid = metric.valid_mask(table)
+    problems = metric.problem_mask(table, thresholds)
+    in_cluster = _cluster_rows(table, key) & valid
+
+    total_valid = int(valid.sum())
+    report = DrilldownReport(
+        key=key,
+        metric=metric.name,
+        cluster_sessions=int(in_cluster.sum()),
+        cluster_problems=int((problems & in_cluster).sum()),
+        global_ratio=float(problems[valid].mean()) if total_valid else 0.0,
+    )
+
+    constrained = set(key.attributes)
+    for col, attribute in enumerate(table.schema.names):
+        if attribute in constrained:
+            continue
+        codes = table.codes[in_cluster, col]
+        probs = problems[in_cluster]
+        counts = np.bincount(codes, minlength=len(table.vocabs[col]))
+        prob_counts = np.bincount(
+            codes, weights=probs.astype(np.float64),
+            minlength=len(table.vocabs[col]),
+        )
+        slices = [
+            AttributeSlice(
+                attribute=attribute,
+                value=table.vocabs[col][code],
+                sessions=int(counts[code]),
+                problems=int(prob_counts[code]),
+            )
+            for code in np.nonzero(counts >= min_slice_sessions)[0]
+        ]
+        slices.sort(key=lambda s: (-s.ratio, -s.sessions))
+        if slices:
+            report.slices[attribute] = slices
+
+    if grid is not None and grid.n_epochs:
+        epochs = grid.epoch_of(table.start_time)
+        sessions_per_epoch = np.zeros(grid.n_epochs)
+        problems_per_epoch = np.zeros(grid.n_epochs)
+        rows = in_cluster & (epochs >= 0) & (epochs < grid.n_epochs)
+        np.add.at(sessions_per_epoch, epochs[rows], 1.0)
+        np.add.at(problems_per_epoch, epochs[rows], problems[rows].astype(float))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                sessions_per_epoch > 0, problems_per_epoch / sessions_per_epoch, 0.0
+            )
+        report.hourly_ratio = ratio
+        report.hours = grid.hours()
+    return report

@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output uniform. No plotting dependencies —
+series render as aligned columns suitable for eyeballing shapes and
+for diffing across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Format one cell: floats to ``precision``, the rest via str()."""
+    if isinstance(value, (bool, np.bool_)):
+        return str(bool(value))
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    precision: int = 3,
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render one or more y-series against a shared x column."""
+    x = list(x)
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x)}"
+            )
+    rows = [
+        [x[i]] + [series[name][i] for name in series] for i in range(len(x))
+    ]
+    if max_rows is not None and len(rows) > max_rows:
+        step = max(len(rows) // max_rows, 1)
+        rows = rows[::step]
+    return render_table(
+        [x_label, *series.keys()], rows, precision=precision, title=title
+    )
+
+
+def render_kv(
+    pairs: Mapping[str, object], precision: int = 3, title: str | None = None
+) -> str:
+    """Render a key/value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)}  {fmt(value, precision)}")
+    return "\n".join(lines)

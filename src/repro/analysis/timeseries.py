@@ -1,0 +1,111 @@
+"""Per-epoch timeseries (paper Figures 2, 9 and the Fig. 13 baseline).
+
+* Figure 2: hourly fraction of problem sessions per metric, plus the
+  consistency statistics the paper quotes (mean problem ratio,
+  standard deviation, cross-metric temporal correlation).
+* Figure 9: number of problem clusters vs number of critical clusters
+  per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.pipeline import MetricAnalysis, TraceAnalysis
+
+
+@dataclass
+class ProblemRatioSeries:
+    """Hourly problem-session fraction for one metric (Figure 2)."""
+
+    metric: str
+    hours: np.ndarray
+    ratio: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.ratio.mean()) if self.ratio.size else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(self.ratio.std()) if self.ratio.size else 0.0
+
+
+def problem_ratio_timeseries(analysis: TraceAnalysis) -> dict[str, ProblemRatioSeries]:
+    """Figure 2 series for every analysed metric."""
+    out = {}
+    for name, ma in analysis.metrics.items():
+        out[name] = ProblemRatioSeries(
+            metric=name,
+            hours=ma.grid.hours(),
+            ratio=ma.problem_ratio_series,
+        )
+    return out
+
+
+def cross_metric_correlation(
+    analysis: TraceAnalysis,
+) -> dict[tuple[str, str], float]:
+    """Pearson correlation of hourly problem ratios between metrics.
+
+    The paper observes the metrics are only weakly temporally
+    correlated (Section 2, Figure 2 discussion).
+    """
+    series = {n: ma.problem_ratio_series for n, ma in analysis.metrics.items()}
+    out: dict[tuple[str, str], float] = {}
+    for a, b in combinations(series, 2):
+        x, y = series[a], series[b]
+        if x.size < 2 or np.allclose(x.std(), 0) or np.allclose(y.std(), 0):
+            out[(a, b)] = 0.0
+        else:
+            out[(a, b)] = float(np.corrcoef(x, y)[0, 1])
+    return out
+
+
+@dataclass
+class ClusterCountSeries:
+    """Problem vs critical cluster counts per epoch (Figure 9)."""
+
+    metric: str
+    hours: np.ndarray
+    problem_clusters: np.ndarray
+    critical_clusters: np.ndarray
+
+    @property
+    def mean_reduction_factor(self) -> float:
+        """How many times fewer critical clusters there are on average."""
+        crit = self.critical_clusters.mean() if self.critical_clusters.size else 0.0
+        prob = self.problem_clusters.mean() if self.problem_clusters.size else 0.0
+        if crit == 0:
+            return float("inf") if prob > 0 else 0.0
+        return float(prob / crit)
+
+
+def cluster_count_timeseries(ma: MetricAnalysis) -> ClusterCountSeries:
+    """Figure 9 series for one metric (the paper shows join time)."""
+    return ClusterCountSeries(
+        metric=ma.metric.name,
+        hours=ma.grid.hours(),
+        problem_clusters=ma.problem_cluster_counts,
+        critical_clusters=ma.critical_cluster_counts,
+    )
+
+
+def problem_session_counts(ma: MetricAnalysis) -> np.ndarray:
+    """Raw problem-session counts per epoch (Fig. 13's 'Original')."""
+    return ma.series(lambda e: e.total_problems)
+
+
+def unattributed_problem_counts(ma: MetricAnalysis) -> np.ndarray:
+    """Problem sessions outside any critical cluster per epoch.
+
+    The paper's Figure 13 plots these as 'Not in critical clusters' —
+    problems that look random and cannot be fixed by addressing
+    critical clusters.
+    """
+    return ma.series(
+        lambda e: e.total_problems - e.attributed_problem_sessions
+    )

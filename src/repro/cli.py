@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``generate`` — generate a synthetic trace and write it to disk.
+* ``analyze``  — run the clustering pipeline over a trace file and
+  print the per-metric structure summary.
+* ``experiment`` — run one (or all) of the registered paper
+  experiments and print its rows/series.
+* ``validate`` — generate a trace and score the detector against the
+  planted ground truth.
+* ``report`` — write a one-shot markdown report of a workload's
+  problem structure.
+* ``remedies`` — suggest remedial actions for the detected critical
+  clusters and optionally evaluate them by re-generation.
+
+Examples::
+
+    repro-video-quality generate --workload tiny --seed 7 -o trace.npz
+    repro-video-quality analyze trace.npz
+    repro-video-quality experiment tab1 --workload small
+    repro-video-quality validate --workload tiny
+    repro-video-quality report --workload small -o report.md
+    repro-video-quality remedies --workload tiny --evaluate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.render import render_table
+from repro.core.pipeline import analyze_trace
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.io.binary import read_sessions_npz, write_sessions_npz
+from repro.io.traceio import (
+    read_sessions_csv,
+    read_sessions_jsonl,
+    write_sessions_csv,
+    write_sessions_jsonl,
+)
+from repro.trace.generator import generate_trace
+from repro.trace.workloads import StandardWorkloads
+
+WORKLOAD_NAMES = (
+    "tiny",
+    "tiny_with_region",
+    "small",
+    "week",
+    "two_weeks",
+    "mechanistic_tiny",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-video-quality",
+        description="Reproduction of 'Shedding Light on the Structure of "
+        "Internet Video Quality Problems in the Wild' (CoNEXT 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic session trace")
+    gen.add_argument("--workload", choices=WORKLOAD_NAMES, default="tiny")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("-o", "--output", required=True,
+                     help="output path (.jsonl, .csv or .npz)")
+
+    ana = sub.add_parser("analyze", help="analyze a trace file")
+    ana.add_argument("trace", help="trace path (.jsonl or .csv)")
+
+    exp = sub.add_parser("experiment", help="run a registered experiment")
+    exp.add_argument(
+        "experiment_id",
+        help=f"experiment id or 'all' (known: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    exp.add_argument("--workload", choices=WORKLOAD_NAMES, default="small")
+    exp.add_argument("--seed", type=int, default=42)
+
+    val = sub.add_parser("validate", help="score detector vs planted ground truth")
+    val.add_argument("--workload", choices=WORKLOAD_NAMES, default="tiny")
+    val.add_argument("--seed", type=int, default=42)
+
+    rep = sub.add_parser("report", help="write a full markdown analysis report")
+    rep.add_argument("--workload", choices=WORKLOAD_NAMES, default="small")
+    rep.add_argument("--seed", type=int, default=42)
+    rep.add_argument("-o", "--output", required=True, help="markdown path")
+
+    rem = sub.add_parser(
+        "remedies", help="suggest and evaluate remedies for a workload"
+    )
+    rem.add_argument("--workload", choices=WORKLOAD_NAMES, default="tiny")
+    rem.add_argument("--seed", type=int, default=42)
+    rem.add_argument("--evaluate", action="store_true",
+                     help="re-generate with remedies applied and compare")
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _read_trace(path: str):
+    if path.endswith(".jsonl"):
+        return read_sessions_jsonl(path)
+    if path.endswith(".csv"):
+        return read_sessions_csv(path)
+    if path.endswith(".npz"):
+        return read_sessions_npz(path)
+    raise SystemExit(
+        f"unsupported trace extension: {path} (use .jsonl, .csv or .npz)"
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
+    trace = generate_trace(spec)
+    if args.output.endswith(".jsonl"):
+        n = write_sessions_jsonl(trace.table, args.output)
+    elif args.output.endswith(".csv"):
+        n = write_sessions_csv(trace.table, args.output)
+    elif args.output.endswith(".npz"):
+        n = write_sessions_npz(trace.table, args.output)
+    else:
+        raise SystemExit("output must end in .jsonl, .csv or .npz")
+    print(
+        f"wrote {n} sessions ({spec.n_epochs} epochs, "
+        f"{len(trace.catalog)} planted events) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    table = _read_trace(args.trace)
+    analysis = analyze_trace(table)
+    rows = []
+    for name, ma in analysis.metrics.items():
+        rows.append(
+            [
+                name,
+                float(ma.problem_ratio_series.mean()),
+                ma.mean_problem_clusters,
+                ma.mean_critical_clusters,
+                ma.mean_critical_cluster_coverage,
+            ]
+        )
+    print(
+        render_table(
+            ["Metric", "Problem ratio", "Problem clusters", "Critical clusters",
+             "Critical coverage"],
+            rows,
+            title=f"Analysis of {args.trace} "
+            f"({len(table)} sessions, {analysis.grid.n_epochs} epochs)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext.generate(workload=args.workload, seed=args.seed)
+    ids = sorted(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        result = experiment.run(ctx)
+        print(f"== {experiment.paper_ref}: {experiment.title} ==")
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.runners import run_validation
+
+    ctx = ExperimentContext.generate(workload=args.workload, seed=args.seed)
+    print(run_validation(ctx).text)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+    from repro.core.pipeline import analyze_trace as _analyze
+
+    spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
+    trace = generate_trace(spec)
+    analysis = _analyze(trace.table, grid=trace.grid)
+    path = write_report(
+        args.output, trace.table, analysis, catalog=trace.catalog,
+        title=f"Problem-structure report — workload {args.workload}, "
+        f"seed {args.seed}",
+    )
+    print(f"wrote report to {path}")
+    return 0
+
+
+def _cmd_remedies(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import analyze_trace as _analyze
+    from repro.remedies import evaluate_remedies, suggest_remedies
+
+    spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
+    trace = generate_trace(spec)
+    analysis = _analyze(trace.table, grid=trace.grid)
+    suggestions = {}
+    for name, ma in analysis.metrics.items():
+        for s in suggest_remedies(trace.world, ma, top_k=4):
+            suggestions.setdefault(s.remedy.name, s)
+    if not suggestions:
+        print("no remedies suggested (no actionable critical clusters)")
+        return 0
+    print(render_table(
+        ["Remedy", "Triggered by", "Rationale"],
+        [[s.remedy.name, f"{s.metric} {s.cluster.label()}", s.rationale]
+         for s in suggestions.values()],
+        title="Suggested remedies",
+    ))
+    if args.evaluate:
+        evaluation = evaluate_remedies(
+            spec, [s.remedy for s in suggestions.values()], baseline=trace
+        )
+        print()
+        print(evaluation.render())
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [
+        [e.experiment_id, e.paper_ref, e.title, e.workload]
+        for e in EXPERIMENTS.values()
+    ]
+    print(render_table(["Id", "Paper ref", "Title", "Workload"], rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "validate": _cmd_validate,
+        "report": _cmd_report,
+        "remedies": _cmd_remedies,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

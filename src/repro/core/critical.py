@@ -1,0 +1,239 @@
+"""Critical-cluster identification — the phase-transition algorithm.
+
+Section 3.2 of the paper: a *critical cluster* is the minimal attribute
+combination that explains problem clusters. It is a cluster ``C`` such
+that
+
+* ``C`` is itself a problem cluster,
+* every **descendant** of ``C`` in the cluster DAG — every cluster that
+  refines ``C`` with more attributes — is a problem cluster, among the
+  statistically significant ones (clusters below the session floor are
+  culled from the universe per Section 3.1 and are vacuously fine), and
+* removing the sessions of ``C`` makes every **ancestor** of ``C``
+  cease to be a problem cluster (the paper's Figure 5: ``CDN1`` and
+  ``ASN1`` are only problem clusters because of ``CDN1, ASN1``).
+
+"Closest to the root along each root-to-leaf path" becomes minimality
+under set inclusion among a leaf's candidate projections; when a leaf
+has several minimal candidates (the paper's corner case with correlated
+attributes), its problem sessions are attributed in equal shares.
+
+The descendant condition is evaluated **cluster-globally**: a candidate
+``ASN1`` is disqualified if any significant ``(ASN1, CDN_k)`` sub-slice
+is healthy — that pattern means the real cause lives in a specific
+combination, not in the ASN. The implementation runs a bottom-up
+dynamic program over the per-mask cluster tables (one boolean per
+cluster, child tables folded onto parents with vectorised
+``logical_and.at``), so the cost stays near-linear in the number of
+distinct clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.aggregation import ClusterStats
+from repro.core.attributes import iter_submasks, popcount
+from repro.core.clusters import ClusterKey
+from repro.core.problems import ProblemClusters
+
+
+@dataclass
+class CriticalAttribution:
+    """What one critical cluster is held responsible for in an epoch.
+
+    ``attributed_problems``/``attributed_sessions`` are the problem and
+    total session counts of the leaf combinations attributed to this
+    critical cluster (fractional when a leaf splits between several
+    minimal candidates). ``own_stats`` are the critical cluster's own
+    counts — it is itself a problem cluster by construction.
+    """
+
+    attributed_problems: float
+    attributed_sessions: float
+    own_stats: ClusterStats
+
+
+class CriticalClusters:
+    """Critical clusters of one (epoch, metric) pair with attribution."""
+
+    __slots__ = ("problems", "clusters", "unattributed_problem_sessions")
+
+    def __init__(
+        self,
+        problems: ProblemClusters,
+        clusters: dict[tuple[int, int], CriticalAttribution],
+        unattributed_problem_sessions: float,
+    ) -> None:
+        self.problems = problems
+        self.clusters = clusters
+        self.unattributed_problem_sessions = unattributed_problem_sessions
+
+    @property
+    def agg(self):
+        return self.problems.agg
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def attributed_problem_sessions(self) -> float:
+        return float(
+            sum(c.attributed_problems for c in self.clusters.values())
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the epoch's problem sessions attributed to some
+        critical cluster (paper Table 1, "critical cluster coverage")."""
+        total = self.agg.total_problems
+        if total == 0:
+            return 0.0
+        return self.attributed_problem_sessions / total
+
+    def iter_clusters(
+        self,
+    ) -> Iterator[tuple[int, int, CriticalAttribution]]:
+        for (mask, packed), attribution in self.clusters.items():
+            yield mask, packed, attribution
+
+    def cluster_keys(self) -> list[ClusterKey]:
+        return [self.agg.decode(m, p) for (m, p) in self.clusters]
+
+    def decoded(self) -> dict[ClusterKey, CriticalAttribution]:
+        """Attribution keyed by stable, human-facing cluster identity."""
+        return {
+            self.agg.decode(m, p): attribution
+            for (m, p), attribution in self.clusters.items()
+        }
+
+
+def _descendants_ok(problems: ProblemClusters) -> dict[int, np.ndarray]:
+    """Per cluster: itself and every significant descendant is a
+    problem cluster (insignificant clusters are vacuously fine)."""
+    agg = problems.agg
+    codec = agg.codec
+    full = codec.full_mask
+    field_masks = codec.field_masks()
+    min_sessions = problems.min_sessions
+
+    desc_ok: dict[int, np.ndarray] = {}
+    for m in sorted(range(1, full + 1), key=popcount, reverse=True):
+        mask_agg = agg.per_mask[m]
+        own = problems.is_problem[m] | (mask_agg.sessions < min_sessions)
+        acc = own.copy()
+        for i in range(codec.n_attrs):
+            bit = 1 << i
+            child_mask = m | bit
+            if child_mask == m or child_mask > full:
+                continue
+            child_agg = agg.per_mask[child_mask]
+            proj = child_agg.keys & field_masks[m]
+            idx = np.searchsorted(mask_agg.keys, proj)
+            fold = np.ones(mask_agg.keys.size, dtype=bool)
+            np.logical_and.at(fold, idx, desc_ok[child_mask])
+            acc &= fold
+        desc_ok[m] = acc
+    return desc_ok
+
+
+def _removal_ok(
+    problems: ProblemClusters, needed: dict[int, np.ndarray]
+) -> dict[int, np.ndarray]:
+    """Ancestor-removal test for clusters flagged in ``needed``.
+
+    For each candidate cluster ``C`` and each problem-cluster ancestor
+    ``A`` of ``C``: after subtracting ``C``'s counts, ``A`` must no
+    longer satisfy the problem-cluster predicate.
+    """
+    agg = problems.agg
+    field_masks = agg.codec.field_masks()
+    out: dict[int, np.ndarray] = {}
+    for m, need in needed.items():
+        mask_agg = agg.per_mask[m]
+        ok = need.copy()
+        for a in iter_submasks(m):
+            if not ok.any():
+                break
+            anc_agg = agg.per_mask[a]
+            idx = np.searchsorted(anc_agg.keys, mask_agg.keys & field_masks[a])
+            rem_sessions = anc_agg.sessions[idx] - mask_agg.sessions
+            rem_problems = anc_agg.problems[idx] - mask_agg.problems
+            still_problem = problems.is_problem[a][idx] & problems.counts_are_problem(
+                rem_sessions, rem_problems
+            )
+            ok &= ~still_problem
+        out[m] = ok
+    return out
+
+
+def find_critical_clusters(problems: ProblemClusters) -> CriticalClusters:
+    """Run the phase-transition search over one epoch's problem clusters."""
+    agg = problems.agg
+    codec = agg.codec
+    full = codec.full_mask
+    n_masks = full + 1
+    leaf = agg.leaf
+    n_leaves = leaf.keys.size
+
+    if n_leaves == 0 or agg.total_problems == 0:
+        return CriticalClusters(problems, {}, 0.0)
+
+    # Cluster-level candidacy: problem cluster + all descendants fine.
+    desc_ok = _descendants_ok(problems)
+    pre: dict[int, np.ndarray] = {}
+    for m in range(1, n_masks):
+        flags = problems.is_problem[m] & desc_ok[m]
+        if flags.any():
+            pre[m] = flags
+    removal = _removal_ok(problems, pre)
+
+    candidate_at_leaf = np.zeros((n_leaves, n_masks), dtype=bool)
+    for m, flags in removal.items():
+        candidate_at_leaf[:, m] = flags[problems.leaf_proj_index[m]]
+
+    # Minimality under set inclusion ("closest to the root") per leaf.
+    minimal = candidate_at_leaf.copy()
+    for m in range(1, n_masks):
+        if not minimal[:, m].any():
+            continue
+        for a in iter_submasks(m):
+            minimal[:, m] &= ~candidate_at_leaf[:, a]
+            if not minimal[:, m].any():
+                break
+
+    # Attribute each leaf's problem sessions to its minimal candidates,
+    # splitting equally on ties.
+    n_min = minimal[:, 1:].sum(axis=1)
+    leaf_problems = leaf.problems.astype(np.float64)
+    leaf_sessions = leaf.sessions.astype(np.float64)
+    clusters: dict[tuple[int, int], CriticalAttribution] = {}
+    share = np.where(n_min > 0, 1.0 / np.maximum(n_min, 1), 0.0)
+
+    for m in range(1, n_masks):
+        rows = np.nonzero(minimal[:, m])[0]
+        if rows.size == 0:
+            continue
+        mask_agg = agg.per_mask[m]
+        idx = problems.leaf_proj_index[m][rows]
+        prob_acc = np.zeros(mask_agg.keys.size, dtype=np.float64)
+        sess_acc = np.zeros(mask_agg.keys.size, dtype=np.float64)
+        np.add.at(prob_acc, idx, leaf_problems[rows] * share[rows])
+        np.add.at(sess_acc, idx, leaf_sessions[rows] * share[rows])
+        for j in np.unique(idx):
+            key = (m, int(mask_agg.keys[j]))
+            clusters[key] = CriticalAttribution(
+                attributed_problems=float(prob_acc[j]),
+                attributed_sessions=float(sess_acc[j]),
+                own_stats=ClusterStats(
+                    int(mask_agg.sessions[j]), int(mask_agg.problems[j])
+                ),
+            )
+
+    attributed = float(leaf_problems[n_min > 0].sum())
+    unattributed = float(agg.total_problems) - attributed
+    return CriticalClusters(problems, clusters, unattributed)

@@ -1,0 +1,154 @@
+"""The four quality metrics and their problem-session thresholds.
+
+Section 2 of the paper defines the metrics and the thresholds used to
+mark a session as a *problem session*:
+
+* buffering ratio > 5% (sharp engagement drop beyond this point),
+* join time > 10 s (conservative upper bound on user tolerance),
+* average bitrate < 700 kbps (roughly the "360p" recommendation),
+* join failure — binary, no threshold.
+
+The thresholds are explicitly illustrative; they are configurable here
+(:class:`MetricThresholds`) and an ablation bench sweeps them.
+
+Each metric also defines *validity*: join time and bitrate are undefined
+for sessions that never joined, so those sessions are excluded from the
+corresponding per-metric population (the paper studies each metric
+independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.sessions import SessionTable
+
+
+@dataclass(frozen=True)
+class MetricThresholds:
+    """Problem-session thresholds (paper defaults)."""
+
+    buffering_ratio: float = 0.05
+    join_time_s: float = 10.0
+    bitrate_kbps: float = 700.0
+
+    def scaled(self, factor: float) -> "MetricThresholds":
+        """Thresholds scaled by ``factor`` (for sensitivity ablations).
+
+        Buffering-ratio and join-time thresholds scale up with the
+        factor (more tolerant when > 1); the bitrate threshold scales
+        the same way, meaning a *stricter* bitrate requirement — the
+        ablation asks how the structure shifts as all knobs move
+        together.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            buffering_ratio=self.buffering_ratio * factor,
+            join_time_s=self.join_time_s * factor,
+            bitrate_kbps=self.bitrate_kbps * factor,
+        )
+
+
+@dataclass(frozen=True)
+class QualityMetric:
+    """One quality metric: how to read it, and what counts as a problem.
+
+    ``values`` returns the per-session metric value (``nan`` where the
+    metric is undefined); ``valid_mask`` selects sessions the metric is
+    defined for; ``problem_mask`` flags problem sessions among the valid
+    ones (False where invalid).
+    """
+
+    name: str
+    paper_name: str
+    higher_is_worse: bool
+    _values: Callable[[SessionTable], np.ndarray]
+    _valid: Callable[[SessionTable], np.ndarray]
+    _problem: Callable[[SessionTable, MetricThresholds], np.ndarray]
+
+    def values(self, table: SessionTable) -> np.ndarray:
+        return self._values(table)
+
+    def valid_mask(self, table: SessionTable) -> np.ndarray:
+        return self._valid(table)
+
+    def problem_mask(
+        self, table: SessionTable, thresholds: MetricThresholds | None = None
+    ) -> np.ndarray:
+        thresholds = thresholds or MetricThresholds()
+        problems = self._problem(table, thresholds)
+        return problems & self._valid(table)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _all_valid(table: SessionTable) -> np.ndarray:
+    return np.ones(len(table), dtype=bool)
+
+
+def _joined_only(table: SessionTable) -> np.ndarray:
+    return ~table.join_failed
+
+
+BUFFERING_RATIO = QualityMetric(
+    name="buffering_ratio",
+    paper_name="BufRatio",
+    higher_is_worse=True,
+    _values=lambda t: np.where(~t.join_failed, t.buffering_ratio, np.nan),
+    _valid=_joined_only,
+    _problem=lambda t, th: t.buffering_ratio > th.buffering_ratio,
+)
+
+JOIN_TIME = QualityMetric(
+    name="join_time",
+    paper_name="JoinTime",
+    higher_is_worse=True,
+    _values=lambda t: t.join_time_s,
+    _valid=_joined_only,
+    _problem=lambda t, th: np.nan_to_num(t.join_time_s, nan=0.0) > th.join_time_s,
+)
+
+BITRATE = QualityMetric(
+    name="bitrate",
+    paper_name="Bitrate",
+    higher_is_worse=False,
+    _values=lambda t: t.bitrate_kbps,
+    _valid=_joined_only,
+    _problem=lambda t, th: np.nan_to_num(t.bitrate_kbps, nan=np.inf) < th.bitrate_kbps,
+)
+
+JOIN_FAILURE = QualityMetric(
+    name="join_failure",
+    paper_name="JoinFailure",
+    higher_is_worse=True,
+    _values=lambda t: t.join_failed.astype(np.float64),
+    _valid=_all_valid,
+    _problem=lambda t, th: t.join_failed.copy(),
+)
+
+#: The paper's four metrics, in its reporting order.
+ALL_METRICS: tuple[QualityMetric, ...] = (
+    BUFFERING_RATIO,
+    BITRATE,
+    JOIN_TIME,
+    JOIN_FAILURE,
+)
+
+_BY_NAME = {m.name: m for m in ALL_METRICS}
+_BY_NAME.update({m.paper_name: m for m in ALL_METRICS})
+
+
+def metric_by_name(name: str) -> QualityMetric:
+    """Look up a metric by library name or paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,215 @@
+"""Streaming critical-cluster monitoring.
+
+The paper's reactive strategy (Section 5.3) is an offline simulation:
+detect a critical cluster after its first hour, fix it for the rest of
+its streak. This module packages that loop as an *online* component —
+the piece a "coordinated video control plane" (the paper's reference
+[21]) would actually run:
+
+* feed :class:`OnlineDetector` one epoch of sessions at a time;
+* it runs the per-epoch pipeline (aggregate -> problem clusters ->
+  critical clusters) incrementally and maintains alert lifecycles:
+  an alert is **raised** when a cluster first turns critical,
+  **confirmed** once it has persisted for ``confirm_after`` consecutive
+  epochs (the paper's one-hour detection delay corresponds to
+  ``confirm_after=2``: seen, then still there an hour later), and
+  **cleared** when it stops being critical;
+* every confirmed epoch accrues the alert's *actionable alleviation* —
+  the problem sessions that acting on the alert would have saved,
+  matching the Section 5 accounting.
+
+Identities are decoded :class:`ClusterKey` values, so the detector does
+not require a shared vocabulary across epochs — slices from different
+collectors interoperate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.aggregation import aggregate_epoch
+from repro.core.clusters import ClusterKey
+from repro.core.critical import find_critical_clusters
+from repro.core.metrics import MetricThresholds, QualityMetric
+from repro.core.problems import ProblemClusterConfig, find_problem_clusters
+from repro.core.sessions import SessionTable
+
+
+@dataclass
+class ClusterAlert:
+    """Lifecycle of one critical cluster streak."""
+
+    key: ClusterKey
+    metric: str
+    raised_epoch: int
+    confirmed_epoch: int | None = None
+    cleared_epoch: int | None = None
+    consecutive_epochs: int = 0
+    total_active_epochs: int = 0
+    absent_epochs: int = 0
+    total_attributed_problems: float = 0.0
+    actionable_alleviation: float = 0.0
+
+    @property
+    def is_open(self) -> bool:
+        return self.cleared_epoch is None
+
+    @property
+    def is_confirmed(self) -> bool:
+        return self.confirmed_epoch is not None
+
+    @property
+    def duration_epochs(self) -> int:
+        """Epochs the cluster was actually critical over the alert."""
+        return self.total_active_epochs
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One lifecycle transition emitted by ``observe_epoch``."""
+
+    kind: Literal["raised", "confirmed", "cleared"]
+    epoch: int
+    alert: ClusterAlert
+
+
+@dataclass
+class EpochObservation:
+    """Summary of one observed epoch."""
+
+    epoch: int
+    total_sessions: int
+    total_problems: int
+    n_problem_clusters: int
+    n_critical_clusters: int
+    events: list[AlertEvent] = field(default_factory=list)
+
+
+class OnlineDetector:
+    """Incremental critical-cluster monitor for one quality metric."""
+
+    def __init__(
+        self,
+        metric: QualityMetric,
+        problem_config: ProblemClusterConfig | None = None,
+        thresholds: MetricThresholds | None = None,
+        confirm_after: int = 2,
+        clear_after: int = 1,
+    ) -> None:
+        """``clear_after`` adds hysteresis: an alert clears only after
+        its cluster has been absent for that many consecutive epochs.
+        Structural causes hover around the significance threshold and
+        would otherwise flap raise/clear every other hour."""
+        if confirm_after < 1:
+            raise ValueError("confirm_after must be >= 1")
+        if clear_after < 1:
+            raise ValueError("clear_after must be >= 1")
+        self.metric = metric
+        self.problem_config = problem_config or ProblemClusterConfig()
+        self.thresholds = thresholds or MetricThresholds()
+        self.confirm_after = confirm_after
+        self.clear_after = clear_after
+        self.epochs_observed = 0
+        self.open_alerts: dict[ClusterKey, ClusterAlert] = {}
+        self.closed_alerts: list[ClusterAlert] = []
+        self.history: list[EpochObservation] = []
+
+    def observe_epoch(
+        self, table: SessionTable, rows: np.ndarray | None = None
+    ) -> EpochObservation:
+        """Consume one epoch of sessions; returns the epoch summary
+        with any alert transitions."""
+        epoch = self.epochs_observed
+        if rows is None:
+            rows = np.arange(len(table))
+        agg = aggregate_epoch(
+            table, rows, self.metric, epoch=epoch, thresholds=self.thresholds
+        )
+        problems = find_problem_clusters(agg, self.problem_config)
+        critical = find_critical_clusters(problems)
+        decoded = critical.decoded()
+
+        observation = EpochObservation(
+            epoch=epoch,
+            total_sessions=agg.total_sessions,
+            total_problems=agg.total_problems,
+            n_problem_clusters=problems.n_clusters,
+            n_critical_clusters=critical.n_clusters,
+        )
+        global_ratio = agg.global_ratio
+
+        # Update or raise alerts for the clusters critical this epoch.
+        for key, attribution in decoded.items():
+            alert = self.open_alerts.get(key)
+            if alert is None:
+                alert = ClusterAlert(
+                    key=key, metric=self.metric.name, raised_epoch=epoch
+                )
+                self.open_alerts[key] = alert
+                observation.events.append(AlertEvent("raised", epoch, alert))
+            alert.consecutive_epochs += 1
+            alert.total_active_epochs += 1
+            alert.absent_epochs = 0
+            alert.total_attributed_problems += attribution.attributed_problems
+            if (
+                not alert.is_confirmed
+                and alert.consecutive_epochs >= self.confirm_after
+            ):
+                alert.confirmed_epoch = epoch
+                observation.events.append(AlertEvent("confirmed", epoch, alert))
+            if alert.is_confirmed:
+                # What acting on the (already confirmed) alert saves
+                # this epoch — the paper's Section 5 accounting.
+                baseline = global_ratio * attribution.attributed_sessions
+                alert.actionable_alleviation += max(
+                    attribution.attributed_problems - baseline, 0.0
+                )
+
+        # Clear alerts whose clusters have been absent long enough
+        # (hysteresis against threshold flapping).
+        for key in list(self.open_alerts):
+            if key in decoded:
+                continue
+            alert = self.open_alerts[key]
+            alert.absent_epochs += 1
+            alert.consecutive_epochs = 0
+            if alert.absent_epochs >= self.clear_after:
+                self.open_alerts.pop(key)
+                alert.cleared_epoch = epoch - alert.absent_epochs + 1
+                self.closed_alerts.append(alert)
+                observation.events.append(AlertEvent("cleared", epoch, alert))
+
+        self.epochs_observed += 1
+        self.history.append(observation)
+        return observation
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def all_alerts(self) -> list[ClusterAlert]:
+        return self.closed_alerts + list(self.open_alerts.values())
+
+    @property
+    def confirmed_alerts(self) -> list[ClusterAlert]:
+        return [a for a in self.all_alerts if a.is_confirmed]
+
+    @property
+    def total_actionable_alleviation(self) -> float:
+        """Problem sessions that acting on confirmed alerts would have
+        saved so far."""
+        return float(sum(a.actionable_alleviation for a in self.all_alerts))
+
+    def critical_keys_at(self, epoch: int) -> set[ClusterKey]:
+        """Critical identities observed at ``epoch`` (from lifecycles)."""
+        keys = set()
+        for alert in self.all_alerts:
+            end = (
+                alert.cleared_epoch
+                if alert.cleared_epoch is not None
+                else self.epochs_observed
+            )
+            if alert.raised_epoch <= epoch < end:
+                keys.add(alert.key)
+        return keys

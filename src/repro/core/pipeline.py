@@ -1,0 +1,277 @@
+"""End-to-end analysis pipeline: trace -> per-epoch, per-metric structure.
+
+``analyze_trace`` runs the paper's full methodology over a
+:class:`~repro.core.sessions.SessionTable`:
+
+1. split sessions into one-hour epochs (Section 3.1),
+2. per (epoch, metric): aggregate cluster counts, flag problem
+   clusters, run the critical-cluster phase-transition search,
+3. summarise each epoch compactly (decoded cluster identities with
+   stats/attribution) so week-scale traces stay memory-friendly.
+
+The result object exposes the per-metric timelines and series that all
+figures and tables of the evaluation are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import ClusterStats, KeyCodec, aggregate_epoch
+from repro.core.clusters import ClusterKey
+from repro.core.critical import CriticalAttribution, find_critical_clusters
+from repro.core.epoching import EpochGrid, split_into_epochs
+from repro.core.metrics import ALL_METRICS, MetricThresholds, QualityMetric
+from repro.core.problems import ProblemClusterConfig, find_problem_clusters
+from repro.core.sessions import SessionTable
+from repro.core.streaks import ClusterTimeline, build_timelines
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs for the full pipeline (paper defaults)."""
+
+    metrics: tuple[QualityMetric, ...] = ALL_METRICS
+    thresholds: MetricThresholds = field(default_factory=MetricThresholds)
+    problem_config: ProblemClusterConfig = field(default_factory=ProblemClusterConfig)
+    epoch_seconds: float = 3600.0
+
+
+@dataclass
+class EpochAnalysis:
+    """Compact summary of one (epoch, metric) analysis."""
+
+    epoch: int
+    total_sessions: int
+    total_problems: int
+    min_sessions: int
+    problem_cluster_coverage: float
+    problem_clusters: dict[ClusterKey, ClusterStats]
+    critical_clusters: dict[ClusterKey, CriticalAttribution]
+
+    @property
+    def global_ratio(self) -> float:
+        if self.total_sessions == 0:
+            return 0.0
+        return self.total_problems / self.total_sessions
+
+    @property
+    def n_problem_clusters(self) -> int:
+        return len(self.problem_clusters)
+
+    @property
+    def n_critical_clusters(self) -> int:
+        return len(self.critical_clusters)
+
+    @property
+    def attributed_problem_sessions(self) -> float:
+        return float(
+            sum(c.attributed_problems for c in self.critical_clusters.values())
+        )
+
+    @property
+    def critical_cluster_coverage(self) -> float:
+        """Fraction of problem sessions attributed to critical clusters."""
+        if self.total_problems == 0:
+            return 0.0
+        return self.attributed_problem_sessions / self.total_problems
+
+
+@dataclass
+class MetricAnalysis:
+    """All epochs of one metric, plus derived temporal structure."""
+
+    metric: QualityMetric
+    grid: EpochGrid
+    epochs: list[EpochAnalysis]
+
+    def __post_init__(self) -> None:
+        self._problem_timelines: dict[ClusterKey, ClusterTimeline] | None = None
+        self._critical_timelines: dict[ClusterKey, ClusterTimeline] | None = None
+
+    # -- per-epoch series ------------------------------------------------
+    def series(self, accessor: Callable[[EpochAnalysis], float]) -> np.ndarray:
+        return np.array([accessor(e) for e in self.epochs], dtype=np.float64)
+
+    @property
+    def problem_ratio_series(self) -> np.ndarray:
+        """Fraction of problem sessions per epoch (paper Figure 2)."""
+        return self.series(lambda e: e.global_ratio)
+
+    @property
+    def problem_cluster_counts(self) -> np.ndarray:
+        return self.series(lambda e: e.n_problem_clusters)
+
+    @property
+    def critical_cluster_counts(self) -> np.ndarray:
+        return self.series(lambda e: e.n_critical_clusters)
+
+    @property
+    def total_problem_sessions(self) -> int:
+        return int(sum(e.total_problems for e in self.epochs))
+
+    @property
+    def mean_problem_clusters(self) -> float:
+        counts = self.problem_cluster_counts
+        return float(counts.mean()) if counts.size else 0.0
+
+    @property
+    def mean_critical_clusters(self) -> float:
+        counts = self.critical_cluster_counts
+        return float(counts.mean()) if counts.size else 0.0
+
+    @property
+    def mean_problem_cluster_coverage(self) -> float:
+        vals = self.series(lambda e: e.problem_cluster_coverage)
+        return float(vals.mean()) if vals.size else 0.0
+
+    @property
+    def mean_critical_cluster_coverage(self) -> float:
+        vals = self.series(lambda e: e.critical_cluster_coverage)
+        return float(vals.mean()) if vals.size else 0.0
+
+    # -- temporal structure ----------------------------------------------
+    def problem_timelines(self) -> dict[ClusterKey, ClusterTimeline]:
+        if self._problem_timelines is None:
+            per_epoch = [set(e.problem_clusters) for e in self.epochs]
+            self._problem_timelines = build_timelines(
+                per_epoch, n_epochs=len(self.epochs)
+            )
+        return self._problem_timelines
+
+    def critical_timelines(self) -> dict[ClusterKey, ClusterTimeline]:
+        if self._critical_timelines is None:
+            per_epoch = [set(e.critical_clusters) for e in self.epochs]
+            self._critical_timelines = build_timelines(
+                per_epoch, n_epochs=len(self.epochs)
+            )
+        return self._critical_timelines
+
+    def critical_attribution_totals(self) -> dict[ClusterKey, float]:
+        """Total attributed problem sessions per critical identity.
+
+        This is the "coverage" ranking used by the what-if analyses
+        (Section 5.1): clusters that account for the most problem
+        sessions over the whole trace come first.
+        """
+        totals: dict[ClusterKey, float] = {}
+        for epoch in self.epochs:
+            for key, attribution in epoch.critical_clusters.items():
+                totals[key] = totals.get(key, 0.0) + attribution.attributed_problems
+        return totals
+
+
+@dataclass
+class TraceAnalysis:
+    """Full analysis of one trace across all configured metrics."""
+
+    grid: EpochGrid
+    config: AnalysisConfig
+    metrics: dict[str, MetricAnalysis]
+
+    def __getitem__(self, metric_name: str) -> MetricAnalysis:
+        return self.metrics[metric_name]
+
+    @property
+    def metric_names(self) -> list[str]:
+        return list(self.metrics)
+
+
+def analyze_epoch(
+    table: SessionTable,
+    rows: np.ndarray,
+    metric: QualityMetric,
+    epoch: int,
+    config: AnalysisConfig,
+    codec: KeyCodec | None = None,
+) -> EpochAnalysis:
+    """Run the full per-epoch methodology for one metric."""
+    agg = aggregate_epoch(
+        table,
+        rows,
+        metric,
+        epoch=epoch,
+        thresholds=config.thresholds,
+        codec=codec,
+    )
+    problems = find_problem_clusters(agg, config.problem_config)
+    critical = find_critical_clusters(problems)
+    problem_clusters = {
+        agg.decode(mask, packed): stats
+        for mask, packed, stats in problems.iter_clusters()
+    }
+    return EpochAnalysis(
+        epoch=epoch,
+        total_sessions=agg.total_sessions,
+        total_problems=agg.total_problems,
+        min_sessions=problems.min_sessions,
+        problem_cluster_coverage=problems.coverage,
+        problem_clusters=problem_clusters,
+        critical_clusters=critical.decoded(),
+    )
+
+
+def analyze_trace(
+    table: SessionTable,
+    config: AnalysisConfig | None = None,
+    grid: EpochGrid | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> TraceAnalysis:
+    """Analyse a whole trace for every configured metric.
+
+    ``progress`` (optional) is called with ``(done_epochs,
+    total_epochs)`` after each epoch completes, across all metrics.
+    """
+    config = config or AnalysisConfig()
+    if grid is None:
+        grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
+    grid, per_epoch_rows = split_into_epochs(table, grid)
+    codec = KeyCodec.from_table(table)
+
+    metric_analyses: dict[str, MetricAnalysis] = {}
+    total_units = grid.n_epochs * len(config.metrics)
+    done = 0
+    for metric in config.metrics:
+        epochs: list[EpochAnalysis] = []
+        for epoch, rows in enumerate(per_epoch_rows):
+            epochs.append(
+                analyze_epoch(table, rows, metric, epoch, config, codec=codec)
+            )
+            done += 1
+            if progress is not None:
+                progress(done, total_units)
+        metric_analyses[metric.name] = MetricAnalysis(
+            metric=metric, grid=grid, epochs=epochs
+        )
+    return TraceAnalysis(grid=grid, config=config, metrics=metric_analyses)
+
+
+def restrict_epochs(analysis: MetricAnalysis, epochs: Sequence[int]) -> MetricAnalysis:
+    """A view of a metric analysis over a subset of epoch indices.
+
+    Used by the proactive what-if simulation to form train/test splits
+    (paper Section 5.2). Epoch indices are renumbered 0..len-1 so
+    streak semantics remain contiguous within the subset.
+    """
+    chosen = [analysis.epochs[e] for e in epochs]
+    renumbered = [
+        EpochAnalysis(
+            epoch=i,
+            total_sessions=e.total_sessions,
+            total_problems=e.total_problems,
+            min_sessions=e.min_sessions,
+            problem_cluster_coverage=e.problem_cluster_coverage,
+            problem_clusters=e.problem_clusters,
+            critical_clusters=e.critical_clusters,
+        )
+        for i, e in enumerate(chosen)
+    ]
+    grid = EpochGrid(
+        origin=analysis.grid.origin,
+        epoch_seconds=analysis.grid.epoch_seconds,
+        n_epochs=len(renumbered),
+    )
+    return MetricAnalysis(metric=analysis.metric, grid=grid, epochs=renumbered)

@@ -1,0 +1,249 @@
+"""Problem-cluster identification (paper Section 3.1).
+
+A *problem cluster* in an epoch is a cluster whose problem ratio is at
+least ``1.5x`` the epoch's global problem ratio (roughly two standard
+deviations of the per-cluster ratio distribution, per the paper) and
+which contains at least ``min_sessions`` sessions (the paper uses 1000
+out of ~900k sessions/epoch; ``"auto"`` scales that proportion to the
+trace at hand).
+
+:class:`ProblemClusters` holds per-mask boolean flags aligned with the
+:class:`~repro.core.aggregation.EpochAggregate` arrays, plus the
+leaf-projection index matrix that the critical-cluster detector reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.aggregation import ClusterStats, EpochAggregate
+from repro.core.clusters import ClusterKey
+
+#: The paper's min cluster size (1000) as a fraction of its ~900k
+#: sessions per epoch — used by ``min_sessions="auto"``.
+PAPER_MIN_SESSION_FRACTION = 1000.0 / 900_000.0
+
+
+@dataclass(frozen=True)
+class ProblemClusterConfig:
+    """Thresholds for statistical significance of problem clusters.
+
+    The paper's two conditions — ratio >= 1.5x global and >= 1000
+    sessions — rely on its enormous per-epoch volume (expected ~100
+    problem sessions per borderline cluster). At synthetic scale the
+    same *relative* thresholds would admit clusters whose excess is one
+    or two problem sessions of pure noise, so two extra
+    significance guards are applied: a minimum absolute problem count
+    (``min_problems``) and a normal-approximation binomial test
+    (``significance_sigmas`` standard deviations above the expected
+    problem count under the global ratio). Both are no-ops at
+    paper scale.
+    """
+
+    ratio_multiplier: float = 1.5
+    min_sessions: int | str = "auto"
+    auto_fraction: float = PAPER_MIN_SESSION_FRACTION
+    auto_floor: int = 60
+    min_problems: int = 5
+    significance_sigmas: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ratio_multiplier <= 0:
+            raise ValueError("ratio_multiplier must be positive")
+        if self.min_problems < 1:
+            raise ValueError("min_problems must be >= 1")
+        if self.significance_sigmas < 0:
+            raise ValueError("significance_sigmas must be non-negative")
+        if isinstance(self.min_sessions, str):
+            if self.min_sessions != "auto":
+                raise ValueError(
+                    f"min_sessions must be an int or 'auto', got {self.min_sessions!r}"
+                )
+        elif self.min_sessions < 1:
+            raise ValueError("min_sessions must be >= 1")
+        if self.auto_fraction <= 0 or self.auto_fraction >= 1:
+            raise ValueError("auto_fraction must be in (0, 1)")
+        if self.auto_floor < 1:
+            raise ValueError("auto_floor must be >= 1")
+
+    def resolve_min_sessions(self, total_sessions: int) -> int:
+        """Concrete session floor for an epoch with ``total_sessions``."""
+        if isinstance(self.min_sessions, int):
+            return self.min_sessions
+        return max(self.auto_floor, int(round(self.auto_fraction * total_sessions)))
+
+
+class ProblemClusters:
+    """Problem-cluster flags for one (epoch, metric) aggregate."""
+
+    __slots__ = (
+        "agg",
+        "config",
+        "min_sessions",
+        "ratio_threshold",
+        "is_problem",
+        "leaf_proj_index",
+    )
+
+    def __init__(
+        self,
+        agg: EpochAggregate,
+        config: ProblemClusterConfig,
+        min_sessions: int,
+        ratio_threshold: float,
+        is_problem: dict[int, np.ndarray],
+        leaf_proj_index: dict[int, np.ndarray],
+    ) -> None:
+        self.agg = agg
+        self.config = config
+        self.min_sessions = min_sessions
+        self.ratio_threshold = ratio_threshold
+        self.is_problem = is_problem
+        self.leaf_proj_index = leaf_proj_index
+
+    @property
+    def n_clusters(self) -> int:
+        """Total number of problem clusters in the epoch."""
+        return int(sum(int(flags.sum()) for flags in self.is_problem.values()))
+
+    def counts_are_problem(
+        self, sessions: np.ndarray, problems: np.ndarray
+    ) -> np.ndarray:
+        """The problem-cluster predicate on raw count arrays.
+
+        Used by the critical-cluster ancestor-removal test, which must
+        re-evaluate clusters after subtracting a candidate's sessions
+        under exactly the same significance rules.
+        """
+        sessions = np.asarray(sessions)
+        problems = np.asarray(problems)
+        global_ratio = self.agg.global_ratio
+        expected = global_ratio * sessions
+        sigma = np.sqrt(
+            np.maximum(global_ratio * (1.0 - global_ratio) * sessions, 0.0)
+        )
+        return (
+            (sessions >= self.min_sessions)
+            & (problems >= self.config.min_problems)
+            & (problems >= self.ratio_threshold * sessions)
+            & (problems >= expected + self.config.significance_sigmas * sigma)
+        )
+
+    def iter_clusters(self) -> Iterator[tuple[int, int, ClusterStats]]:
+        """Yield ``(mask, packed_key, stats)`` for every problem cluster."""
+        for mask, flags in self.is_problem.items():
+            agg = self.agg.per_mask[mask]
+            for i in np.nonzero(flags)[0]:
+                yield (
+                    mask,
+                    int(agg.keys[i]),
+                    ClusterStats(int(agg.sessions[i]), int(agg.problems[i])),
+                )
+
+    def cluster_keys(self) -> list[ClusterKey]:
+        """Decoded identities of every problem cluster."""
+        return [
+            self.agg.decode(mask, packed)
+            for mask, packed, _ in self.iter_clusters()
+        ]
+
+    def contains(self, mask: int, packed: int) -> bool:
+        agg = self.agg.per_mask.get(mask)
+        if agg is None:
+            return False
+        idx = agg.index_of(packed)
+        return bool(idx >= 0 and self.is_problem[mask][idx])
+
+    def leaf_problem_matrix(self) -> np.ndarray:
+        """(n_leaves, n_masks+1) bool: leaf's projection is a problem cluster.
+
+        Column ``m`` (for non-empty masks) tells, for each distinct leaf
+        combination, whether its projection onto mask ``m`` is a problem
+        cluster. Column 0 (the root) is always False — the root's ratio
+        *is* the global ratio.
+        """
+        full = self.agg.codec.full_mask
+        n_leaves = len(self.agg.leaf)
+        matrix = np.zeros((n_leaves, full + 1), dtype=bool)
+        for m in range(1, full + 1):
+            idx = self.leaf_proj_index[m]
+            matrix[:, m] = self.is_problem[m][idx]
+        return matrix
+
+    @property
+    def covered_leaves(self) -> np.ndarray:
+        """Boolean per leaf: belongs to at least one problem cluster."""
+        full = self.agg.codec.full_mask
+        n_leaves = len(self.agg.leaf)
+        covered = np.zeros(n_leaves, dtype=bool)
+        for m in range(1, full + 1):
+            covered |= self.is_problem[m][self.leaf_proj_index[m]]
+        return covered
+
+    @property
+    def covered_problem_sessions(self) -> int:
+        """Problem sessions belonging to at least one problem cluster."""
+        return int(self.agg.leaf.problems[self.covered_leaves].sum())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the epoch's problem sessions in problem clusters."""
+        total = self.agg.total_problems
+        if total == 0:
+            return 0.0
+        return self.covered_problem_sessions / total
+
+
+def find_problem_clusters(
+    agg: EpochAggregate, config: ProblemClusterConfig | None = None
+) -> ProblemClusters:
+    """Flag the problem clusters of one epoch aggregate."""
+    config = config or ProblemClusterConfig()
+    min_sessions = config.resolve_min_sessions(agg.total_sessions)
+    ratio_threshold = config.ratio_multiplier * agg.global_ratio
+
+    is_problem: dict[int, np.ndarray] = {}
+    leaf_proj_index: dict[int, np.ndarray] = {}
+    field_masks = agg.codec.field_masks()
+    leaf_keys = agg.leaf.keys
+    full = agg.codec.full_mask
+
+    for m in range(1, full + 1):
+        mask_agg = agg.per_mask[m]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                mask_agg.sessions > 0, mask_agg.problems / mask_agg.sessions, 0.0
+            )
+        global_ratio = agg.global_ratio
+        expected = global_ratio * mask_agg.sessions
+        sigma = np.sqrt(
+            np.maximum(global_ratio * (1.0 - global_ratio) * mask_agg.sessions, 0.0)
+        )
+        flags = (
+            (mask_agg.sessions >= min_sessions)
+            & (mask_agg.problems >= config.min_problems)
+            & (ratio >= ratio_threshold)
+            & (
+                mask_agg.problems
+                >= expected + config.significance_sigmas * sigma
+            )
+        )
+        is_problem[m] = flags
+        if m == full:
+            leaf_proj_index[m] = np.arange(leaf_keys.size)
+        else:
+            proj = leaf_keys & field_masks[m]
+            idx = np.searchsorted(mask_agg.keys, proj)
+            leaf_proj_index[m] = idx  # projections always exist by construction
+
+    return ProblemClusters(
+        agg=agg,
+        config=config,
+        min_sessions=min_sessions,
+        ratio_threshold=ratio_threshold,
+        is_problem=is_problem,
+        leaf_proj_index=leaf_proj_index,
+    )

@@ -1,0 +1,20 @@
+"""Experiment registry: one runner per table/figure of the paper."""
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runners import ExperimentResult
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+]

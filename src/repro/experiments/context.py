@@ -1,0 +1,63 @@
+"""Shared experiment context: one generated trace + its full analysis.
+
+Every figure/table runner consumes an :class:`ExperimentContext`. The
+standard contexts are cached per (workload, seed) so the benchmark
+harness pays for generation and pipeline analysis once and each bench
+times only its own computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.pipeline import (
+    AnalysisConfig,
+    MetricAnalysis,
+    TraceAnalysis,
+    analyze_trace,
+    restrict_epochs,
+)
+from repro.trace.generator import GeneratedTrace, generate_trace
+from repro.trace.workloads import StandardWorkloads
+
+
+@dataclass
+class ExperimentContext:
+    """A trace, its ground truth, and the full pipeline analysis."""
+
+    trace: GeneratedTrace
+    analysis: TraceAnalysis
+
+    @classmethod
+    def generate(
+        cls,
+        workload: str = "week",
+        seed: int = 42,
+        config: AnalysisConfig | None = None,
+    ) -> "ExperimentContext":
+        trace = generate_trace(StandardWorkloads.by_name(workload, seed=seed))
+        analysis = analyze_trace(trace.table, config=config, grid=trace.grid)
+        return cls(trace=trace, analysis=analysis)
+
+    @property
+    def n_epochs(self) -> int:
+        return self.analysis.grid.n_epochs
+
+    def metric(self, name: str) -> MetricAnalysis:
+        return self.analysis[name]
+
+    def split(self, name: str, train_epochs: range, test_epochs: range
+              ) -> tuple[MetricAnalysis, MetricAnalysis]:
+        """Train/test epoch split of one metric's analysis."""
+        ma = self.analysis[name]
+        return (
+            restrict_epochs(ma, list(train_epochs)),
+            restrict_epochs(ma, list(test_epochs)),
+        )
+
+
+@lru_cache(maxsize=4)
+def default_context(workload: str = "week", seed: int = 42) -> ExperimentContext:
+    """Cached standard context (shared across benches in one process)."""
+    return ExperimentContext.generate(workload=workload, seed=seed)

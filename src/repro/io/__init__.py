@@ -1,0 +1,21 @@
+"""Trace and result persistence (CSV / JSONL)."""
+
+from repro.io.traceio import (
+    read_sessions_csv,
+    read_sessions_jsonl,
+    write_sessions_csv,
+    write_sessions_jsonl,
+)
+from repro.io.binary import read_sessions_npz, write_sessions_npz
+from repro.io.results import write_series_csv, write_table_csv
+
+__all__ = [
+    "read_sessions_csv",
+    "read_sessions_jsonl",
+    "write_sessions_csv",
+    "write_sessions_jsonl",
+    "read_sessions_npz",
+    "write_sessions_npz",
+    "write_series_csv",
+    "write_table_csv",
+]

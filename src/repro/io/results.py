@@ -1,0 +1,39 @@
+"""CSV export of experiment outputs (tables and figure series)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def write_table_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Write a table (e.g. Table 1 rows) as CSV."""
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(row)
+
+
+def write_series_csv(
+    path: str | Path,
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+) -> None:
+    """Write one or more aligned series (a figure's data) as CSV."""
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, *series.keys()])
+        for i, xv in enumerate(x):
+            writer.writerow([xv, *(series[name][i] for name in series)])

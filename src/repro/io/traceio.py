@@ -1,0 +1,137 @@
+"""Session-trace persistence.
+
+Two row-oriented formats:
+
+* CSV — one header row, one session per line; interoperable with
+  spreadsheet/pandas workflows.
+* JSONL — one JSON object per line; self-describing and append-safe.
+
+Both round-trip exactly through :class:`SessionTable` (attribute
+labels, metric values including NaN for failed joins, and timestamps).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.core.sessions import Session, SessionTable
+
+#: Metric column order in files.
+_METRIC_COLUMNS = (
+    "start_time",
+    "duration_s",
+    "buffering_s",
+    "join_time_s",
+    "bitrate_kbps",
+    "join_failed",
+)
+
+
+def _session_record(session: Session, schema: AttributeSchema) -> dict:
+    record = {name: session.attrs[name] for name in schema.names}
+    record.update(
+        start_time=session.start_time,
+        duration_s=session.duration_s,
+        buffering_s=session.buffering_s,
+        join_time_s=session.join_time_s,
+        bitrate_kbps=session.bitrate_kbps,
+        join_failed=session.join_failed,
+    )
+    return record
+
+
+def _record_session(record: dict, schema: AttributeSchema) -> Session:
+    missing = [n for n in schema.names if n not in record]
+    if missing:
+        raise ValueError(f"record missing attributes {missing}")
+    return Session(
+        attrs={name: str(record[name]) for name in schema.names},
+        start_time=float(record["start_time"]),
+        duration_s=float(record["duration_s"]),
+        buffering_s=float(record["buffering_s"]),
+        join_time_s=float(record["join_time_s"]),
+        bitrate_kbps=float(record["bitrate_kbps"]),
+        join_failed=_parse_bool(record["join_failed"]),
+    )
+
+
+def _parse_bool(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("true", "1", "yes"):
+        return True
+    if text in ("false", "0", "no"):
+        return False
+    raise ValueError(f"cannot parse boolean from {value!r}")
+
+
+def write_sessions_jsonl(table: SessionTable, path: str | Path) -> int:
+    """Write a table as JSONL; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for session in table.rows():
+            record = _session_record(session, table.schema)
+            # JSON has no NaN; encode as null and restore on read.
+            for key in ("join_time_s", "bitrate_kbps"):
+                if isinstance(record[key], float) and math.isnan(record[key]):
+                    record[key] = None
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_sessions_jsonl(
+    path: str | Path, schema: AttributeSchema = DEFAULT_SCHEMA
+) -> SessionTable:
+    """Read a JSONL trace back into a table."""
+
+    def records() -> Iterator[Session]:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{path}:{line_no}: invalid JSON") from exc
+                for key in ("join_time_s", "bitrate_kbps"):
+                    if record.get(key) is None:
+                        record[key] = float("nan")
+                yield _record_session(record, schema)
+
+    return SessionTable.from_sessions(records(), schema=schema)
+
+
+def write_sessions_csv(table: SessionTable, path: str | Path) -> int:
+    """Write a table as CSV; returns the number of rows written."""
+    path = Path(path)
+    fieldnames = list(table.schema.names) + list(_METRIC_COLUMNS)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for session in table.rows():
+            writer.writerow(_session_record(session, table.schema))
+            count += 1
+    return count
+
+
+def read_sessions_csv(
+    path: str | Path, schema: AttributeSchema = DEFAULT_SCHEMA
+) -> SessionTable:
+    """Read a CSV trace back into a table."""
+
+    def records() -> Iterable[Session]:
+        with Path(path).open("r", encoding="utf-8", newline="") as handle:
+            for record in csv.DictReader(handle):
+                yield _record_session(record, schema)
+
+    return SessionTable.from_sessions(records(), schema=schema)

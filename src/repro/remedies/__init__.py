@@ -1,0 +1,45 @@
+"""Automated remediation — closing the loop the paper leaves open.
+
+Section 6 of the paper: *"A more comprehensive solution will involve an
+automated system that identifies the bottleneck as well as provides
+remedial actions."* This package is that system, made possible by the
+generative substrate:
+
+* :mod:`repro.remedies.actions` — concrete remedies with a causal
+  model: contracting extra CDNs for a single-CDN site, adding bitrate
+  rungs to a single-bitrate site, upgrading a CDN, peering with an ISP.
+  Each remedy transforms the world and/or attenuates the planted
+  events it addresses.
+* :mod:`repro.remedies.suggest` — maps detected critical clusters to
+  candidate remedies using the paper's Table 3 playbook (single-CDN
+  site with join failures -> multi-CDN; single-bitrate site with
+  buffering -> finer ladder; ...).
+* :mod:`repro.remedies.evaluate` — *generator-level* what-if: re-run
+  the trace with the remedy applied (same seeds) and measure the
+  problem-ratio change per metric, rather than the accounting-level
+  reduction of Section 5.
+"""
+
+from repro.remedies.actions import (
+    Remedy,
+    add_bitrate_rungs,
+    attenuated_effects,
+    contract_additional_cdns,
+    peer_with_isp,
+    upgrade_cdn,
+)
+from repro.remedies.evaluate import RemedyEvaluation, evaluate_remedies
+from repro.remedies.suggest import SuggestedRemedy, suggest_remedies
+
+__all__ = [
+    "Remedy",
+    "add_bitrate_rungs",
+    "attenuated_effects",
+    "contract_additional_cdns",
+    "peer_with_isp",
+    "upgrade_cdn",
+    "RemedyEvaluation",
+    "evaluate_remedies",
+    "SuggestedRemedy",
+    "suggest_remedies",
+]

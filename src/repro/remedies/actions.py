@@ -1,0 +1,225 @@
+"""Concrete remedial actions and their causal model.
+
+A :class:`Remedy` bundles two transformations applied before
+re-generating a trace:
+
+* a **world transform** — the structural change (a site's CDN policy
+  gains entries, its ladder gains rungs, ...);
+* an **event attenuation** — planted ground-truth events whose cause
+  the remedy addresses lose a fraction of their effect.
+
+The attenuation model: removing fraction ``a`` of a pathology moves
+each multiplicative effect toward neutral in log space
+(``factor^(1-a)``) and relaxes absolute bitrate caps proportionally
+(``cap / (1-a)``, unbounded at ``a = 1``). ``a`` reflects how much of
+the affected traffic the remedy actually reroutes/serves better — e.g.
+contracting CDNs that will carry 60% of a site's sessions attenuates
+that site's delivery-side events by 0.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.trace.entities import SiteProfile, World
+from repro.trace.events import EventEffects, GroundTruthEvent
+
+#: Effect fields attenuated in log space (multiplicative, neutral 1.0).
+_FACTOR_FIELDS = (
+    "bandwidth_factor",
+    "buffering_factor",
+    "join_time_factor",
+    "join_failure_odds",
+)
+
+
+def attenuated_effects(effects: EventEffects, fraction: float) -> EventEffects:
+    """Remove ``fraction`` of an event's pathology (0 = no-op, 1 = cured)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("attenuation fraction must be in [0, 1]")
+    if fraction == 0.0:
+        return effects
+    keep = 1.0 - fraction
+    kwargs = {
+        name: getattr(effects, name) ** keep for name in _FACTOR_FIELDS
+    }
+    cap = effects.bitrate_cap_kbps
+    if cap != float("inf"):
+        kwargs["bitrate_cap_kbps"] = float("inf") if keep <= 1e-9 else cap / keep
+    return EventEffects(**kwargs)
+
+
+@dataclass(frozen=True)
+class Remedy:
+    """One remedial action with its causal footprint."""
+
+    name: str
+    description: str
+    #: Structural change to the world (None = events-only remedy).
+    world_transform: Callable[[World], World] | None
+    #: Fraction of each event's pathology removed (0 to skip).
+    event_attenuation: Callable[[GroundTruthEvent], float]
+
+    def apply_world(self, world: World) -> World:
+        if self.world_transform is None:
+            return world
+        return self.world_transform(world)
+
+    def apply_event(self, event: GroundTruthEvent) -> GroundTruthEvent:
+        fraction = self.event_attenuation(event)
+        if fraction <= 0.0:
+            return event
+        return replace(event, effects=attenuated_effects(event.effects, fraction))
+
+
+def _replace_site(world: World, site_index: int, new_site: SiteProfile) -> World:
+    sites = list(world.sites)
+    sites[site_index] = new_site
+    return World(
+        config=world.config, asns=world.asns, cdns=world.cdns, sites=sites
+    )
+
+
+def _constrains(event: GroundTruthEvent, attribute: str, value: str) -> bool:
+    return (attribute, value) in event.constraints
+
+
+def contract_additional_cdns(
+    world: World,
+    site_name: str,
+    new_cdn_names: Sequence[str],
+    traffic_share: float = 0.6,
+) -> Remedy:
+    """Multi-CDN contracting for a site (paper: low-priority sites on a
+    single shared CDN "could have potentially benefited from using
+    multiple CDNs").
+
+    ``traffic_share`` of the site's sessions move to the new CDNs;
+    delivery-side events pinned to the site (join failures/join times)
+    attenuate by that share.
+    """
+    if not new_cdn_names:
+        raise ValueError("need at least one new CDN")
+    if not 0 < traffic_share < 1:
+        raise ValueError("traffic_share must be in (0, 1)")
+    site_index = world.site_index(site_name)
+    new_indices = tuple(world.cdn_index(name) for name in new_cdn_names)
+    site = world.sites[site_index]
+    overlap = set(new_indices) & set(site.cdn_indices)
+    if overlap:
+        raise ValueError(
+            f"site already uses CDN indices {sorted(overlap)}"
+        )
+
+    def transform(w: World) -> World:
+        old = w.sites[site_index]
+        old_weights = tuple(
+            weight * (1.0 - traffic_share) for weight in old.cdn_weights
+        )
+        added = tuple(traffic_share / len(new_indices) for _ in new_indices)
+        return _replace_site(
+            w,
+            site_index,
+            replace(
+                old,
+                cdn_indices=old.cdn_indices + new_indices,
+                cdn_weights=old_weights + added,
+            ),
+        )
+
+    def attenuation(event: GroundTruthEvent) -> float:
+        if not _constrains(event, "site", site_name):
+            return 0.0
+        if event.primary_metric in ("join_failure", "join_time"):
+            return traffic_share
+        return 0.0
+
+    return Remedy(
+        name=f"multi-cdn:{site_name}",
+        description=(
+            f"contract {', '.join(new_cdn_names)} for {site_name} "
+            f"({traffic_share:.0%} of traffic shifted)"
+        ),
+        world_transform=transform,
+        event_attenuation=attenuation,
+    )
+
+
+def add_bitrate_rungs(
+    world: World, site_name: str, new_ladder: Sequence[float]
+) -> Remedy:
+    """Offer a finer-grained ladder (paper: "simple solutions such as
+    offering a more fine-grained selection of bitrates").
+
+    Fully cures single-bitrate structural buffering events on the site
+    (the pathology *is* the missing rungs) and lifts bitrate caps by
+    the same logic.
+    """
+    site_index = world.site_index(site_name)
+    ladder = tuple(sorted(float(b) for b in new_ladder))
+    if len(ladder) <= len(world.sites[site_index].ladder):
+        raise ValueError("new ladder must add rungs")
+
+    def transform(w: World) -> World:
+        return _replace_site(
+            w, site_index, replace(w.sites[site_index], ladder=ladder)
+        )
+
+    def attenuation(event: GroundTruthEvent) -> float:
+        if not _constrains(event, "site", site_name):
+            return 0.0
+        if event.primary_metric in ("buffering_ratio", "bitrate"):
+            return 1.0
+        return 0.0
+
+    return Remedy(
+        name=f"ladder:{site_name}",
+        description=f"expand {site_name} ladder to {len(ladder)} rungs",
+        world_transform=transform,
+        event_attenuation=attenuation,
+    )
+
+
+def upgrade_cdn(world: World, cdn_name: str, fraction: float = 0.8) -> Remedy:
+    """Provision/upgrade a CDN (paper: infrastructure upgrades).
+
+    Attenuates every event pinned to the CDN by ``fraction`` — an
+    upgraded edge fixes most, not necessarily all, of its pathology.
+    """
+    world.cdn_index(cdn_name)  # validate
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+
+    def attenuation(event: GroundTruthEvent) -> float:
+        if _constrains(event, "cdn", cdn_name):
+            return fraction
+        return 0.0
+
+    return Remedy(
+        name=f"upgrade:{cdn_name}",
+        description=f"upgrade {cdn_name} capacity/priority ({fraction:.0%} cure)",
+        world_transform=None,
+        event_attenuation=attenuation,
+    )
+
+
+def peer_with_isp(world: World, asn_name: str, fraction: float = 0.7) -> Remedy:
+    """Local peering / regional CDN contract for an ISP's users
+    (paper: "problems associated with non-US users may be alleviated by
+    contracting with local CDN operators")."""
+    world.asn_index(asn_name)  # validate
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+
+    def attenuation(event: GroundTruthEvent) -> float:
+        if _constrains(event, "asn", asn_name):
+            return fraction
+        return 0.0
+
+    return Remedy(
+        name=f"peering:{asn_name}",
+        description=f"local peering for {asn_name} ({fraction:.0%} cure)",
+        world_transform=None,
+        event_attenuation=attenuation,
+    )

@@ -1,0 +1,149 @@
+"""Remedy suggestion from detected critical clusters.
+
+The paper's Table 3 pairs each prevalent critical-cluster pattern with
+a plausible fix ("could have potentially benefited from using multiple
+CDNs", "offering a more fine-grained selection of bitrates",
+"contracting with local CDN operators"). This module encodes that
+playbook: given a metric analysis and the world, it maps the
+top-coverage critical clusters to concrete :class:`Remedy` objects
+with a human-readable rationale.
+
+Rules (attribute type x metric):
+
+* ``site`` + join failure/join time, site uses a single CDN ->
+  contract additional CDNs;
+* ``site`` + buffering/bitrate, site has a coarse ladder ->
+  add bitrate rungs;
+* ``cdn`` + anything -> upgrade the CDN;
+* ``asn`` (or a region) + anything -> local peering for the ISP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.whatif import rank_critical_clusters
+from repro.core.clusters import ClusterKey
+from repro.core.pipeline import MetricAnalysis
+from repro.remedies.actions import (
+    Remedy,
+    add_bitrate_rungs,
+    contract_additional_cdns,
+    peer_with_isp,
+    upgrade_cdn,
+)
+from repro.trace.entities import World
+
+#: Default ladder offered to sites with too few rungs.
+FINE_LADDER = (400.0, 800.0, 1_600.0, 3_000.0, 5_000.0)
+
+
+@dataclass
+class SuggestedRemedy:
+    """A remedy plus the detection that motivated it."""
+
+    remedy: Remedy
+    cluster: ClusterKey
+    metric: str
+    rationale: str
+
+
+def _cdn_candidates(world: World, site_index: int, n: int = 2) -> list[str]:
+    """Healthy global CDNs the site does not already use."""
+    used = set(world.sites[site_index].cdn_indices)
+    candidates = [
+        (c.failure_prob, c.name)
+        for i, c in enumerate(world.cdns)
+        if i not in used and c.kind in ("global", "datacenter")
+    ]
+    candidates.sort()
+    return [name for _, name in candidates[:n]]
+
+
+def _suggest_for_cluster(
+    world: World, key: ClusterKey, metric: str
+) -> SuggestedRemedy | None:
+    if key.depth != 1:
+        return None
+    attribute = key.attributes[0]
+    value = key.value_of(attribute)
+
+    if attribute == "site":
+        try:
+            site_index = world.site_index(value)
+        except KeyError:
+            return None
+        site = world.sites[site_index]
+        if metric in ("join_failure", "join_time") and len(site.cdn_indices) <= 2:
+            new_cdns = _cdn_candidates(world, site_index)
+            if not new_cdns:
+                return None
+            return SuggestedRemedy(
+                remedy=contract_additional_cdns(world, value, new_cdns),
+                cluster=key,
+                metric=metric,
+                rationale=(
+                    f"{value} shows {metric} problems and uses only "
+                    f"{len(site.cdn_indices)} CDN(s): multi-home it"
+                ),
+            )
+        if metric in ("buffering_ratio", "bitrate") and len(site.ladder) < 4:
+            ladder = tuple(sorted(set(FINE_LADDER) | set(site.ladder)))
+            return SuggestedRemedy(
+                remedy=add_bitrate_rungs(world, value, ladder),
+                cluster=key,
+                metric=metric,
+                rationale=(
+                    f"{value} shows {metric} problems with a "
+                    f"{len(site.ladder)}-rung ladder: offer finer bitrates"
+                ),
+            )
+        return None
+
+    if attribute == "cdn":
+        try:
+            world.cdn_index(value)
+        except KeyError:
+            return None
+        return SuggestedRemedy(
+            remedy=upgrade_cdn(world, value),
+            cluster=key,
+            metric=metric,
+            rationale=f"{value} is itself a critical cluster for {metric}: "
+            "upgrade or re-prioritise it",
+        )
+
+    if attribute == "asn":
+        try:
+            world.asn_index(value)
+        except KeyError:
+            return None
+        return SuggestedRemedy(
+            remedy=peer_with_isp(world, value),
+            cluster=key,
+            metric=metric,
+            rationale=f"{value}'s users suffer {metric} problems: "
+            "contract local CDN capacity / peering",
+        )
+
+    # Connection types and combinations have no single-principal fix.
+    return None
+
+
+def suggest_remedies(
+    world: World,
+    ma: MetricAnalysis,
+    top_k: int = 5,
+) -> list[SuggestedRemedy]:
+    """Suggestions for one metric's top-coverage critical clusters."""
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    suggestions: list[SuggestedRemedy] = []
+    seen: set[str] = set()
+    for key in rank_critical_clusters(ma, by="coverage")[:top_k]:
+        suggestion = _suggest_for_cluster(world, key, ma.metric.name)
+        if suggestion is None or suggestion.remedy.name in seen:
+            continue
+        seen.add(suggestion.remedy.name)
+        suggestions.append(suggestion)
+    return suggestions

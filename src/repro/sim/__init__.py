@@ -1,0 +1,56 @@
+"""Chunk-level player/CDN simulation substrate.
+
+A mechanistic alternative to the statistical QoE engine: each session
+is simulated segment by segment — a Markov-modulated bandwidth
+process, an ABR algorithm choosing ladder rungs, a player buffer that
+drains in real time and stalls when empty, and a CDN server with RTT,
+capacity and failure behaviour. The same four quality metrics fall out
+of the playback dynamics instead of being sampled from distributions.
+
+The paper's metrics map to simulation outcomes as:
+
+* join time — time from request to the startup buffer filling,
+* buffering ratio — total stall time / session duration,
+* average bitrate — time-weighted average of the rungs played,
+* join failure — the CDN request failing before first byte.
+"""
+
+from repro.sim.bandwidth import BandwidthSample, MarkovBandwidth
+from repro.sim.segments import Segment, VideoManifest
+from repro.sim.abr import (
+    ABRAlgorithm,
+    BufferBasedABR,
+    FixedBitrateABR,
+    RateBasedABR,
+)
+from repro.sim.playerbuffer import PlayerBuffer
+from repro.sim.cdn import CDNServer, SiteCDNSelector
+from repro.sim.playback import PlaybackResult, simulate_session
+from repro.sim.failover import (
+    FailoverComparison,
+    FailoverResult,
+    compare_single_vs_multi_cdn,
+    simulate_session_with_failover,
+)
+from repro.sim.engine import MechanisticQoEEngine
+
+__all__ = [
+    "BandwidthSample",
+    "MarkovBandwidth",
+    "Segment",
+    "VideoManifest",
+    "ABRAlgorithm",
+    "BufferBasedABR",
+    "FixedBitrateABR",
+    "RateBasedABR",
+    "PlayerBuffer",
+    "CDNServer",
+    "SiteCDNSelector",
+    "PlaybackResult",
+    "simulate_session",
+    "FailoverComparison",
+    "FailoverResult",
+    "compare_single_vs_multi_cdn",
+    "simulate_session_with_failover",
+    "MechanisticQoEEngine",
+]

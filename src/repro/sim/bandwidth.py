@@ -1,0 +1,86 @@
+"""Markov-modulated bandwidth process.
+
+Access-link throughput over a session is modelled as a three-state
+Markov chain (good / degraded / bad multipliers on the session's mean
+rate) sampled once per segment download, with lognormal within-state
+jitter. This captures the burstiness that makes ABR hard (the paper's
+Section 7 cites rate-adaptation instability work) without simulating
+packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default state multipliers: nominal, halved, heavily degraded.
+DEFAULT_STATE_FACTORS: tuple[float, ...] = (1.0, 0.5, 0.15)
+
+#: Default state-transition matrix (rows sum to 1): sticky good state,
+#: occasional dips, rare deep fades.
+DEFAULT_TRANSITIONS: tuple[tuple[float, ...], ...] = (
+    (0.92, 0.06, 0.02),
+    (0.30, 0.60, 0.10),
+    (0.15, 0.25, 0.60),
+)
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One draw of the process: rate in kbps and the hidden state."""
+
+    rate_kbps: float
+    state: int
+
+
+class MarkovBandwidth:
+    """Stateful per-segment bandwidth process for one session."""
+
+    def __init__(
+        self,
+        mean_kbps: float,
+        rng: np.random.Generator,
+        state_factors: tuple[float, ...] = DEFAULT_STATE_FACTORS,
+        transitions: tuple[tuple[float, ...], ...] = DEFAULT_TRANSITIONS,
+        jitter_sigma: float = 0.25,
+        initial_state: int | None = None,
+    ) -> None:
+        if mean_kbps <= 0:
+            raise ValueError("mean_kbps must be positive")
+        matrix = np.asarray(transitions, dtype=np.float64)
+        if matrix.shape != (len(state_factors), len(state_factors)):
+            raise ValueError("transition matrix shape mismatch")
+        if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition rows must sum to 1")
+        if np.any(matrix < 0):
+            raise ValueError("transition probabilities must be non-negative")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        self.mean_kbps = mean_kbps
+        self.state_factors = tuple(state_factors)
+        self.transitions = matrix
+        self.jitter_sigma = jitter_sigma
+        self._rng = rng
+        self.state = (
+            int(initial_state)
+            if initial_state is not None
+            else int(rng.integers(0, len(state_factors)))
+        )
+        if not 0 <= self.state < len(state_factors):
+            raise ValueError(f"initial_state {self.state} out of range")
+
+    def step(self) -> BandwidthSample:
+        """Advance one segment and sample the rate for its download."""
+        self.state = int(
+            self._rng.choice(len(self.state_factors), p=self.transitions[self.state])
+        )
+        jitter = float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+        rate = self.mean_kbps * self.state_factors[self.state] * jitter
+        return BandwidthSample(rate_kbps=max(rate, 1.0), state=self.state)
+
+    def sample_series(self, n: int) -> list[BandwidthSample]:
+        """Sample ``n`` consecutive steps (convenience for tests)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self.step() for _ in range(n)]

@@ -1,0 +1,175 @@
+"""Mechanistic QoE engine: the player simulation behind the
+``QoEEngine`` interface.
+
+Implements the same contract as
+:class:`repro.trace.qoe.StatisticalQoEEngine` but derives every metric
+from chunk-level playback dynamics (:mod:`repro.sim.playback`). It is
+orders of magnitude slower (a Python loop per session), so it backs
+the ``mechanistic_*`` workloads used by tests, the engine-agreement
+ablation, and examples rather than the week-scale benches.
+
+Event-effect mapping (documented in DESIGN.md):
+
+* ``bandwidth_factor`` scales the session's mean link rate (organic:
+  affects ABR choices, stalls and join time alike);
+* ``join_failure_odds`` scales the CDN join-failure odds;
+* ``join_time_factor`` scales the CDN RTT and adds fixed startup
+  overhead (remote player-module loads);
+* ``buffering_factor`` adds uniform extra stall time proportional to
+  playback (a stand-in for pathologies the chunk model does not
+  represent, e.g. mid-path congestion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.abr import FixedBitrateABR, RateBasedABR
+from repro.sim.bandwidth import MarkovBandwidth
+from repro.sim.cdn import CDNServer
+from repro.sim.playback import simulate_session
+from repro.sim.segments import VideoManifest
+from repro.trace.entities import CONNECTION_BANDWIDTH_KBPS, CONNECTION_TYPES, World
+from repro.trace.qoe import EffectArrays, QoEBatch
+
+
+@dataclass(frozen=True)
+class MechanisticParams:
+    """Knobs of the mechanistic engine."""
+
+    vod_video_s: float = 300.0
+    live_video_s: float = 1200.0
+    watch_median_s: float = 240.0
+    watch_sigma: float = 0.8
+    segment_s: float = 4.0
+    startup_buffer_s: float = 4.0
+    join_overhead_per_factor_s: float = 0.8
+    max_join_time_s: float = 60.0
+
+
+class MechanisticQoEEngine:
+    """Chunk-level implementation of the ``QoEEngine`` protocol."""
+
+    def __init__(self, world: World, params: MechanisticParams | None = None) -> None:
+        self.world = world
+        self.params = params or MechanisticParams()
+        self._conn_base = np.array(
+            [CONNECTION_BANDWIDTH_KBPS[c] for c in CONNECTION_TYPES]
+        )
+        self._asn_quality = np.array([a.quality for a in world.asns])
+        self._asn_region = world.region_of_asn
+        self._cdn_quality = np.array([c.throughput_quality for c in world.cdns])
+        self._cdn_coverage = np.array([c.region_coverage for c in world.cdns])
+        self._manifests = {
+            (site_idx, live): VideoManifest(
+                ladder_kbps=world.sites[site_idx].ladder,
+                segment_duration_s=self.params.segment_s,
+                total_duration_s=(
+                    self.params.live_video_s if live else self.params.vod_video_s
+                ),
+            )
+            for site_idx in range(len(world.sites))
+            for live in (False, True)
+        }
+
+    def generate(
+        self,
+        codes: np.ndarray,
+        effects: EffectArrays,
+        rng: np.random.Generator,
+    ) -> QoEBatch:
+        n = codes.shape[0]
+        params = self.params
+        duration = np.empty(n)
+        buffering = np.empty(n)
+        join_time = np.empty(n)
+        bitrate = np.empty(n)
+        failed = np.empty(n, dtype=bool)
+
+        region = self._asn_region[codes[:, 0]]
+        coverage = self._cdn_coverage[codes[:, 1], region]
+        mean_bw = (
+            self._conn_base[codes[:, 6]]
+            * self._asn_quality[codes[:, 0]]
+            * self._cdn_quality[codes[:, 1]]
+            * coverage
+            * effects.bandwidth_factor
+        )
+        watch = np.exp(
+            rng.normal(np.log(params.watch_median_s), params.watch_sigma, size=n)
+        )
+
+        for i in range(n):
+            site_idx = int(codes[i, 2])
+            live = bool(codes[i, 3])
+            manifest = self._manifests[(site_idx, live)]
+            cap = effects.bitrate_cap_kbps[i]
+            if np.isfinite(cap):
+                # Throttled session: only rungs under the absolute cap
+                # are offered (at least the lowest rung).
+                allowed = tuple(
+                    b for b in manifest.ladder_kbps if b <= cap
+                ) or (float(cap),)
+                manifest = VideoManifest(
+                    ladder_kbps=allowed,
+                    segment_duration_s=manifest.segment_duration_s,
+                    total_duration_s=manifest.total_duration_s,
+                )
+            cdn_profile = self.world.cdns[int(codes[i, 1])]
+            jt_factor = effects.join_time_factor[i]
+            server = CDNServer(
+                name=cdn_profile.name,
+                rtt_s=(cdn_profile.base_rtt_ms / 1000.0)
+                * jt_factor
+                / max(coverage[i], 0.2),
+                failure_prob=max(cdn_profile.failure_prob, 1e-4),
+                throughput_cap_kbps=1e9,
+            )
+            abr = (
+                FixedBitrateABR(rung=0)
+                if manifest.n_rungs == 1
+                else RateBasedABR()
+            )
+            bandwidth = MarkovBandwidth(
+                mean_kbps=float(mean_bw[i]), rng=rng, initial_state=0
+            )
+            result = simulate_session(
+                manifest=manifest,
+                abr=abr,
+                bandwidth=bandwidth,
+                server=server,
+                rng=rng,
+                watch_duration_s=float(watch[i]),
+                startup_buffer_s=params.startup_buffer_s,
+                failure_odds=float(effects.join_failure_odds[i]),
+                join_overhead_s=params.join_overhead_per_factor_s
+                * max(jt_factor - 1.0, 0.0),
+                max_join_time_s=params.max_join_time_s,
+            )
+            if result.failed:
+                failed[i] = True
+                duration[i] = 0.0
+                buffering[i] = 0.0
+                join_time[i] = np.nan
+                bitrate[i] = np.nan
+                continue
+            failed[i] = False
+            extra = 0.02 * max(effects.buffering_factor[i] - 1.0, 0.0)
+            stall = min(
+                result.buffering_s + extra * result.played_s,
+                max(result.played_s * 0.85, result.buffering_s),
+            )
+            duration[i] = result.played_s + stall
+            buffering[i] = stall
+            join_time[i] = result.join_time_s
+            bitrate[i] = result.avg_bitrate_kbps
+
+        return QoEBatch(
+            duration_s=duration,
+            buffering_s=buffering,
+            join_time_s=join_time,
+            bitrate_kbps=bitrate,
+            join_failed=failed,
+        )

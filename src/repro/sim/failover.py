@@ -1,0 +1,248 @@
+"""Mid-stream CDN failover — the multi-CDN remedy at chunk level.
+
+The paper argues single-CDN "low priority" sites "could have
+potentially benefited from using multiple CDNs" and cites multi-CDN
+optimisation work. This module provides the mechanism: a session that
+holds a list of candidate servers, retries its join on the next server
+when one fails, and switches servers mid-stream when the current one
+stalls playback beyond a tolerance. The shoot-out function quantifies
+the benefit on identical network conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.abr import ABRAlgorithm
+from repro.sim.bandwidth import MarkovBandwidth
+from repro.sim.cdn import CDNServer
+from repro.sim.playerbuffer import PlayerBuffer
+from repro.sim.segments import VideoManifest
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one multi-CDN session."""
+
+    failed: bool
+    join_time_s: float
+    played_s: float
+    buffering_s: float
+    avg_bitrate_kbps: float
+    join_attempts: int = 1
+    midstream_switches: int = 0
+    servers_used: list[str] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.played_s + self.buffering_s
+
+    @property
+    def buffering_ratio(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.buffering_s / self.duration_s
+
+
+def simulate_session_with_failover(
+    manifest: VideoManifest,
+    abr: ABRAlgorithm,
+    bandwidth: MarkovBandwidth,
+    servers: Sequence[CDNServer],
+    rng: np.random.Generator,
+    watch_duration_s: float | None = None,
+    startup_buffer_s: float = 4.0,
+    buffer_capacity_s: float = 60.0,
+    failure_odds: float = 1.0,
+    stall_tolerance_s: float = 4.0,
+    switch_penalty_s: float = 0.5,
+    max_join_time_s: float = 120.0,
+) -> FailoverResult:
+    """One session over an ordered server list.
+
+    Join: servers are tried in order; the session only fails if *every*
+    server rejects it. Playback: when cumulative stall time on the
+    current server exceeds ``stall_tolerance_s``, the player pays
+    ``switch_penalty_s`` (a stall) and moves to the next server
+    (wrapping), resetting the stall budget.
+    """
+    if not servers:
+        raise ValueError("need at least one server")
+    if stall_tolerance_s <= 0 or switch_penalty_s < 0:
+        raise ValueError("invalid failover parameters")
+
+    # Join with failover.
+    join_attempts = 0
+    server_index = None
+    for i, server in enumerate(servers):
+        join_attempts += 1
+        if not server.join_fails(rng, odds_multiplier=failure_odds):
+            server_index = i
+            break
+    if server_index is None:
+        return FailoverResult(
+            failed=True, join_time_s=float("nan"), played_s=0.0,
+            buffering_s=0.0, avg_bitrate_kbps=float("nan"),
+            join_attempts=join_attempts,
+        )
+
+    buffer = PlayerBuffer(capacity_s=buffer_capacity_s)
+    wall_clock = 0.0
+    join_time = None
+    watched_wall_s = 0.0
+    played = 0.0
+    switches = 0
+    stall_on_server = 0.0
+    servers_used = [servers[server_index].name]
+    rung_playtime: dict[int, float] = {}
+    last_rung: int | None = None
+    limit = watch_duration_s if watch_duration_s is not None else float("inf")
+
+    for index in range(manifest.n_segments):
+        server = servers[server_index]
+        sample = bandwidth.step()
+        throughput = server.effective_throughput(sample.rate_kbps)
+        rung = abr.choose(manifest, throughput, buffer.level_s)
+        last_rung = rung
+        segment = manifest.segment(index, rung)
+        dl_time = segment.download_time(throughput, rtt_s=server.rtt_s)
+        abr.observe(segment.size_kbits / max(dl_time, 1e-9))
+
+        if join_time is None:
+            wall_clock += dl_time
+            buffer.add(segment.duration_s)
+            if buffer.level_s >= startup_buffer_s or index == manifest.n_segments - 1:
+                join_time = wall_clock
+                buffer.start_playback()
+                if join_time > max_join_time_s:
+                    return FailoverResult(
+                        failed=True, join_time_s=float("nan"), played_s=0.0,
+                        buffering_s=0.0, avg_bitrate_kbps=float("nan"),
+                        join_attempts=join_attempts,
+                        midstream_switches=switches,
+                        servers_used=servers_used,
+                    )
+            continue
+
+        before = buffer.level_s
+        stall = buffer.drain(dl_time)
+        played += min(dl_time - stall, before)
+        buffer.add(segment.duration_s)
+        watched_wall_s += dl_time
+        rung_playtime[rung] = rung_playtime.get(rung, 0.0) + segment.duration_s
+        stall_on_server += stall
+
+        if stall_on_server > stall_tolerance_s and len(servers) > 1:
+            server_index = (server_index + 1) % len(servers)
+            switches += 1
+            stall_on_server = 0.0
+            buffer.total_stall_s += switch_penalty_s
+            if servers[server_index].name not in servers_used:
+                servers_used.append(servers[server_index].name)
+
+        if watched_wall_s >= limit:
+            break
+
+    if join_time is None:  # pragma: no cover - loop structure guards this
+        join_time = wall_clock
+        buffer.start_playback()
+
+    remaining_wall = max(limit - watched_wall_s, 0.0)
+    played += min(buffer.level_s, remaining_wall) if np.isfinite(limit) else buffer.level_s
+
+    total_rung_time = sum(rung_playtime.values())
+    if total_rung_time > 0:
+        avg_bitrate = (
+            sum(manifest.ladder_kbps[r] * t for r, t in rung_playtime.items())
+            / total_rung_time
+        )
+    else:
+        avg_bitrate = manifest.ladder_kbps[last_rung if last_rung is not None else 0]
+
+    return FailoverResult(
+        failed=False,
+        join_time_s=join_time,
+        played_s=played,
+        buffering_s=buffer.total_stall_s,
+        avg_bitrate_kbps=avg_bitrate,
+        join_attempts=join_attempts,
+        midstream_switches=switches,
+        servers_used=servers_used,
+    )
+
+
+@dataclass
+class FailoverComparison:
+    """Aggregate single-CDN vs multi-CDN outcomes."""
+
+    n_sessions: int
+    single_failure_rate: float
+    multi_failure_rate: float
+    single_mean_buffering_ratio: float
+    multi_mean_buffering_ratio: float
+    mean_switches: float
+
+    @property
+    def failure_reduction(self) -> float:
+        if self.single_failure_rate == 0:
+            return 0.0
+        return 1.0 - self.multi_failure_rate / self.single_failure_rate
+
+
+def compare_single_vs_multi_cdn(
+    manifest: VideoManifest,
+    make_abr,
+    servers: Sequence[CDNServer],
+    mean_bandwidth_kbps: float,
+    n_sessions: int = 200,
+    seed: int = 0,
+    failure_odds: float = 1.0,
+    watch_duration_s: float = 180.0,
+) -> FailoverComparison:
+    """Shoot-out: first server only vs full failover list."""
+    if len(servers) < 2:
+        raise ValueError("need at least two servers to compare")
+    single_fail = 0
+    multi_fail = 0
+    single_buf: list[float] = []
+    multi_buf: list[float] = []
+    switches = 0
+
+    for mode in ("single", "multi"):
+        rng = np.random.default_rng(seed)
+        candidate = servers[:1] if mode == "single" else servers
+        for _ in range(n_sessions):
+            result = simulate_session_with_failover(
+                manifest=manifest,
+                abr=make_abr(),
+                bandwidth=MarkovBandwidth(
+                    mean_bandwidth_kbps, np.random.default_rng(rng.integers(2**31))
+                ),
+                servers=candidate,
+                rng=rng,
+                watch_duration_s=watch_duration_s,
+                failure_odds=failure_odds,
+            )
+            if mode == "single":
+                if result.failed:
+                    single_fail += 1
+                else:
+                    single_buf.append(result.buffering_ratio)
+            else:
+                if result.failed:
+                    multi_fail += 1
+                else:
+                    multi_buf.append(result.buffering_ratio)
+                    switches += result.midstream_switches
+
+    return FailoverComparison(
+        n_sessions=n_sessions,
+        single_failure_rate=single_fail / n_sessions,
+        multi_failure_rate=multi_fail / n_sessions,
+        single_mean_buffering_ratio=float(np.mean(single_buf)) if single_buf else 0.0,
+        multi_mean_buffering_ratio=float(np.mean(multi_buf)) if multi_buf else 0.0,
+        mean_switches=switches / max(n_sessions - multi_fail, 1),
+    )

@@ -1,0 +1,71 @@
+"""Player buffer dynamics.
+
+The buffer holds downloaded-but-unplayed media (seconds of content).
+While a segment downloads the buffer drains in real time; when it hits
+zero mid-stream the player stalls (rebuffering) until the download
+completes. Startup follows the same dynamics but counts toward join
+time instead of buffering (the paper measures the two separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PlayerBuffer:
+    """Seconds-of-content buffer with stall accounting."""
+
+    capacity_s: float = 60.0
+    level_s: float = 0.0
+    playing: bool = False
+    total_stall_s: float = field(default=0.0, init=False)
+    stall_events: int = field(default=0, init=False)
+    _in_stall: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_s <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= self.level_s <= self.capacity_s:
+            raise ValueError("initial level out of range")
+
+    @property
+    def is_full(self) -> bool:
+        return self.level_s >= self.capacity_s - 1e-9
+
+    def headroom_s(self) -> float:
+        return max(self.capacity_s - self.level_s, 0.0)
+
+    def add(self, seconds: float) -> None:
+        """Add downloaded content (clamped to capacity)."""
+        if seconds < 0:
+            raise ValueError("cannot add negative content")
+        self.level_s = min(self.level_s + seconds, self.capacity_s)
+        if self.playing and self.level_s > 0:
+            self._in_stall = False
+
+    def drain(self, wall_seconds: float) -> float:
+        """Advance playback by ``wall_seconds``; returns stall seconds.
+
+        While playing, the buffer drains one content-second per
+        wall-second; any shortfall is a stall. When not playing (still
+        joining) nothing drains.
+        """
+        if wall_seconds < 0:
+            raise ValueError("cannot drain negative time")
+        if not self.playing:
+            return 0.0
+        if self.level_s >= wall_seconds:
+            self.level_s -= wall_seconds
+            return 0.0
+        stall = wall_seconds - self.level_s
+        self.level_s = 0.0
+        self.total_stall_s += stall
+        if not self._in_stall:
+            self.stall_events += 1
+            self._in_stall = True
+        return stall
+
+    def start_playback(self) -> None:
+        self.playing = True
+        self._in_stall = False

@@ -1,0 +1,88 @@
+"""Video manifests and segments for the chunk-level simulation.
+
+HTTP adaptive streaming (the delivery style behind the paper's
+dataset) serves video as fixed-duration segments encoded at each rung
+of a bitrate ladder; the player fetches one segment at a time at the
+rung its ABR algorithm picks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One media segment at a chosen rung."""
+
+    index: int
+    duration_s: float
+    bitrate_kbps: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("segment index must be non-negative")
+        if self.duration_s <= 0 or self.bitrate_kbps <= 0:
+            raise ValueError("duration and bitrate must be positive")
+
+    @property
+    def size_kbits(self) -> float:
+        """Payload size in kilobits."""
+        return self.duration_s * self.bitrate_kbps
+
+    def download_time(self, throughput_kbps: float, rtt_s: float = 0.0) -> float:
+        """Seconds to fetch at ``throughput_kbps`` plus one RTT."""
+        if throughput_kbps <= 0:
+            raise ValueError("throughput must be positive")
+        return rtt_s + self.size_kbits / throughput_kbps
+
+
+@dataclass(frozen=True)
+class VideoManifest:
+    """A video: its ladder and segmentation."""
+
+    ladder_kbps: tuple[float, ...]
+    segment_duration_s: float = 4.0
+    total_duration_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.ladder_kbps:
+            raise ValueError("ladder must have at least one rung")
+        if list(self.ladder_kbps) != sorted(self.ladder_kbps):
+            raise ValueError("ladder must be ascending")
+        if any(b <= 0 for b in self.ladder_kbps):
+            raise ValueError("bitrates must be positive")
+        if self.segment_duration_s <= 0 or self.total_duration_s <= 0:
+            raise ValueError("durations must be positive")
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments (last one may be short; we count it)."""
+        full, rem = divmod(self.total_duration_s, self.segment_duration_s)
+        return int(full) + (1 if rem > 1e-9 else 0)
+
+    @property
+    def n_rungs(self) -> int:
+        return len(self.ladder_kbps)
+
+    def segment(self, index: int, rung: int) -> Segment:
+        """The ``index``-th segment encoded at ladder rung ``rung``."""
+        if not 0 <= rung < self.n_rungs:
+            raise ValueError(f"rung {rung} out of range 0..{self.n_rungs - 1}")
+        if not 0 <= index < self.n_segments:
+            raise ValueError(f"segment {index} out of range 0..{self.n_segments - 1}")
+        start = index * self.segment_duration_s
+        duration = min(self.segment_duration_s, self.total_duration_s - start)
+        return Segment(
+            index=index, duration_s=duration, bitrate_kbps=self.ladder_kbps[rung]
+        )
+
+    def rung_below(self, rate_kbps: float) -> int:
+        """Highest rung with bitrate <= ``rate_kbps`` (lowest if none)."""
+        rung = 0
+        for i, bitrate in enumerate(self.ladder_kbps):
+            if bitrate <= rate_kbps:
+                rung = i
+            else:
+                break
+        return rung

@@ -1,0 +1,70 @@
+"""Synthetic session-trace substrate.
+
+Substitute for the paper's proprietary Conviva telemetry: a seeded,
+structured generator of video sessions with the same seven attributes
+and four quality metrics, plus a planted ground-truth event catalogue
+that the analysis pipeline can be validated against (see DESIGN.md,
+Section 2).
+"""
+
+from repro.trace.arrivals import ArrivalModel
+from repro.trace.entities import (
+    ASNProfile,
+    BROWSERS,
+    CDNProfile,
+    CONNECTION_TYPES,
+    CONTENT_TYPES,
+    PLAYER_TYPES,
+    REGIONS,
+    SiteProfile,
+    World,
+    WorldConfig,
+    build_world,
+)
+from repro.trace.events import (
+    EventCatalog,
+    EventConfig,
+    EventEffects,
+    GroundTruthEvent,
+    generate_catalog,
+)
+from repro.trace.generator import GeneratedTrace, generate_trace
+from repro.trace.population import AttributeSampler
+from repro.trace.qoe import (
+    EffectArrays,
+    QoEBatch,
+    QoEEngine,
+    QoEModelParams,
+    StatisticalQoEEngine,
+)
+from repro.trace.workloads import StandardWorkloads, WorkloadSpec
+
+__all__ = [
+    "ArrivalModel",
+    "ASNProfile",
+    "BROWSERS",
+    "CDNProfile",
+    "CONNECTION_TYPES",
+    "CONTENT_TYPES",
+    "PLAYER_TYPES",
+    "REGIONS",
+    "SiteProfile",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "EventCatalog",
+    "EventConfig",
+    "EventEffects",
+    "GroundTruthEvent",
+    "generate_catalog",
+    "GeneratedTrace",
+    "generate_trace",
+    "AttributeSampler",
+    "EffectArrays",
+    "QoEBatch",
+    "QoEEngine",
+    "QoEModelParams",
+    "StatisticalQoEEngine",
+    "StandardWorkloads",
+    "WorkloadSpec",
+]

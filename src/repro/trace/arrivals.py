@@ -1,0 +1,58 @@
+"""Diurnal session-arrival model.
+
+The paper's Figure 2 shows hourly problem ratios over a week; session
+*volume* in real telemetry follows a strong diurnal cycle with a
+weekend lift. This model produces per-epoch session counts:
+
+``n(e) = base * diurnal(hour) * weekly(day) * lognormal noise``
+
+with a sinusoidal diurnal profile peaking in the evening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrivalModel:
+    """Per-epoch session volume process."""
+
+    base_sessions_per_epoch: int = 2500
+    diurnal_amplitude: float = 0.35
+    peak_hour: float = 20.0
+    weekend_factor: float = 1.15
+    noise_sigma: float = 0.05
+    min_sessions: int = 50
+
+    def __post_init__(self) -> None:
+        if self.base_sessions_per_epoch < 1:
+            raise ValueError("base_sessions_per_epoch must be >= 1")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.weekend_factor <= 0:
+            raise ValueError("weekend_factor must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+    def expected(self, epochs: np.ndarray) -> np.ndarray:
+        """Deterministic expected volume per epoch index (hours)."""
+        epochs = np.asarray(epochs, dtype=np.float64)
+        hour = epochs % 24
+        day = (epochs // 24) % 7
+        diurnal = 1.0 + self.diurnal_amplitude * np.cos(
+            2.0 * np.pi * (hour - self.peak_hour) / 24.0
+        )
+        weekly = np.where(day >= 5, self.weekend_factor, 1.0)
+        return self.base_sessions_per_epoch * diurnal * weekly
+
+    def sample(self, n_epochs: int, rng: np.random.Generator) -> np.ndarray:
+        """Sampled session counts for epochs ``0..n_epochs-1``."""
+        expected = self.expected(np.arange(n_epochs))
+        noise = np.exp(rng.normal(0.0, self.noise_sigma, size=n_epochs))
+        counts = np.maximum(
+            np.round(expected * noise).astype(np.int64), self.min_sessions
+        )
+        return counts

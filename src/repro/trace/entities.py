@@ -1,0 +1,347 @@
+"""Entity model of the synthetic video-delivery ecosystem.
+
+The paper's dataset spans 379 content providers, 19 CDNs, ~15K ASNs,
+multiple player/browser platforms and connection types across 213
+countries. This module builds a scaled-down but structurally similar
+*world*: profiles for ASNs (with region and access mix), CDNs (global
+third-party vs in-house vs ISP-run) and Sites (bitrate ladders, CDN
+policies, genres), plus the fixed vocabularies for the remaining
+attributes.
+
+Profiles carry the latent quality parameters the QoE engine consumes
+(base RTT, failure probability, per-region coverage quality, ...).
+Everything is derived deterministically from a seeded
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: Viewer regions with approximate dataset shares (paper Section 2:
+#: ~55% US, ~12% EU, ~8% CN; the rest spread out).
+REGIONS: tuple[str, ...] = ("us", "eu", "cn", "apac", "sa", "other")
+REGION_WEIGHTS: tuple[float, ...] = (0.55, 0.12, 0.08, 0.10, 0.08, 0.07)
+
+#: Connection types (paper attribute 7; annotations from Quova in the
+#: original study).
+CONNECTION_TYPES: tuple[str, ...] = (
+    "dsl",
+    "cable",
+    "fiber",
+    "mobile_wireless",
+    "fixed_wireless",
+)
+
+#: Player types seen in the dataset (paper attribute 5).
+PLAYER_TYPES: tuple[str, ...] = ("flash", "silverlight", "html5")
+
+#: Browsers (paper attribute 6).
+BROWSERS: tuple[str, ...] = ("chrome", "firefox", "msie", "safari")
+
+#: VoD-or-Live indicator (paper attribute 4).
+CONTENT_TYPES: tuple[str, ...] = ("vod", "live")
+
+#: Baseline downstream capacity per connection type, kbps.
+CONNECTION_BANDWIDTH_KBPS: dict[str, float] = {
+    "dsl": 6_000.0,
+    "cable": 14_000.0,
+    "fiber": 30_000.0,
+    "mobile_wireless": 2_800.0,
+    "fixed_wireless": 4_500.0,
+}
+
+#: Common bitrate ladders (kbps). Single-rung ladders model the
+#: paper's "single bitrate" sites (Table 3).
+BITRATE_LADDERS: tuple[tuple[float, ...], ...] = (
+    (400.0, 800.0, 1_600.0, 3_000.0, 5_000.0),
+    (400.0, 1_000.0, 2_500.0),
+    (600.0, 1_200.0, 2_000.0, 4_000.0, 8_000.0),
+    (300.0, 700.0, 1_500.0),
+)
+
+#: Ladder used by "single bitrate" sites.
+SINGLE_BITRATE_LADDER: tuple[float, ...] = (1_200.0,)
+
+#: Ladder used by "high bitrates only" sites (join-time anecdote in
+#: Table 3: high-bitrate sites suffer long join times).
+HIGH_BITRATE_LADDER: tuple[float, ...] = (3_000.0, 5_000.0, 8_000.0)
+
+
+@dataclass(frozen=True)
+class ASNProfile:
+    """An autonomous system: the client-side network attribute."""
+
+    name: str
+    region: str
+    wireless: bool
+    quality: float  # multiplicative bandwidth factor, ~1.0 is nominal
+    access_mix: tuple[float, ...]  # distribution over CONNECTION_TYPES
+    weight: float  # popularity weight for sampling
+
+    def __post_init__(self) -> None:
+        if self.region not in REGIONS:
+            raise ValueError(f"unknown region {self.region!r}")
+        if len(self.access_mix) != len(CONNECTION_TYPES):
+            raise ValueError("access_mix must cover all connection types")
+        total = float(sum(self.access_mix))
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"access_mix sums to {total}, expected 1")
+        if self.quality <= 0 or self.weight <= 0:
+            raise ValueError("quality and weight must be positive")
+
+
+@dataclass(frozen=True)
+class CDNProfile:
+    """A content delivery network: third-party, in-house, or ISP-run."""
+
+    name: str
+    kind: str  # "global" | "in_house" | "isp" | "datacenter"
+    base_rtt_ms: float
+    failure_prob: float
+    throughput_quality: float  # multiplicative bandwidth factor
+    region_coverage: tuple[float, ...]  # per-REGIONS quality in (0, 1]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("global", "in_house", "isp", "datacenter"):
+            raise ValueError(f"unknown CDN kind {self.kind!r}")
+        if len(self.region_coverage) != len(REGIONS):
+            raise ValueError("region_coverage must cover all regions")
+        if not 0 <= self.failure_prob < 1:
+            raise ValueError("failure_prob must be in [0, 1)")
+        if self.base_rtt_ms <= 0 or self.throughput_quality <= 0:
+            raise ValueError("rtt and throughput_quality must be positive")
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """A content provider ("Site" in the paper)."""
+
+    name: str
+    genre: str  # "premium" | "ugc" | "news" | "sports"
+    ladder: tuple[float, ...]  # ascending bitrates, kbps
+    cdn_indices: tuple[int, ...]  # CDNs this site uses
+    cdn_weights: tuple[float, ...]
+    live_fraction: float
+    player_mix: tuple[float, ...]  # distribution over PLAYER_TYPES
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must have at least one bitrate")
+        if list(self.ladder) != sorted(self.ladder):
+            raise ValueError("ladder must be ascending")
+        if len(self.cdn_indices) != len(self.cdn_weights) or not self.cdn_indices:
+            raise ValueError("cdn_indices/cdn_weights mismatch or empty")
+        if not 0 <= self.live_fraction <= 1:
+            raise ValueError("live_fraction must be in [0, 1]")
+        if len(self.player_mix) != len(PLAYER_TYPES):
+            raise ValueError("player_mix must cover all player types")
+
+    @property
+    def single_bitrate(self) -> bool:
+        return len(self.ladder) == 1
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Size and shape of the synthetic ecosystem."""
+
+    n_asns: int = 200
+    n_cdns: int = 12
+    n_sites: int = 60
+    zipf_exponent: float = 1.1
+    single_bitrate_site_fraction: float = 0.12
+    high_bitrate_site_fraction: float = 0.08
+    in_house_cdn_fraction: float = 0.35
+    wireless_asn_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if min(self.n_asns, self.n_cdns, self.n_sites) < 2:
+            raise ValueError("world needs at least 2 of each entity")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        for name in (
+            "single_bitrate_site_fraction",
+            "high_bitrate_site_fraction",
+            "in_house_cdn_fraction",
+            "wireless_asn_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+@dataclass
+class World:
+    """The concrete ecosystem a trace is generated from."""
+
+    config: WorldConfig
+    asns: list[ASNProfile]
+    cdns: list[CDNProfile]
+    sites: list[SiteProfile]
+    region_of_asn: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.region_of_asn = np.array(
+            [REGIONS.index(a.region) for a in self.asns], dtype=np.int32
+        )
+
+    # Vocabularies in the canonical schema order (asn, cdn, site,
+    # content_type, player, browser, connection_type).
+    def vocabularies(self) -> list[list[str]]:
+        return [
+            [a.name for a in self.asns],
+            [c.name for c in self.cdns],
+            [s.name for s in self.sites],
+            list(CONTENT_TYPES),
+            list(PLAYER_TYPES),
+            list(BROWSERS),
+            list(CONNECTION_TYPES),
+        ]
+
+    def asn_index(self, name: str) -> int:
+        return self._index([a.name for a in self.asns], name, "ASN")
+
+    def cdn_index(self, name: str) -> int:
+        return self._index([c.name for c in self.cdns], name, "CDN")
+
+    def site_index(self, name: str) -> int:
+        return self._index([s.name for s in self.sites], name, "site")
+
+    @staticmethod
+    def _index(labels: Sequence[str], name: str, what: str) -> int:
+        try:
+            return labels.index(name)
+        except ValueError:
+            raise KeyError(f"unknown {what} {name!r}") from None
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def _normalized(values: np.ndarray) -> tuple[float, ...]:
+    total = values.sum()
+    return tuple(float(v) for v in values / total)
+
+
+def build_world(config: WorldConfig, rng: np.random.Generator) -> World:
+    """Construct a world deterministically from ``rng``."""
+    asns = _build_asns(config, rng)
+    cdns = _build_cdns(config, rng)
+    sites = _build_sites(config, rng, n_cdns=len(cdns))
+    return World(config=config, asns=asns, cdns=cdns, sites=sites)
+
+
+def _build_asns(config: WorldConfig, rng: np.random.Generator) -> list[ASNProfile]:
+    weights = _zipf_weights(config.n_asns, config.zipf_exponent)
+    regions = rng.choice(
+        len(REGIONS), size=config.n_asns, p=np.array(REGION_WEIGHTS)
+    )
+    wireless = rng.random(config.n_asns) < config.wireless_asn_fraction
+    asns = []
+    for i in range(config.n_asns):
+        region = REGIONS[int(regions[i])]
+        if wireless[i]:
+            # Mobile carriers: almost all sessions on mobile wireless.
+            mix = np.array([0.02, 0.02, 0.01, 0.90, 0.05])
+        else:
+            mix = np.array([0.30, 0.35, 0.15, 0.08, 0.12])
+            if region == "us":
+                mix = np.array([0.22, 0.45, 0.15, 0.08, 0.10])
+            elif region in ("cn", "apac"):
+                mix = np.array([0.40, 0.20, 0.22, 0.10, 0.08])
+            mix = mix * rng.uniform(0.7, 1.3, size=mix.size)
+        quality = float(np.exp(rng.normal(0.0, 0.15)))
+        asns.append(
+            ASNProfile(
+                name=f"AS{10_000 + i}",
+                region=region,
+                wireless=bool(wireless[i]),
+                quality=quality,
+                access_mix=_normalized(mix),
+                weight=float(weights[i]),
+            )
+        )
+    return asns
+
+
+def _build_cdns(config: WorldConfig, rng: np.random.Generator) -> list[CDNProfile]:
+    cdns = []
+    n_in_house = int(round(config.n_cdns * config.in_house_cdn_fraction))
+    for i in range(config.n_cdns):
+        # Baselines are healthy in every dimension: structural CDN
+        # weaknesses are planted as *chronic ground-truth events* (see
+        # repro.trace.events), not baked into profiles. This keeps the
+        # ground-truth accounting exact and lets each weak CDN degrade
+        # exactly one quality metric — the paper finds the
+        # critical-cluster sets largely disjoint across metrics
+        # (Table 2), which correlated weaknesses would destroy.
+        rtt = float(rng.uniform(30.0, 60.0))
+        fail = float(rng.uniform(0.002, 0.008))
+        quality = float(rng.uniform(0.95, 1.15))
+        if i < config.n_cdns - n_in_house:
+            kind = "global" if i % 3 != 2 else "datacenter"
+            coverage = rng.uniform(0.8, 1.0, size=len(REGIONS))
+            coverage[REGIONS.index("us")] = rng.uniform(0.92, 1.0)
+        else:
+            kind = "in_house" if i % 2 == 0 else "isp"
+            coverage = rng.uniform(0.65, 0.95, size=len(REGIONS))
+        cdns.append(
+            CDNProfile(
+                name=f"cdn_{i:02d}_{kind}",
+                kind=kind,
+                base_rtt_ms=rtt,
+                failure_prob=fail,
+                throughput_quality=quality,
+                region_coverage=tuple(float(c) for c in coverage),
+            )
+        )
+    return cdns
+
+
+def _build_sites(
+    config: WorldConfig, rng: np.random.Generator, n_cdns: int
+) -> list[SiteProfile]:
+    weights = _zipf_weights(config.n_sites, config.zipf_exponent)
+    genres = ("premium", "ugc", "news", "sports")
+    sites = []
+    n_single = int(round(config.n_sites * config.single_bitrate_site_fraction))
+    n_high = int(round(config.n_sites * config.high_bitrate_site_fraction))
+    for i in range(config.n_sites):
+        genre = genres[int(rng.integers(0, len(genres)))]
+        if i >= config.n_sites - n_single:
+            ladder = SINGLE_BITRATE_LADDER
+        elif i >= config.n_sites - n_single - n_high:
+            ladder = HIGH_BITRATE_LADDER
+        else:
+            ladder = BITRATE_LADDERS[int(rng.integers(0, len(BITRATE_LADDERS)))]
+        n_site_cdns = int(rng.integers(1, min(4, n_cdns) + 1))
+        cdn_indices = tuple(
+            int(c)
+            for c in rng.choice(n_cdns, size=n_site_cdns, replace=False)
+        )
+        cdn_weights = rng.uniform(0.5, 2.0, size=n_site_cdns)
+        live_fraction = float(rng.uniform(0.5, 0.9)) if genre == "sports" else float(
+            rng.uniform(0.0, 0.2)
+        )
+        player_mix = rng.uniform(0.2, 1.0, size=len(PLAYER_TYPES))
+        sites.append(
+            SiteProfile(
+                name=f"site_{i:03d}",
+                genre=genre,
+                ladder=ladder,
+                cdn_indices=cdn_indices,
+                cdn_weights=_normalized(cdn_weights),
+                live_fraction=live_fraction,
+                player_mix=_normalized(player_mix),
+                weight=float(weights[i]),
+            )
+        )
+    return sites

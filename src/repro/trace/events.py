@@ -1,0 +1,499 @@
+"""Ground-truth problem events planted into the synthetic trace.
+
+The paper observes problems in the wild and infers structure; we invert
+the process: plant a structured catalogue of quality-degradation events
+and verify the pipeline recovers them. An event constrains a set of
+attributes (e.g. ``{cdn: cdn_03}`` or ``{asn: AS10007, connection_type:
+mobile_wireless}``), is active over specific epochs (possibly recurring
+daily), and multiplies QoE model factors for matching sessions.
+
+The catalogue mixes four classes, mirroring the paper's findings:
+
+* **chronic** — structural, high-prevalence conditions modelled on the
+  Table 3 anecdotes (Asian ISPs with buffering trouble, single-bitrate
+  sites, in-house CDNs with long join times, low-priority sites on a
+  shared global CDN, wireless providers with low bitrates, ...);
+* **major** — multi-hour outages on a single attribute (Site/CDN/ASN/
+  ConnectionType), some recurring across days;
+* **minor** — shorter degradations, sometimes on two-attribute
+  combinations (a bad CDN-ASN path, a site's streams on one access
+  type);
+* **transient** — one-epoch blips.
+
+Durations are heavy-tailed so that the persistence distribution has the
+paper's shape (most events >= 2 h, a tail of day-long ones). Each event
+predominantly targets one quality metric, which keeps the cross-metric
+overlap low (paper Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKey
+from repro.trace.entities import CONNECTION_TYPES, World
+
+#: Metric families an event can predominantly target.
+METRIC_FAMILIES: tuple[str, ...] = (
+    "buffering_ratio",
+    "bitrate",
+    "join_time",
+    "join_failure",
+)
+
+
+@dataclass(frozen=True)
+class EventEffects:
+    """Multiplicative QoE degradations applied to matching sessions.
+
+    ``bandwidth_factor`` scales the session's effective bandwidth
+    (affecting bitrate selection and buffering stress);
+    ``bitrate_cap_kbps`` is an *absolute* ceiling on the rungs offered
+    to matching sessions (throttling / a degraded low-rung-only
+    manifest) — absolute, so the degradation is uniform across the
+    cluster's sub-slices regardless of each user's access speed;
+    ``buffering_factor``/``join_time_factor`` raise the respective
+    metric directly; ``join_failure_odds`` multiplies the failure odds.
+    Neutral values: 1.0 for factors, +inf for the cap.
+    """
+
+    bandwidth_factor: float = 1.0
+    bitrate_cap_kbps: float = float("inf")
+    buffering_factor: float = 1.0
+    join_time_factor: float = 1.0
+    join_failure_odds: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bandwidth_factor",
+            "bitrate_cap_kbps",
+            "buffering_factor",
+            "join_time_factor",
+            "join_failure_odds",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def combine(self, other: "EventEffects") -> "EventEffects":
+        """Compose two effect sets (factors multiply)."""
+        return EventEffects(
+            bandwidth_factor=self.bandwidth_factor * other.bandwidth_factor,
+            bitrate_cap_kbps=min(self.bitrate_cap_kbps, other.bitrate_cap_kbps),
+            buffering_factor=self.buffering_factor * other.buffering_factor,
+            join_time_factor=self.join_time_factor * other.join_time_factor,
+            join_failure_odds=self.join_failure_odds * other.join_failure_odds,
+        )
+
+    @property
+    def is_neutral(self) -> bool:
+        return (
+            self.bandwidth_factor == 1.0
+            and self.bitrate_cap_kbps == float("inf")
+            and self.buffering_factor == 1.0
+            and self.join_time_factor == 1.0
+            and self.join_failure_odds == 1.0
+        )
+
+
+NEUTRAL_EFFECTS = EventEffects()
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """One planted quality-degradation event."""
+
+    event_id: str
+    tag: str
+    category: str  # "chronic" | "major" | "minor" | "transient"
+    primary_metric: str
+    constraints: tuple[tuple[str, str], ...]  # (attribute, label) pairs
+    start_epoch: int
+    duration_epochs: int
+    effects: EventEffects
+    recurrence_period: int | None = None  # e.g. 24 for daily
+    recurrence_active: int | None = None  # active epochs per period
+
+    def __post_init__(self) -> None:
+        if self.primary_metric not in METRIC_FAMILIES:
+            raise ValueError(f"unknown metric family {self.primary_metric!r}")
+        if self.category not in ("chronic", "major", "minor", "transient"):
+            raise ValueError(f"unknown category {self.category!r}")
+        if not self.constraints:
+            raise ValueError("event must constrain at least one attribute")
+        if self.start_epoch < 0 or self.duration_epochs < 1:
+            raise ValueError("invalid event window")
+        if (self.recurrence_period is None) != (self.recurrence_active is None):
+            raise ValueError("recurrence period and active length go together")
+        if self.recurrence_period is not None:
+            if self.recurrence_period < 1 or not (
+                1 <= self.recurrence_active <= self.recurrence_period
+            ):
+                raise ValueError("invalid recurrence parameters")
+
+    @property
+    def end_epoch(self) -> int:
+        """First epoch after the event window."""
+        return self.start_epoch + self.duration_epochs
+
+    @property
+    def cluster_key(self) -> ClusterKey:
+        """The attribute combination this event degrades."""
+        return ClusterKey.from_mapping(dict(self.constraints))
+
+    def is_active(self, epoch: int) -> bool:
+        if not self.start_epoch <= epoch < self.end_epoch:
+            return False
+        if self.recurrence_period is None:
+            return True
+        return (epoch - self.start_epoch) % self.recurrence_period < (
+            self.recurrence_active or 0
+        )
+
+    def active_epochs(self, n_epochs: int) -> np.ndarray:
+        """Boolean activity vector over ``n_epochs``."""
+        active = np.zeros(n_epochs, dtype=bool)
+        for epoch in range(
+            max(self.start_epoch, 0), min(self.end_epoch, n_epochs)
+        ):
+            active[epoch] = self.is_active(epoch)
+        return active
+
+    def prevalence(self, n_epochs: int) -> float:
+        if n_epochs == 0:
+            return 0.0
+        return float(self.active_epochs(n_epochs).sum()) / n_epochs
+
+
+@dataclass
+class EventCatalog:
+    """The full set of planted events for one trace."""
+
+    events: list[GroundTruthEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def active_at(self, epoch: int) -> list[GroundTruthEvent]:
+        return [e for e in self.events if e.is_active(epoch)]
+
+    def by_category(self, category: str) -> list[GroundTruthEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def by_metric(self, metric: str) -> list[GroundTruthEvent]:
+        return [e for e in self.events if e.primary_metric == metric]
+
+    def keys(self) -> set[ClusterKey]:
+        return {e.cluster_key for e in self.events}
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Catalogue shape, expressed per 168 epochs (one week)."""
+
+    chronic_per_metric: int = 2
+    major_per_week: int = 10
+    minor_per_week: int = 24
+    transient_per_week: int = 30
+    major_duration_median_h: float = 6.0
+    minor_duration_median_h: float = 2.5
+    duration_sigma: float = 0.8
+    chronic_daily_active_h: int = 17  # ~0.7 prevalence (> the 60% bar)
+    include_themed_chronics: bool = True
+
+    def __post_init__(self) -> None:
+        if min(
+            self.chronic_per_metric,
+            self.major_per_week,
+            self.minor_per_week,
+            self.transient_per_week,
+        ) < 0:
+            raise ValueError("event counts must be non-negative")
+        if not 1 <= self.chronic_daily_active_h <= 24:
+            raise ValueError("chronic_daily_active_h must be in [1, 24]")
+
+
+# Effect templates per metric family: (mild, severe) ranges used when
+# sampling random events.
+_EFFECT_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "buffering_ratio": {"buffering_factor": (3.0, 9.0)},
+    "bitrate": {"bitrate_cap_kbps": (350.0, 650.0)},
+    "join_time": {"join_time_factor": (3.0, 8.0)},
+    "join_failure": {"join_failure_odds": (12.0, 45.0)},
+}
+
+
+def _effects_for(metric: str, severity: float) -> EventEffects:
+    """Interpolate an effect set for ``metric`` at ``severity`` in [0,1]."""
+    if not 0 <= severity <= 1:
+        raise ValueError("severity must be in [0, 1]")
+    kwargs: dict[str, float] = {}
+    for name, (lo, hi) in _EFFECT_RANGES[metric].items():
+        if name in ("bandwidth_factor", "bitrate_cap_kbps"):
+            # Lower is worse for these: severity 1 -> lo.
+            kwargs[name] = hi - severity * (hi - lo)
+        else:
+            kwargs[name] = lo + severity * (hi - lo)
+    return EventEffects(**kwargs)
+
+
+def _sample_duration(
+    rng: np.random.Generator, median_h: float, sigma: float, n_epochs: int
+) -> int:
+    hours = float(np.exp(rng.normal(np.log(median_h), sigma)))
+    return int(np.clip(round(hours), 1, max(n_epochs, 1)))
+
+
+def _popular_index(
+    rng: np.random.Generator, weights: np.ndarray, top_fraction: float = 0.5
+) -> int:
+    """Sample an entity index among the most popular ``top_fraction``.
+
+    Events must hit clusters large enough to pass the significance
+    floor, so random events avoid the deep unpopular tail; within the
+    top fraction the choice is uniform, spreading events across
+    entities instead of piling onto the few most popular ones.
+    """
+    order = np.argsort(weights)[::-1]
+    top = order[: max(1, int(len(order) * top_fraction))]
+    return int(rng.choice(top))
+
+
+def generate_catalog(
+    world: World,
+    n_epochs: int,
+    config: EventConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> EventCatalog:
+    """Build the structured ground-truth catalogue for a trace."""
+    config = config or EventConfig()
+    rng = rng or np.random.default_rng(0)
+    catalog = EventCatalog()
+    weeks = max(n_epochs / 168.0, 1e-9)
+
+    if config.include_themed_chronics:
+        catalog.events.extend(_themed_chronic_events(world, n_epochs, config, rng))
+
+    counter = len(catalog.events)
+    site_w = np.array([s.weight for s in world.sites])
+    asn_w = np.array([a.weight for a in world.asns])
+
+    def constraint_for(
+        attr_type: str, top_fraction: float
+    ) -> tuple[tuple[str, str], ...]:
+        if attr_type == "site":
+            idx = _popular_index(rng, site_w, top_fraction)
+            return (("site", world.sites[idx].name),)
+        if attr_type == "cdn":
+            idx = int(rng.integers(0, len(world.cdns)))
+            return (("cdn", world.cdns[idx].name),)
+        if attr_type == "asn":
+            idx = _popular_index(rng, asn_w, top_fraction)
+            return (("asn", world.asns[idx].name),)
+        if attr_type == "connection_type":
+            conn = CONNECTION_TYPES[int(rng.integers(0, len(CONNECTION_TYPES)))]
+            return (("connection_type", conn),)
+        raise ValueError(f"unknown attribute type {attr_type!r}")
+
+    attr_types = ("site", "cdn", "asn", "connection_type")
+    attr_probs = np.array([0.40, 0.25, 0.25, 0.10])
+
+    def spawn(
+        category: str,
+        n: int,
+        median_h: float,
+        two_attr_prob: float,
+        top_fraction: float,
+    ) -> None:
+        nonlocal counter
+        for _ in range(n):
+            metric = METRIC_FAMILIES[int(rng.integers(0, len(METRIC_FAMILIES)))]
+            attr_type = str(rng.choice(attr_types, p=attr_probs))
+            constraints = constraint_for(attr_type, top_fraction)
+            if rng.random() < two_attr_prob:
+                other_types = [t for t in attr_types if t != attr_type]
+                extra = constraint_for(str(rng.choice(other_types)), top_fraction)
+                constraints = tuple(sorted(constraints + extra))
+            duration = (
+                1
+                if category == "transient"
+                else _sample_duration(rng, median_h, config.duration_sigma, n_epochs)
+            )
+            start = int(rng.integers(0, max(n_epochs - duration, 0) + 1))
+            severity = float(rng.uniform(0.5, 1.0))
+            event = GroundTruthEvent(
+                event_id=f"ev{counter:04d}",
+                tag=f"{category}-{attr_type}-{metric}",
+                category=category,
+                primary_metric=metric,
+                constraints=constraints,
+                start_epoch=start,
+                duration_epochs=duration,
+                effects=_effects_for(metric, severity),
+            )
+            # A few major events recur daily over several days,
+            # producing the high-prevalence tail of Figure 7.
+            if category == "major" and rng.random() < 0.3 and n_epochs >= 72:
+                span = min(n_epochs - event.start_epoch, 24 * int(rng.integers(2, 5)))
+                event = replace(
+                    event,
+                    duration_epochs=max(span, 1),
+                    recurrence_period=24,
+                    recurrence_active=max(
+                        min(event.duration_epochs, 12), 2
+                    ),
+                )
+            catalog.events.append(event)
+            counter += 1
+
+    # Majors hit popular (hence statistically visible) entities; the
+    # tail of transients may land on entities too small to ever form a
+    # significant cluster — exactly the paper's uncovered residue.
+    spawn("major", int(round(config.major_per_week * weeks)),
+          config.major_duration_median_h, two_attr_prob=0.15, top_fraction=0.08)
+    spawn("minor", int(round(config.minor_per_week * weeks)),
+          config.minor_duration_median_h, two_attr_prob=0.35, top_fraction=0.2)
+    spawn("transient", int(round(config.transient_per_week * weeks)),
+          1.0, two_attr_prob=0.25, top_fraction=0.5)
+    return catalog
+
+
+def _pick(
+    rng: np.random.Generator,
+    candidates: Sequence[int],
+    n: int,
+    weights: Sequence[float] | None = None,
+) -> list[int]:
+    """Choose ``n`` distinct candidates, preferring popular ones.
+
+    Chronic conditions must surface as statistically significant
+    clusters, so when popularity weights are supplied the choice is
+    restricted to the most popular half of the candidate set (ordered,
+    then sampled without replacement).
+    """
+    if not candidates:
+        return []
+    n = min(n, len(candidates))
+    pool = list(candidates)
+    if weights is not None:
+        order = sorted(pool, key=lambda i: -weights[i])
+        pool = order[: max(n, (len(order) + 1) // 2)]
+    return [int(i) for i in rng.choice(pool, size=min(n, len(pool)), replace=False)]
+
+
+def _themed_chronic_events(
+    world: World,
+    n_epochs: int,
+    config: EventConfig,
+    rng: np.random.Generator,
+) -> list[GroundTruthEvent]:
+    """The Table 3 anecdotes as chronic, high-prevalence events."""
+    events: list[GroundTruthEvent] = []
+    n = config.chronic_per_metric
+    active_h = config.chronic_daily_active_h
+
+    def chronic(tag: str, metric: str, constraints: Iterable[tuple[str, str]],
+                effects: EventEffects) -> None:
+        # Stagger each chronic condition's daily phase: with every
+        # chronic event active over the same hours, the per-metric
+        # problem ratios would swing in lockstep, but the paper finds
+        # the metrics only weakly temporally correlated (Figure 2).
+        phase = int(rng.integers(0, 24)) if n_epochs > 24 else 0
+        events.append(
+            GroundTruthEvent(
+                event_id=f"chronic{len(events):03d}",
+                tag=tag,
+                category="chronic",
+                primary_metric=metric,
+                constraints=tuple(sorted(constraints)),
+                start_epoch=phase,
+                duration_epochs=n_epochs - phase,
+                effects=effects,
+                recurrence_period=24,
+                recurrence_active=active_h,
+            )
+        )
+
+    asn_weights = [a.weight for a in world.asns]
+    site_weights = [s.weight for s in world.sites]
+    asian = [i for i, a in enumerate(world.asns) if a.region in ("cn", "apac")]
+    chinese = [i for i, a in enumerate(world.asns) if a.region == "cn"]
+    wireless = [i for i, a in enumerate(world.asns) if a.wireless]
+    single_bitrate_sites = [i for i, s in enumerate(world.sites) if s.single_bitrate]
+    high_bitrate_sites = [
+        i for i, s in enumerate(world.sites) if min(s.ladder) >= 3000.0
+    ]
+    ugc_sites = [i for i, s in enumerate(world.sites) if s.genre == "ugc"]
+    in_house_cdns = [i for i, c in enumerate(world.cdns) if c.kind in ("in_house", "isp")]
+    global_cdns = [i for i, c in enumerate(world.cdns) if c.kind == "global"]
+
+    # BufRatio row: Asian ISPs, in-house/single-bitrate sites, mobile wireless.
+    for i in _pick(rng, asian, n, asn_weights):
+        chronic("asian-isp-buffering", "buffering_ratio",
+                [("asn", world.asns[i].name)], EventEffects(buffering_factor=6.0))
+    for i in _pick(rng, single_bitrate_sites, n, site_weights):
+        chronic("single-bitrate-site-buffering", "buffering_ratio",
+                [("site", world.sites[i].name)], EventEffects(buffering_factor=5.0))
+    chronic("mobile-wireless-buffering", "buffering_ratio",
+            [("connection_type", "mobile_wireless")],
+            EventEffects(buffering_factor=2.8))
+
+    # JoinTime row: Chinese ISPs loading player modules from US CDNs,
+    # in-house CDNs of UGC providers, high-bitrate sites.
+    for i in _pick(rng, chinese, n, asn_weights):
+        chronic("cn-isp-us-player-modules", "join_time",
+                [("asn", world.asns[i].name)], EventEffects(join_time_factor=6.0))
+    # Structural in-house/ISP CDN weaknesses: profiles are healthy by
+    # construction (entities._build_cdns), so each weak CDN's single
+    # deficiency is planted here — one metric per CDN, which keeps the
+    # cross-metric critical sets decoupled (paper Table 2).
+    weakness_cycle = (
+        ("in-house-cdn-join-time", "join_time",
+         EventEffects(join_time_factor=4.5)),
+        ("in-house-cdn-failures", "join_failure",
+         EventEffects(join_failure_odds=20.0)),
+        ("in-house-cdn-congestion", "buffering_ratio",
+         EventEffects(buffering_factor=4.0)),
+    )
+    for j, i in enumerate(in_house_cdns):
+        tag, weak_metric, weak_effects = weakness_cycle[j % len(weakness_cycle)]
+        chronic(tag, weak_metric, [("cdn", world.cdns[i].name)], weak_effects)
+    for i in _pick(rng, high_bitrate_sites, n, site_weights):
+        chronic("high-bitrate-site-join-time", "join_time",
+                [("site", world.sites[i].name)], EventEffects(join_time_factor=3.5))
+
+    # JoinFailure row: the buffering ASNs again (paper: "same set as
+    # buffering ratio"), low-priority sites on the same global CDN.
+    for i in _pick(rng, asian, n, asn_weights):
+        chronic("asian-isp-join-failure", "join_failure",
+                [("asn", world.asns[i].name)], EventEffects(join_failure_odds=25.0))
+    if global_cdns:
+        shared_cdn = global_cdns[0]
+        low_priority = [
+            i for i, s in enumerate(world.sites)
+            if len(s.cdn_indices) == 1 and s.cdn_indices[0] == shared_cdn
+        ]
+        if not low_priority:
+            low_priority = [
+                i for i, s in enumerate(world.sites) if shared_cdn in s.cdn_indices
+            ]
+        for i in _pick(rng, low_priority, n, site_weights):
+            chronic("low-priority-site-on-shared-global-cdn", "join_failure",
+                    [("site", world.sites[i].name)],
+                    EventEffects(join_failure_odds=30.0))
+
+    # Bitrate row: wireless providers, UGC sites.
+    for i in _pick(rng, wireless, n, asn_weights):
+        chronic("wireless-provider-bitrate", "bitrate",
+                [("asn", world.asns[i].name)],
+                EventEffects(bitrate_cap_kbps=500.0))
+    for i in _pick(rng, ugc_sites, n, site_weights):
+        chronic("ugc-site-bitrate", "bitrate",
+                [("site", world.sites[i].name)],
+                EventEffects(bitrate_cap_kbps=600.0))
+    return events

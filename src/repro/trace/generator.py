@@ -1,0 +1,166 @@
+"""Trace generation: world + events + arrivals + QoE engine -> table.
+
+``generate_trace`` is the substrate's entry point. It is fully
+deterministic given the workload's seed: independent random substreams
+(via ``numpy.random.SeedSequence.spawn``) drive world construction,
+event-catalogue generation, arrival volumes, attribute sampling and
+QoE noise, so changing e.g. the event configuration does not perturb
+the sampled population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.epoching import EpochGrid
+from repro.core.sessions import SessionTable
+from repro.trace.entities import World, build_world
+from repro.trace.events import EventCatalog, GroundTruthEvent, generate_catalog
+from repro.trace.population import AttributeSampler, constraint_codes
+from repro.trace.qoe import EffectArrays, QoEEngine, StatisticalQoEEngine
+from repro.trace.workloads import WorkloadSpec
+
+
+@dataclass
+class GeneratedTrace:
+    """A generated trace with its ground truth attached."""
+
+    spec: WorkloadSpec
+    world: World
+    catalog: EventCatalog
+    grid: EpochGrid
+    table: SessionTable
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.table)
+
+
+def _make_engine(spec: WorkloadSpec, world: World) -> QoEEngine:
+    if spec.engine == "statistical":
+        return StatisticalQoEEngine(world)
+    # Imported lazily: the mechanistic engine pulls in the whole player
+    # simulation substrate.
+    from repro.sim.engine import MechanisticQoEEngine
+
+    return MechanisticQoEEngine(world)
+
+
+def apply_events(
+    codes: np.ndarray,
+    events: list[GroundTruthEvent],
+    event_codes: dict[str, list[tuple[int, int]]],
+    n: int,
+) -> EffectArrays:
+    """Combined per-session effect arrays for the active ``events``."""
+    effects = EffectArrays.neutral(n)
+    for event in events:
+        rows = np.ones(n, dtype=bool)
+        for col, code in event_codes[event.event_id]:
+            rows &= codes[:, col] == code
+        if not rows.any():
+            continue
+        eff = event.effects
+        if eff.bandwidth_factor != 1.0:
+            effects.bandwidth_factor[rows] *= eff.bandwidth_factor
+        if eff.bitrate_cap_kbps != float("inf"):
+            effects.bitrate_cap_kbps[rows] = np.minimum(
+                effects.bitrate_cap_kbps[rows], eff.bitrate_cap_kbps
+            )
+        if eff.buffering_factor != 1.0:
+            effects.buffering_factor[rows] *= eff.buffering_factor
+        if eff.join_time_factor != 1.0:
+            effects.join_time_factor[rows] *= eff.join_time_factor
+        if eff.join_failure_odds != 1.0:
+            effects.join_failure_odds[rows] *= eff.join_failure_odds
+    return effects
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    world: World | None = None,
+    catalog: EventCatalog | None = None,
+) -> GeneratedTrace:
+    """Generate a full session trace from a workload specification.
+
+    ``world`` and ``catalog`` may be supplied explicitly (e.g. to plant
+    a hand-written event and test its recovery); otherwise both are
+    derived from the spec's seed.
+    """
+    root = np.random.SeedSequence(spec.seed)
+    ss_world, ss_events, ss_arrivals, ss_sessions = root.spawn(4)
+
+    if world is None:
+        world = build_world(spec.world, np.random.default_rng(ss_world))
+    if catalog is None:
+        catalog = generate_catalog(
+            world, spec.n_epochs, spec.events, np.random.default_rng(ss_events)
+        )
+
+    sampler = AttributeSampler(world)
+    engine = _make_engine(spec, world)
+    arrivals_rng = np.random.default_rng(ss_arrivals)
+    session_rng = np.random.default_rng(ss_sessions)
+    counts = spec.arrivals.sample(spec.n_epochs, arrivals_rng)
+    event_codes = {
+        e.event_id: constraint_codes(world, e.constraints) for e in catalog
+    }
+
+    all_codes = []
+    all_start = []
+    all_duration = []
+    all_buffering = []
+    all_join_time = []
+    all_bitrate = []
+    all_failed = []
+
+    for epoch in range(spec.n_epochs):
+        n = int(counts[epoch])
+        codes = sampler.sample(n, session_rng)
+        active = catalog.active_at(epoch)
+        effects = apply_events(codes, active, event_codes, n)
+        batch = engine.generate(codes, effects, session_rng)
+        start = epoch * spec.epoch_seconds + session_rng.uniform(
+            0.0, spec.epoch_seconds, size=n
+        )
+        all_codes.append(codes)
+        all_start.append(start)
+        all_duration.append(batch.duration_s)
+        all_buffering.append(batch.buffering_s)
+        all_join_time.append(batch.join_time_s)
+        all_bitrate.append(batch.bitrate_kbps)
+        all_failed.append(batch.join_failed)
+
+    codes = np.concatenate(all_codes, axis=0)
+    vocabs = world.vocabularies()
+    schema = SessionTable.empty().schema
+    if spec.include_region:
+        # Paper Section 6 "hidden attributes": geography as an extra
+        # attribute, derived from the client ASN's region.
+        from repro.core.attributes import AttributeSchema
+        from repro.trace.entities import REGIONS
+
+        schema = AttributeSchema(names=schema.names + ("region",))
+        region_col = world.region_of_asn[codes[:, 0]].astype(np.int32)
+        codes = np.column_stack([codes, region_col])
+        vocabs = vocabs + [list(REGIONS)]
+
+    table = SessionTable(
+        schema=schema,
+        vocabs=vocabs,
+        codes=codes,
+        start_time=np.concatenate(all_start),
+        duration_s=np.concatenate(all_duration),
+        buffering_s=np.concatenate(all_buffering),
+        join_time_s=np.concatenate(all_join_time),
+        bitrate_kbps=np.concatenate(all_bitrate),
+        join_failed=np.concatenate(all_failed),
+    )
+    grid = EpochGrid(
+        origin=0.0, epoch_seconds=spec.epoch_seconds, n_epochs=spec.n_epochs
+    )
+    return GeneratedTrace(
+        spec=spec, world=world, catalog=catalog, grid=grid, table=table
+    )

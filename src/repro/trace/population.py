@@ -1,0 +1,130 @@
+"""Sampling session attribute combinations from a world.
+
+Draws the seven-attribute tuples for each session: site and ASN by
+Zipf popularity, CDN by the site's CDN policy (the paper notes some
+providers use proprietary CDN-switching; we model the outcome as a
+per-site weighted choice), connection type by the ASN's access mix,
+player by the site's player mix, VoD/Live by the site's genre, and
+browser by a global mix. All draws are vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.entities import (
+    BROWSERS,
+    CONNECTION_TYPES,
+    PLAYER_TYPES,
+    World,
+)
+
+#: Global browser mix (chrome, firefox, msie, safari).
+BROWSER_WEIGHTS: tuple[float, ...] = (0.42, 0.20, 0.22, 0.16)
+
+
+class AttributeSampler:
+    """Vectorised sampler of (n, 7) attribute code matrices."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._site_p = self._norm([s.weight for s in world.sites])
+        self._asn_p = self._norm([a.weight for a in world.asns])
+        self._access_cum = np.cumsum(
+            np.array([a.access_mix for a in world.asns]), axis=1
+        )
+        self._player_cum = np.cumsum(
+            np.array([s.player_mix for s in world.sites]), axis=1
+        )
+        self._live_frac = np.array([s.live_fraction for s in world.sites])
+        self._browser_p = self._norm(BROWSER_WEIGHTS)
+        # Per-site CDN choice tables.
+        self._site_cdns = [np.array(s.cdn_indices) for s in world.sites]
+        self._site_cdn_p = [self._norm(s.cdn_weights) for s in world.sites]
+
+    @staticmethod
+    def _norm(weights) -> np.ndarray:
+        arr = np.asarray(weights, dtype=np.float64)
+        return arr / arr.sum()
+
+    @staticmethod
+    def _choice_rows(cum: np.ndarray, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Categorical draw per row from a per-row cumulative table."""
+        u = rng.random(rows.shape[0])
+        return (u[:, None] > cum[rows]).sum(axis=1).astype(np.int32)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` sessions; returns (n, 7) int32 codes.
+
+        Column order is the canonical schema: asn, cdn, site,
+        content_type, player, browser, connection_type.
+        """
+        codes = np.empty((n, 7), dtype=np.int32)
+        site = rng.choice(len(self._site_p), size=n, p=self._site_p).astype(np.int32)
+        asn = rng.choice(len(self._asn_p), size=n, p=self._asn_p).astype(np.int32)
+        codes[:, 0] = asn
+        codes[:, 2] = site
+        # CDN: per-site policy; loop over the (few) sites present.
+        cdn = np.empty(n, dtype=np.int32)
+        for s in np.unique(site):
+            rows = site == s
+            cdn[rows] = rng.choice(
+                self._site_cdns[int(s)],
+                size=int(rows.sum()),
+                p=self._site_cdn_p[int(s)],
+            )
+        codes[:, 1] = cdn
+        codes[:, 3] = (rng.random(n) < self._live_frac[site]).astype(np.int32)
+        codes[:, 4] = self._choice_rows(self._player_cum, site, rng)
+        codes[:, 5] = rng.choice(
+            len(BROWSERS), size=n, p=self._browser_p
+        ).astype(np.int32)
+        codes[:, 6] = self._choice_rows(self._access_cum, asn, rng)
+        return codes
+
+    def label_codes(self) -> dict[str, list[str]]:
+        """Vocabularies keyed by attribute name (for reporting)."""
+        vocabs = self.world.vocabularies()
+        names = (
+            "asn",
+            "cdn",
+            "site",
+            "content_type",
+            "player",
+            "browser",
+            "connection_type",
+        )
+        return dict(zip(names, vocabs))
+
+
+def constraint_codes(world: World, constraints) -> list[tuple[int, int]]:
+    """Translate (attribute, label) constraints to (column, code) pairs."""
+    vocabs = world.vocabularies()
+    names = (
+        "asn",
+        "cdn",
+        "site",
+        "content_type",
+        "player",
+        "browser",
+        "connection_type",
+    )
+    index = {name: i for i, name in enumerate(names)}
+    pairs = []
+    for attr, label in constraints:
+        col = index[attr]
+        try:
+            code = vocabs[col].index(label)
+        except ValueError:
+            raise KeyError(f"unknown {attr} label {label!r}") from None
+        pairs.append((col, code))
+    return pairs
+
+
+__all__ = [
+    "AttributeSampler",
+    "BROWSER_WEIGHTS",
+    "constraint_codes",
+    "CONNECTION_TYPES",
+    "PLAYER_TYPES",
+]

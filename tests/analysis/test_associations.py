@@ -1,0 +1,132 @@
+"""Tests for attribute-association analysis (§3.2 corner case)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.associations import (
+    attribute_associations,
+    cramers_v,
+    explain_split_attribution,
+    value_concentration,
+)
+from repro.core.clusters import ClusterKey
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        a = np.array([0, 0, 1, 1, 2, 2] * 50)
+        assert cramers_v(a, a) > 0.95
+
+    def test_independent_columns(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert cramers_v(a, b) < 0.1
+
+    def test_constant_column_is_zero(self):
+        a = np.zeros(100, dtype=int)
+        b = np.arange(100) % 3
+        assert cramers_v(a, b) == 0.0
+
+    def test_empty(self):
+        assert cramers_v(np.array([], dtype=int), np.array([], dtype=int)) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=1000)
+        b = (a + rng.integers(0, 2, size=1000)) % 3
+        assert cramers_v(a, b) == pytest.approx(cramers_v(b, a))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            a = rng.integers(0, 5, size=300)
+            b = rng.integers(0, 4, size=300)
+            assert 0.0 <= cramers_v(a, b) <= 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cramers_v(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+@pytest.fixture(scope="module")
+def correlated_table() -> SessionTable:
+    """site_locked always uses cdn_only; other sites spread out."""
+    rng = np.random.default_rng(3)
+    sessions = []
+    for _ in range(3000):
+        if rng.random() < 0.3:
+            site, cdn = "site_locked", "cdn_only"
+        else:
+            site = f"site_{rng.integers(0, 3)}"
+            cdn = f"cdn_{rng.integers(0, 3)}"
+        sessions.append(make_session(site=site, cdn=cdn,
+                                     asn=f"AS{rng.integers(0, 5)}"))
+    return SessionTable.from_sessions(sessions)
+
+
+class TestAttributeAssociations:
+    def test_correlated_pair_tops_ranking(self, correlated_table):
+        results = attribute_associations(correlated_table)
+        top = results[0]
+        assert {top.attribute_a, top.attribute_b} == {"site", "cdn"}
+        assert top.cramers_v > 0.4
+
+    def test_threshold_filters(self, correlated_table):
+        strong = attribute_associations(correlated_table, threshold=0.4)
+        assert all(r.cramers_v >= 0.4 for r in strong)
+        assert len(strong) < len(attribute_associations(correlated_table))
+
+    def test_invalid_threshold(self, correlated_table):
+        with pytest.raises(ValueError):
+            attribute_associations(correlated_table, threshold=1.5)
+
+    def test_generated_trace_has_wireless_correlation(self, tiny_trace):
+        """Wireless ASNs concentrate on mobile connections by
+        construction — the association analysis must see it."""
+        results = attribute_associations(tiny_trace.table)
+        pair = next(
+            r for r in results
+            if {r.attribute_a, r.attribute_b} == {"asn", "connection_type"}
+        )
+        assert pair.cramers_v > 0.15
+
+
+class TestValueConcentration:
+    def test_locked_site_single_cdn(self, correlated_table):
+        dist = value_concentration(correlated_table, "site", "site_locked", "cdn")
+        assert dist["cdn_only"] == pytest.approx(1.0)
+
+    def test_spread_site(self, correlated_table):
+        dist = value_concentration(correlated_table, "site", "site_0", "cdn")
+        assert max(dist.values()) < 0.6
+
+    def test_distribution_sums_to_one(self, correlated_table):
+        dist = value_concentration(correlated_table, "site", "site_1", "cdn")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_unknown_value(self, correlated_table):
+        with pytest.raises(KeyError):
+            value_concentration(correlated_table, "site", "site_mars", "cdn")
+
+
+class TestExplainSplit:
+    def test_cross_pairs_ranked(self, correlated_table):
+        results = explain_split_attribution(
+            correlated_table,
+            ClusterKey.from_mapping({"site": "site_locked"}),
+            ClusterKey.from_mapping({"cdn": "cdn_only"}),
+        )
+        assert len(results) == 1
+        assert results[0].cramers_v > 0.4
+
+    def test_shared_attribute_skipped(self, correlated_table):
+        results = explain_split_attribution(
+            correlated_table,
+            ClusterKey.from_mapping({"site": "s", "cdn": "c"}),
+            ClusterKey.from_mapping({"cdn": "c2"}),
+        )
+        # only (site, cdn) cross pair; (cdn, cdn) skipped
+        assert len(results) == 1

@@ -1,0 +1,97 @@
+"""Tests for metric ECDFs (Figure 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdfs import (
+    ECDF,
+    default_grid,
+    headline_statistics,
+    metric_ecdf,
+    quality_cdfs,
+)
+from repro.core.metrics import BITRATE, BUFFERING_RATIO, JOIN_TIME
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+class TestECDF:
+    def test_at(self):
+        ecdf = ECDF(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ecdf.at(0.5) == 0.0
+        assert ecdf.at(2.0) == pytest.approx(0.5)
+        assert ecdf.at(10.0) == 1.0
+
+    def test_exceed(self):
+        ecdf = ECDF(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ecdf.exceed(2.0) == pytest.approx(0.5)
+
+    def test_nan_and_inf_dropped(self):
+        ecdf = ECDF(np.array([1.0, np.nan, np.inf, 2.0]))
+        assert ecdf.n == 2
+
+    def test_quantile(self):
+        ecdf = ECDF(np.arange(101, dtype=float))
+        assert ecdf.quantile(0.5) == pytest.approx(50.0)
+
+    def test_curve(self):
+        ecdf = ECDF(np.array([1.0, 2.0]))
+        x, y = ecdf.curve(np.array([0.0, 1.5, 3.0]))
+        assert y.tolist() == [0.0, 0.5, 1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ECDF(np.array([])).at(1.0)
+
+    def test_vector_at(self):
+        ecdf = ECDF(np.array([1.0, 2.0]))
+        assert np.allclose(ecdf.at(np.array([1.0, 2.0])), [0.5, 1.0])
+
+
+class TestMetricCdfs:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return SessionTable.from_sessions(
+            [
+                make_session(duration_s=100, buffering_s=b, join_time_s=j,
+                             bitrate_kbps=r)
+                for b, j, r in [(1, 1, 3000), (8, 12, 500), (20, 3, 1500)]
+            ]
+            + [make_session(join_failed=True)]
+        )
+
+    def test_quality_cdfs_cover_figure1_metrics(self, table):
+        cdfs = quality_cdfs(table)
+        assert set(cdfs) == {"buffering_ratio", "bitrate", "join_time"}
+        # failed session excluded everywhere
+        for ecdf in cdfs.values():
+            assert ecdf.n == 3
+
+    def test_metric_ecdf_values(self, table):
+        ecdf = metric_ecdf(table, BUFFERING_RATIO)
+        assert ecdf.values.tolist() == pytest.approx([0.01, 0.08, 0.20])
+
+    def test_headline_statistics(self, table):
+        stats = headline_statistics(table)
+        assert stats["frac_buffering_ratio_gt_5pct"] == pytest.approx(2 / 3)
+        assert stats["frac_join_time_gt_10s"] == pytest.approx(1 / 3)
+        assert stats["frac_bitrate_lt_700kbps"] == pytest.approx(1 / 3)
+        assert stats["frac_bitrate_lt_2mbps"] == pytest.approx(2 / 3)
+
+    def test_default_grids(self):
+        assert default_grid(BUFFERING_RATIO).min() == pytest.approx(1e-5)
+        assert default_grid(BITRATE).max() == pytest.approx(10_000.0)
+        assert default_grid(JOIN_TIME).max() == pytest.approx(1000.0)
+
+    def test_default_grid_unknown_metric(self):
+        from repro.core.metrics import JOIN_FAILURE
+
+        with pytest.raises(ValueError):
+            default_grid(JOIN_FAILURE)
+
+    def test_tiny_trace_shape(self, tiny_trace):
+        """Figure 1's qualitative statements hold on a generated trace."""
+        stats = headline_statistics(tiny_trace.table)
+        assert 0.01 < stats["frac_buffering_ratio_gt_5pct"] < 0.35
+        assert 0.01 < stats["frac_join_time_gt_10s"] < 0.35
+        assert stats["frac_bitrate_lt_2mbps"] > 0.3

@@ -1,0 +1,96 @@
+"""Tests for the critical-cluster drill-down diagnosis (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.drilldown import drill_down
+from repro.core.clusters import ClusterKey
+from repro.core.epoching import EpochGrid
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+def key(**pairs):
+    return ClusterKey.from_mapping(pairs)
+
+
+@pytest.fixture(scope="module")
+def path_problem_table() -> SessionTable:
+    """cdn_bad fails only toward AS_x; everything else is healthy."""
+    rng = np.random.default_rng(5)
+    sessions = []
+    for _ in range(6000):
+        asn = f"AS_{'x' if rng.random() < 0.3 else rng.integers(0, 3)}"
+        cdn = "cdn_bad" if rng.random() < 0.4 else "cdn_ok"
+        fail_p = 0.5 if (cdn == "cdn_bad" and asn == "AS_x") else 0.02
+        sessions.append(
+            make_session(
+                start_time=float(rng.uniform(0, 4 * 3600)),
+                join_failed=bool(rng.random() < fail_p),
+                asn=asn,
+                cdn=cdn,
+            )
+        )
+    return SessionTable.from_sessions(sessions)
+
+
+class TestDrillDown:
+    def test_cluster_stats(self, path_problem_table):
+        report = drill_down(path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE)
+        assert report.cluster_sessions > 0
+        assert report.cluster_ratio > report.global_ratio
+
+    def test_refining_attribute_found(self, path_problem_table):
+        """Within the bad CDN, the drill-down must point at AS_x."""
+        report = drill_down(path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE)
+        worst = report.worst_slices(top=1)[0]
+        assert worst.attribute == "asn"
+        assert worst.value == "AS_x"
+        assert "asn" in report.concentrated_attributes(factor=1.5)
+
+    def test_constrained_attribute_not_sliced(self, path_problem_table):
+        report = drill_down(path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE)
+        assert "cdn" not in report.slices
+
+    def test_hourly_profile(self, path_problem_table):
+        grid = EpochGrid(n_epochs=4)
+        report = drill_down(
+            path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE, grid=grid
+        )
+        assert report.hourly_ratio.shape == (4,)
+        assert (report.hourly_ratio >= 0).all()
+
+    def test_unknown_value_yields_empty_cluster(self, path_problem_table):
+        report = drill_down(path_problem_table, key(cdn="cdn_mars"), JOIN_FAILURE)
+        assert report.cluster_sessions == 0
+        assert report.cluster_ratio == 0.0
+
+    def test_min_slice_sessions_filters(self, path_problem_table):
+        coarse = drill_down(
+            path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE,
+            min_slice_sessions=10_000,
+        )
+        assert not coarse.slices
+
+    def test_render_produces_report(self, path_problem_table):
+        grid = EpochGrid(n_epochs=4)
+        report = drill_down(
+            path_problem_table, key(cdn="cdn_bad"), JOIN_FAILURE, grid=grid
+        )
+        text = report.render()
+        assert "Drill-down" in text
+        assert "By asn" in text
+        assert "by hour" in text
+
+    def test_on_generated_trace(self, tiny_ctx):
+        """Drilling into the top planted critical cluster works end to end."""
+        from repro.analysis.whatif import rank_critical_clusters
+
+        ma = tiny_ctx.analysis["join_failure"]
+        top = rank_critical_clusters(ma, by="coverage")[0]
+        report = drill_down(
+            tiny_ctx.trace.table, top, JOIN_FAILURE, grid=tiny_ctx.analysis.grid
+        )
+        assert report.cluster_sessions > 0
+        assert report.render()

@@ -1,0 +1,146 @@
+"""Tests for the engagement-impact model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.engagement import (
+    EngagementModel,
+    cluster_engagement_impact,
+    engagement_weighted_ranking,
+)
+from repro.core.clusters import ClusterKey
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+def key(**pairs):
+    return ClusterKey.from_mapping(pairs)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EngagementModel()
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        EngagementModel()
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            EngagementModel(minutes_lost_per_buffering_point=-1.0)
+        with pytest.raises(ValueError):
+            EngagementModel(expected_session_minutes=0.0)
+        with pytest.raises(ValueError):
+            EngagementModel(join_patience_s=0.0)
+        with pytest.raises(ValueError):
+            EngagementModel(bitrate_discount_per_halving=1.0)
+
+
+class TestPerSessionLosses:
+    def test_buffering_loss_matches_paper_quote(self, model):
+        # 1% buffering ratio -> 3.5 minutes lost (paper: 3-4 minutes).
+        table = SessionTable.from_sessions(
+            [make_session(duration_s=600, buffering_s=6.0)]
+        )
+        loss = model.buffering_minutes_lost(table)
+        assert loss[0] == pytest.approx(3.5, rel=0.01)
+
+    def test_healthy_session_loses_little(self, model):
+        table = SessionTable.from_sessions(
+            [make_session(duration_s=600, buffering_s=0.0, join_time_s=0.5,
+                          bitrate_kbps=3000)]
+        )
+        assert model.total_minutes_lost(table)[0] < 0.6
+
+    def test_join_failure_costs_full_session(self, model):
+        table = SessionTable.from_sessions([make_session(join_failed=True)])
+        assert model.join_failure_minutes_lost(table)[0] == pytest.approx(
+            model.expected_session_minutes
+        )
+        # ... and nothing else (no double counting).
+        assert model.buffering_minutes_lost(table)[0] == 0.0
+        assert model.join_time_minutes_lost(table)[0] == 0.0
+
+    def test_join_time_loss_monotone(self, model):
+        table = SessionTable.from_sessions(
+            [make_session(join_time_s=j) for j in (1.0, 5.0, 20.0, 60.0)]
+        )
+        losses = model.join_time_minutes_lost(table)
+        assert (np.diff(losses) > 0).all()
+        assert losses[-1] < model.expected_session_minutes
+
+    def test_bitrate_loss_grows_with_degradation(self, model):
+        table = SessionTable.from_sessions(
+            [make_session(bitrate_kbps=b, duration_s=1200)
+             for b in (2000, 1000, 250)]
+        )
+        losses = model.bitrate_minutes_lost(table)
+        assert losses[0] == 0.0
+        assert losses[1] < losses[2]
+
+    def test_total_is_sum_of_components(self, model):
+        table = SessionTable.from_sessions(
+            [make_session(duration_s=600, buffering_s=30, join_time_s=12,
+                          bitrate_kbps=500)]
+        )
+        total = model.total_minutes_lost(table)[0]
+        parts = (
+            model.buffering_minutes_lost(table)[0]
+            + model.join_failure_minutes_lost(table)[0]
+            + model.join_time_minutes_lost(table)[0]
+            + model.bitrate_minutes_lost(table)[0]
+        )
+        assert total == pytest.approx(parts)
+
+
+class TestClusterImpact:
+    def test_bad_cluster_dominates(self, model):
+        sessions = []
+        for i in range(200):
+            sessions.append(make_session(cdn="bad", join_failed=i % 2 == 0))
+        for i in range(200):
+            sessions.append(make_session(cdn="ok"))
+        table = SessionTable.from_sessions(sessions)
+        impacts = cluster_engagement_impact(
+            table, [key(cdn="bad"), key(cdn="ok")], model=model
+        )
+        by_key = {i.key: i for i in impacts}
+        assert by_key[key(cdn="bad")].minutes_lost > (
+            3 * by_key[key(cdn="ok")].minutes_lost
+        )
+        assert by_key[key(cdn="bad")].minutes_lost_share > 0.5
+
+    def test_unknown_value_zero_impact(self, model):
+        table = SessionTable.from_sessions([make_session()])
+        impacts = cluster_engagement_impact(table, [key(cdn="mars")], model)
+        assert impacts[0].sessions == 0
+        assert impacts[0].minutes_lost == 0.0
+
+
+class TestEngagementRanking:
+    def test_ranking_on_generated_trace(self, tiny_ctx, model):
+        impacts = engagement_weighted_ranking(
+            tiny_ctx.trace.table,
+            tiny_ctx.analysis["buffering_ratio"],
+            model=model,
+            top_k=5,
+        )
+        assert impacts
+        losses = [i.minutes_lost for i in impacts]
+        assert losses == sorted(losses, reverse=True)
+        assert all(i.minutes_lost >= 0 for i in impacts)
+
+    def test_ranking_can_differ_from_session_ranking(self, tiny_ctx, model):
+        """Weighting by minutes is a different lens than counting
+        sessions; at minimum both lenses agree the clusters matter."""
+        from repro.analysis.whatif import rank_critical_clusters
+
+        ma = tiny_ctx.analysis["buffering_ratio"]
+        by_minutes = [
+            i.key for i in engagement_weighted_ranking(
+                tiny_ctx.trace.table, ma, model=model, top_k=10
+            )
+        ]
+        by_sessions = rank_critical_clusters(ma, by="coverage")[:10]
+        assert set(by_minutes) & set(by_sessions)

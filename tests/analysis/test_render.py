@@ -1,0 +1,80 @@
+"""Tests for the plain-text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import fmt, render_kv, render_series, render_table
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(0.123456, 3) == "0.123"
+        assert fmt(0.123456, 1) == "0.1"
+
+    def test_int(self):
+        assert fmt(42) == "42"
+        assert fmt(np.int64(7)) == "7"
+
+    def test_bool_not_rendered_as_float(self):
+        assert fmt(True) == "True"
+        assert fmt(np.bool_(False)) == "False"
+
+    def test_nan(self):
+        assert fmt(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert fmt("site_01") == "site_01"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Blong"], [["x", 1.0], ["yy", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["A", "B"], [["x"]])
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderSeries:
+    def test_aligned_columns(self):
+        text = render_series([1, 2, 3], {"y": [0.1, 0.2, 0.3]}, x_label="t")
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "t"
+        assert len(lines) == 5
+
+    def test_multiple_series(self):
+        text = render_series([1, 2], {"a": [1, 2], "b": [3, 4]})
+        assert "a" in text and "b" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series([1, 2], {"y": [1.0]})
+
+    def test_max_rows_subsamples(self):
+        text = render_series(
+            list(range(100)), {"y": list(range(100))}, max_rows=10
+        )
+        assert len(text.splitlines()) <= 14
+
+
+class TestRenderKv:
+    def test_basic(self):
+        text = render_kv({"alpha": 1.0, "beta": "x"}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("alpha")
+
+    def test_empty(self):
+        assert render_kv({}) == ""

@@ -1,0 +1,98 @@
+"""Tests for Tables 1-3 computations."""
+
+import pytest
+
+from repro.analysis.tables import (
+    coverage_table,
+    jaccard_table,
+    prevalent_critical_clusters,
+    reduction_summary,
+)
+
+
+class TestCoverageTable:
+    def test_one_row_per_metric(self, tiny_analysis):
+        rows = coverage_table(tiny_analysis)
+        assert {r.metric for r in rows} == set(tiny_analysis.metric_names)
+
+    def test_fractions_consistent(self, tiny_analysis):
+        for row in coverage_table(tiny_analysis):
+            assert 0 < row.critical_fraction <= 1.0
+            assert row.mean_critical_clusters <= row.mean_problem_clusters
+            assert row.mean_critical_cluster_coverage <= (
+                row.mean_problem_cluster_coverage + 1e-9
+            )
+            if row.mean_problem_cluster_coverage:
+                assert row.coverage_fraction == pytest.approx(
+                    row.mean_critical_cluster_coverage
+                    / row.mean_problem_cluster_coverage
+                )
+
+    def test_coverage_meaningful(self, tiny_analysis):
+        """The paper's core claim: critical clusters cover a large
+        share of problem sessions."""
+        for row in coverage_table(tiny_analysis):
+            assert row.mean_critical_cluster_coverage > 0.15, row.metric
+
+
+class TestJaccardTable:
+    def test_pairs(self, tiny_analysis):
+        table = jaccard_table(tiny_analysis, k=50)
+        assert len(table) == 6  # 4 choose 2
+
+    def test_low_overlap(self, tiny_analysis):
+        """Paper Table 2: the critical sets are largely disjoint."""
+        for pair, value in jaccard_table(tiny_analysis, k=100).items():
+            assert value < 0.75, pair
+
+
+class TestPrevalentClusters:
+    def test_threshold_respected(self, tiny_ctx):
+        table = prevalent_critical_clusters(
+            tiny_ctx.analysis, prevalence_threshold=0.6,
+            catalog=tiny_ctx.trace.catalog,
+        )
+        for metric_cells in table.cells.values():
+            for clusters in metric_cells.values():
+                for c in clusters:
+                    assert c.prevalence >= 0.6
+                    assert c.key.depth == 1
+
+    def test_chronic_events_explain_prevalent_clusters(self, tiny_ctx):
+        """Table 3: the highly prevalent critical clusters map to the
+        planted chronic conditions (at least partially)."""
+        table = prevalent_critical_clusters(
+            tiny_ctx.analysis, catalog=tiny_ctx.trace.catalog
+        )
+        tagged = 0
+        total = 0
+        for metric_cells in table.cells.values():
+            for clusters in metric_cells.values():
+                for c in clusters:
+                    total += 1
+                    if c.ground_truth_tag is not None:
+                        tagged += 1
+        assert total > 0
+        assert tagged / total > 0.5
+
+    def test_without_catalog_tags_are_none(self, tiny_analysis):
+        table = prevalent_critical_clusters(tiny_analysis, catalog=None)
+        for metric_cells in table.cells.values():
+            for clusters in metric_cells.values():
+                for c in clusters:
+                    assert c.ground_truth_tag is None
+
+    def test_invalid_threshold(self, tiny_analysis):
+        with pytest.raises(ValueError):
+            prevalent_critical_clusters(tiny_analysis, prevalence_threshold=0.0)
+
+    def test_cell_accessor(self, tiny_analysis):
+        table = prevalent_critical_clusters(tiny_analysis)
+        assert table.cell("nonexistent_metric", "asn") == []
+
+
+class TestReductionSummary:
+    def test_fields(self, tiny_analysis):
+        summary = reduction_summary(tiny_analysis["join_time"])
+        assert summary["reduction_factor"] >= 1.0
+        assert summary["mean_problem_clusters"] >= summary["mean_critical_clusters"]

@@ -1,0 +1,98 @@
+"""Tests for ground-truth validation scoring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    EventRecovery,
+    keys_related,
+    validate_all,
+    validate_metric,
+)
+from repro.core.clusters import ClusterKey
+from repro.trace.events import EventCatalog, EventEffects, GroundTruthEvent
+
+
+def key(**pairs):
+    return ClusterKey.from_mapping(pairs)
+
+
+class TestKeysRelated:
+    def test_exact(self):
+        assert keys_related(key(cdn="c"), key(cdn="c"))
+
+    def test_ancestor_descendant(self):
+        assert keys_related(key(cdn="c"), key(cdn="c", asn="a"))
+        assert keys_related(key(cdn="c", asn="a"), key(cdn="c"))
+
+    def test_unrelated(self):
+        assert not keys_related(key(cdn="c"), key(cdn="d"))
+        assert not keys_related(key(cdn="c"), key(asn="a"))
+
+
+class TestEventRecovery:
+    def make(self, **kwargs):
+        event = GroundTruthEvent(
+            event_id="e", tag="t", category="major",
+            primary_metric="join_failure",
+            constraints=(("cdn", "c"),),
+            start_epoch=0, duration_epochs=10,
+            effects=EventEffects(join_failure_odds=10.0),
+        )
+        defaults = dict(event=event, active_epochs=10,
+                        exact_detected_epochs=5, relaxed_detected_epochs=7)
+        defaults.update(kwargs)
+        return EventRecovery(**defaults)
+
+    def test_recalls(self):
+        r = self.make()
+        assert r.exact_recall == pytest.approx(0.5)
+        assert r.relaxed_recall == pytest.approx(0.7)
+        assert r.detected
+
+    def test_detectable_recall(self):
+        r = self.make(detectable_epochs=4, exact_detected_detectable=3)
+        assert r.detectable_recall == pytest.approx(0.75)
+
+    def test_no_detectable_info(self):
+        assert self.make().detectable_recall is None
+        assert self.make().detectable  # unknown counts as detectable
+
+    def test_zero_active(self):
+        r = self.make(active_epochs=0, exact_detected_epochs=0,
+                      relaxed_detected_epochs=0)
+        assert r.exact_recall == 0.0
+
+
+class TestValidateMetric:
+    def test_tiny_trace_scores(self, tiny_ctx):
+        reports = validate_all(
+            tiny_ctx.analysis, tiny_ctx.trace.catalog,
+            table=tiny_ctx.trace.table,
+        )
+        assert set(reports) == set(tiny_ctx.analysis.metric_names)
+        for name, report in reports.items():
+            assert report.n_events >= 0
+            assert 0 <= report.event_recall <= 1
+            assert 0 <= report.top_k_precision <= report.top_k_relaxed_precision <= 1
+
+    def test_detectable_events_mostly_found(self, tiny_ctx):
+        """The detector's core guarantee: events whose clusters pass
+        the significance floor are recovered."""
+        reports = validate_all(
+            tiny_ctx.analysis, tiny_ctx.trace.catalog,
+            table=tiny_ctx.trace.table,
+        )
+        recalls = [r.detectable_event_recall for r in reports.values()
+                   if any(rec.detectable_epochs for rec in r.recoveries)]
+        assert recalls
+        assert np.mean(recalls) > 0.5
+
+    def test_empty_catalog(self, tiny_analysis):
+        report = validate_metric(
+            tiny_analysis["join_failure"], EventCatalog([])
+        )
+        assert report.n_events == 0
+        assert report.event_recall == 0.0
+        # precision still computed over top-k (all organic => 0 matches)
+        assert report.top_k_precision == 0.0

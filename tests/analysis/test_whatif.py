@@ -1,0 +1,236 @@
+"""Tests for the what-if improvement engine (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.whatif import (
+    attribute_restricted_curves,
+    cluster_alleviation,
+    oracle_improvement,
+    proactive_simulation,
+    rank_critical_clusters,
+    reactive_simulation,
+    topk_improvement_curve,
+)
+from repro.core.aggregation import ClusterStats
+from repro.core.clusters import ClusterKey
+from repro.core.critical import CriticalAttribution
+from repro.core.epoching import EpochGrid
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.pipeline import EpochAnalysis, MetricAnalysis
+
+
+def key(**pairs):
+    return ClusterKey.from_mapping(pairs)
+
+
+def epoch(i, total_sessions=10_000, total_problems=1000, criticals=None):
+    """Hand-built epoch summary. criticals: {key: (attr_problems, attr_sessions)}."""
+    criticals = criticals or {}
+    return EpochAnalysis(
+        epoch=i,
+        total_sessions=total_sessions,
+        total_problems=total_problems,
+        min_sessions=50,
+        problem_cluster_coverage=0.9,
+        problem_clusters={k: ClusterStats(int(s), int(p))
+                          for k, (p, s) in criticals.items()},
+        critical_clusters={
+            k: CriticalAttribution(
+                attributed_problems=p,
+                attributed_sessions=s,
+                own_stats=ClusterStats(int(s), int(p)),
+            )
+            for k, (p, s) in criticals.items()
+        },
+    )
+
+
+def metric_analysis(epochs):
+    return MetricAnalysis(
+        metric=JOIN_FAILURE,
+        grid=EpochGrid(n_epochs=len(epochs)),
+        epochs=epochs,
+    )
+
+
+@pytest.fixture()
+def simple_ma():
+    """Cluster A critical in epochs 0-3 (streak), B only in epoch 1."""
+    a, b = key(cdn="A"), key(site="B")
+    return metric_analysis([
+        epoch(0, criticals={a: (400.0, 1000.0)}),
+        epoch(1, criticals={a: (400.0, 1000.0), b: (200.0, 600.0)}),
+        epoch(2, criticals={a: (400.0, 1000.0)}),
+        epoch(3, criticals={a: (400.0, 1000.0)}),
+        epoch(4),
+    ])
+
+
+class TestClusterAlleviation:
+    def test_reduces_to_global_average(self, simple_ma):
+        e = simple_ma.epochs[0]
+        # global ratio 0.1; attributed 400 problems over 1000 sessions
+        # -> baseline 100 -> alleviate 300.
+        assert cluster_alleviation(e, key(cdn="A")) == pytest.approx(300.0)
+
+    def test_absent_cluster_zero(self, simple_ma):
+        assert cluster_alleviation(simple_ma.epochs[0], key(site="B")) == 0.0
+
+    def test_never_negative(self):
+        e = epoch(0, total_problems=5000, criticals={key(cdn="A"): (10.0, 1000.0)})
+        # attributed ratio 1% < global 50%: no negative alleviation
+        assert cluster_alleviation(e, key(cdn="A")) == 0.0
+
+
+class TestRanking:
+    def test_coverage_ranking(self, simple_ma):
+        ranked = rank_critical_clusters(simple_ma, by="coverage")
+        assert ranked[0] == key(cdn="A")  # 1600 attributed vs 200
+
+    def test_prevalence_ranking(self, simple_ma):
+        ranked = rank_critical_clusters(simple_ma, by="prevalence")
+        assert ranked[0] == key(cdn="A")  # 4/5 epochs vs 1/5
+
+    def test_persistence_ranking(self, simple_ma):
+        ranked = rank_critical_clusters(simple_ma, by="persistence")
+        assert ranked[0] == key(cdn="A")  # streak of 4 vs 1
+
+    def test_unknown_ranking(self, simple_ma):
+        with pytest.raises(ValueError, match="unknown ranking"):
+            rank_critical_clusters(simple_ma, by="alphabetical")
+
+    def test_deterministic(self, simple_ma):
+        assert rank_critical_clusters(simple_ma) == rank_critical_clusters(simple_ma)
+
+
+class TestOracleImprovement:
+    def test_fix_everything(self, simple_ma):
+        improvement = oracle_improvement(
+            simple_ma, [key(cdn="A"), key(site="B")]
+        )
+        # A alleviates 300 in each of 4 epochs; B alleviates 140 once.
+        assert improvement == pytest.approx((4 * 300 + 140) / 5000)
+
+    def test_fix_nothing(self, simple_ma):
+        assert oracle_improvement(simple_ma, []) == 0.0
+
+    def test_fix_subset(self, simple_ma):
+        assert oracle_improvement(simple_ma, [key(site="B")]) == pytest.approx(
+            140 / 5000
+        )
+
+
+class TestTopkCurve:
+    def test_monotone_nondecreasing(self, simple_ma):
+        curve = topk_improvement_curve(simple_ma, by="coverage")
+        assert (np.diff(curve.improvement) >= -1e-12).all()
+
+    def test_full_fraction_matches_oracle_all(self, simple_ma):
+        curve = topk_improvement_curve(simple_ma, by="coverage")
+        assert curve.improvement[-1] == pytest.approx(
+            oracle_improvement(simple_ma, [key(cdn="A"), key(site="B")])
+        )
+
+    def test_at_fraction(self, simple_ma):
+        curve = topk_improvement_curve(simple_ma, by="coverage")
+        assert curve.at_fraction(1.0) == pytest.approx(curve.improvement[-1])
+
+    def test_custom_fractions(self, simple_ma):
+        curve = topk_improvement_curve(
+            simple_ma, by="coverage", fractions=[0.5, 1.0]
+        )
+        assert curve.fractions.tolist() == [0.5, 1.0]
+        # k = round(0.5 * 2) = 1 -> only cluster A fixed.
+        assert curve.improvement[0] == pytest.approx(1200 / 5000)
+
+    def test_tiny_trace_curves(self, tiny_analysis):
+        for by in ("coverage", "prevalence", "persistence"):
+            curve = topk_improvement_curve(tiny_analysis["join_failure"], by=by)
+            assert (curve.improvement >= 0).all()
+            assert (curve.improvement <= 1).all()
+            assert (np.diff(curve.improvement) >= -1e-12).all()
+
+    def test_coverage_ranking_dominates_at_full_fraction(self, tiny_analysis):
+        ma = tiny_analysis["join_failure"]
+        cov = topk_improvement_curve(ma, by="coverage")
+        prev = topk_improvement_curve(ma, by="prevalence")
+        # Fixing everything is ranking-independent.
+        assert cov.improvement[-1] == pytest.approx(prev.improvement[-1])
+
+
+class TestAttributeRestriction:
+    def test_families_present(self, tiny_analysis):
+        curves = attribute_restricted_curves(tiny_analysis["join_failure"])
+        assert set(curves) == {
+            "Any", "{Site, CDN, ASN, ConnType}", "Site", "ASN", "ConnType", "CDN",
+        }
+
+    def test_any_dominates_families(self, tiny_analysis):
+        curves = attribute_restricted_curves(tiny_analysis["join_failure"])
+        any_curve = curves["Any"].improvement
+        for label, curve in curves.items():
+            assert (curve.improvement <= any_curve + 1e-9).all(), label
+
+    def test_union_dominates_singletons(self, tiny_analysis):
+        curves = attribute_restricted_curves(tiny_analysis["join_failure"])
+        union = curves["{Site, CDN, ASN, ConnType}"].improvement
+        for label in ("Site", "ASN", "ConnType", "CDN"):
+            assert (curves[label].improvement <= union + 1e-9).all(), label
+
+
+class TestProactive:
+    def test_identical_train_test_reaches_potential(self, simple_ma):
+        result = proactive_simulation(simple_ma, simple_ma, top_fraction=1.0)
+        assert result.improvement == pytest.approx(result.potential)
+        assert result.fraction_of_potential == pytest.approx(1.0)
+
+    def test_disjoint_train_gives_zero(self, simple_ma):
+        c = key(asn="C")
+        train = metric_analysis([epoch(0, criticals={c: (300.0, 800.0)})])
+        result = proactive_simulation(train, simple_ma, top_fraction=1.0)
+        assert result.improvement == 0.0
+        assert result.potential > 0.0
+
+    def test_top_fraction_validated(self, simple_ma):
+        with pytest.raises(ValueError):
+            proactive_simulation(simple_ma, simple_ma, top_fraction=0.0)
+
+    def test_tiny_trace_proactive_below_potential(self, tiny_analysis):
+        from repro.core.pipeline import restrict_epochs
+
+        ma = tiny_analysis["join_failure"]
+        n = len(ma.epochs)
+        train = restrict_epochs(ma, range(0, n // 2))
+        test = restrict_epochs(ma, range(n // 2, n))
+        result = proactive_simulation(train, test, top_fraction=0.5)
+        assert 0.0 <= result.improvement <= result.potential + 1e-9
+
+
+class TestReactive:
+    def test_streak_fixing_skips_first_epoch(self, simple_ma):
+        result = reactive_simulation(simple_ma, detection_delay_epochs=1)
+        # A's streak 0..3: fixed in 1,2,3 (3 * 300); B's single epoch
+        # never gets fixed.
+        assert result.improvement == pytest.approx(900 / 5000)
+
+    def test_zero_delay_is_potential(self, simple_ma):
+        result = reactive_simulation(simple_ma, detection_delay_epochs=0)
+        assert result.improvement == pytest.approx(result.potential)
+
+    def test_series_shapes(self, simple_ma):
+        result = reactive_simulation(simple_ma)
+        assert result.original_series.shape == (5,)
+        assert result.after_series.shape == (5,)
+        assert (result.after_series <= result.original_series + 1e-9).all()
+        assert (result.unattributed_series >= -1e-9).all()
+
+    def test_negative_delay_rejected(self, simple_ma):
+        with pytest.raises(ValueError):
+            reactive_simulation(simple_ma, detection_delay_epochs=-1)
+
+    def test_longer_delay_never_helps_more(self, tiny_analysis):
+        ma = tiny_analysis["buffering_ratio"]
+        fast = reactive_simulation(ma, detection_delay_epochs=1)
+        slow = reactive_simulation(ma, detection_delay_epochs=3)
+        assert slow.improvement <= fast.improvement + 1e-9

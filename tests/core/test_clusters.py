@@ -1,0 +1,144 @@
+"""Tests for ClusterKey and the cluster lattice/DAG."""
+
+import networkx as nx
+import pytest
+
+from repro.core.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.core.clusters import ClusterKey, ClusterLattice, attribute_signature
+
+
+def key(**pairs: str) -> ClusterKey:
+    return ClusterKey.from_mapping(pairs)
+
+
+class TestClusterKey:
+    def test_pairs_canonical_schema_order(self):
+        k = key(cdn="c1", asn="a1")
+        assert k.pairs == (("asn", "a1"), ("cdn", "c1"))
+
+    def test_equality_ignores_construction_order(self):
+        assert key(cdn="c1", asn="a1") == key(asn="a1", cdn="c1")
+        assert hash(key(cdn="c1", asn="a1")) == hash(key(asn="a1", cdn="c1"))
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(KeyError, match="not in schema"):
+            key(geography="us")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterKey((("asn", "a1"), ("asn", "a2")))
+
+    def test_root(self):
+        root = ClusterKey.root()
+        assert root.depth == 0
+        assert root.label() == "[root]"
+
+    def test_depth_and_attributes(self):
+        k = key(site="s1", cdn="c1", asn="a1")
+        assert k.depth == 3
+        assert k.attributes == ("asn", "cdn", "site")
+
+    def test_value_of(self):
+        k = key(cdn="c1")
+        assert k.value_of("cdn") == "c1"
+        with pytest.raises(KeyError):
+            k.value_of("asn")
+
+    def test_mask(self):
+        k = key(asn="a1", site="s1")
+        expected = DEFAULT_SCHEMA.mask_of(["asn", "site"])
+        assert k.mask() == expected
+
+    def test_ancestor_relation(self):
+        parent = key(asn="a1")
+        child = key(asn="a1", cdn="c1")
+        assert parent.is_ancestor_of(child)
+        assert child.is_descendant_of(parent)
+        assert not child.is_ancestor_of(parent)
+
+    def test_ancestor_requires_agreeing_values(self):
+        assert not key(asn="a2").is_ancestor_of(key(asn="a1", cdn="c1"))
+
+    def test_ancestor_is_strict(self):
+        k = key(asn="a1")
+        assert not k.is_ancestor_of(k)
+
+    def test_parents_drop_one_attribute(self):
+        k = key(asn="a1", cdn="c1", site="s1")
+        parents = set(k.parents())
+        assert parents == {
+            key(cdn="c1", site="s1"),
+            key(asn="a1", site="s1"),
+            key(asn="a1", cdn="c1"),
+        }
+
+    def test_ancestors_excludes_root_and_self(self):
+        k = key(asn="a1", cdn="c1")
+        ancestors = set(k.ancestors())
+        assert ancestors == {key(asn="a1"), key(cdn="c1")}
+
+    def test_project(self):
+        k = key(asn="a1", cdn="c1", site="s1")
+        assert k.project(["cdn"]) == key(cdn="c1")
+        assert k.project([]) == ClusterKey.root()
+
+    def test_label(self):
+        assert key(cdn="c1").label() == "[cdn=c1]"
+
+    def test_paper_signature(self):
+        k = key(site="s1", asn="a1")
+        assert k.paper_signature() == "[asn, *, site, *, *, *, *]"
+
+    def test_attribute_signature(self):
+        assert attribute_signature(key(cdn="c1", asn="a1")) == ("asn", "cdn")
+
+
+class TestClusterLattice:
+    @pytest.fixture()
+    def lattice(self):
+        return ClusterLattice(AttributeSchema(names=("a", "b", "c")))
+
+    def test_masks_enumeration(self, lattice):
+        assert list(lattice.masks()) == list(range(1, 8))
+
+    def test_masks_by_depth(self, lattice):
+        levels = lattice.masks_by_depth()
+        assert levels[0] == [0]
+        assert sorted(levels[1]) == [1, 2, 4]
+        assert levels[3] == [7]
+
+    def test_parents_children_inverse(self, lattice):
+        for mask in lattice.masks():
+            for child in lattice.children_of_mask(mask):
+                assert mask in set(lattice.parents_of_mask(child))
+
+    def test_interval_masks(self, lattice):
+        interval = set(lattice.interval_masks(0b001, 0b111))
+        assert interval == {0b001, 0b011, 0b101, 0b111}
+
+    def test_interval_requires_subset(self, lattice):
+        with pytest.raises(ValueError, match="not a subset"):
+            list(lattice.interval_masks(0b010, 0b101))
+
+    def test_build_dag_edges(self):
+        lattice = ClusterLattice()
+        keys = [
+            key(asn="a1"),
+            key(cdn="c1"),
+            key(asn="a1", cdn="c1"),
+            key(asn="a2", cdn="c2"),  # no present parent
+        ]
+        dag = lattice.build_dag(keys)
+        assert dag.has_edge(key(asn="a1"), key(asn="a1", cdn="c1"))
+        assert dag.has_edge(key(cdn="c1"), key(asn="a1", cdn="c1"))
+        root = ClusterKey.root()
+        assert dag.has_edge(root, key(asn="a2", cdn="c2"))
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_build_dag_multi_parent(self):
+        # A node with several parents — the DAG structure from Fig. 4.
+        lattice = ClusterLattice()
+        keys = [key(asn="a1"), key(cdn="c1"), key(asn="a1", cdn="c1")]
+        dag = lattice.build_dag(keys)
+        preds = set(dag.predecessors(key(asn="a1", cdn="c1")))
+        assert preds == {key(asn="a1"), key(cdn="c1")}

@@ -1,0 +1,137 @@
+"""Tests for the four quality metrics and their thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    BITRATE,
+    BUFFERING_RATIO,
+    JOIN_FAILURE,
+    JOIN_TIME,
+    MetricThresholds,
+    metric_by_name,
+)
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+@pytest.fixture()
+def mixed_table() -> SessionTable:
+    return SessionTable.from_sessions(
+        [
+            # 0: healthy
+            make_session(duration_s=100, buffering_s=1, join_time_s=2,
+                         bitrate_kbps=2000),
+            # 1: heavy buffering
+            make_session(duration_s=100, buffering_s=10, join_time_s=2,
+                         bitrate_kbps=2000),
+            # 2: slow join
+            make_session(duration_s=100, buffering_s=0, join_time_s=15,
+                         bitrate_kbps=2000),
+            # 3: low bitrate
+            make_session(duration_s=100, buffering_s=0, join_time_s=2,
+                         bitrate_kbps=500),
+            # 4: join failure
+            make_session(join_failed=True),
+        ]
+    )
+
+
+class TestProblemClassification:
+    def test_buffering_ratio_threshold(self, mixed_table):
+        problems = BUFFERING_RATIO.problem_mask(mixed_table)
+        assert problems.tolist() == [False, True, False, False, False]
+
+    def test_join_time_threshold(self, mixed_table):
+        problems = JOIN_TIME.problem_mask(mixed_table)
+        assert problems.tolist() == [False, False, True, False, False]
+
+    def test_bitrate_threshold(self, mixed_table):
+        problems = BITRATE.problem_mask(mixed_table)
+        assert problems.tolist() == [False, False, False, True, False]
+
+    def test_join_failure_binary(self, mixed_table):
+        problems = JOIN_FAILURE.problem_mask(mixed_table)
+        assert problems.tolist() == [False, False, False, False, True]
+
+    def test_boundary_values_are_not_problems(self):
+        # Thresholds are strict inequalities per the paper's wording
+        # ("greater than 5%", "greater than 10 seconds", "less than
+        # 700 kbps").
+        table = SessionTable.from_sessions(
+            [
+                make_session(duration_s=100, buffering_s=5.0),
+                make_session(join_time_s=10.0),
+                make_session(bitrate_kbps=700.0),
+            ]
+        )
+        assert not BUFFERING_RATIO.problem_mask(table)[0]
+        assert not JOIN_TIME.problem_mask(table)[1]
+        assert not BITRATE.problem_mask(table)[2]
+
+    def test_custom_thresholds(self, mixed_table):
+        strict = MetricThresholds(buffering_ratio=0.005)
+        problems = BUFFERING_RATIO.problem_mask(mixed_table, strict)
+        assert problems.tolist() == [True, True, False, False, False]
+
+
+class TestValidity:
+    def test_failed_sessions_invalid_for_playback_metrics(self, mixed_table):
+        for metric in (BUFFERING_RATIO, JOIN_TIME, BITRATE):
+            assert not metric.valid_mask(mixed_table)[4]
+
+    def test_all_sessions_valid_for_join_failure(self, mixed_table):
+        assert JOIN_FAILURE.valid_mask(mixed_table).all()
+
+    def test_problem_mask_never_true_for_invalid(self, mixed_table):
+        for metric in ALL_METRICS:
+            problems = metric.problem_mask(mixed_table)
+            valid = metric.valid_mask(mixed_table)
+            assert not np.any(problems & ~valid)
+
+
+class TestValues:
+    def test_buffering_values_nan_for_failed(self, mixed_table):
+        values = BUFFERING_RATIO.values(mixed_table)
+        assert np.isnan(values[4])
+        assert values[1] == pytest.approx(0.1)
+
+    def test_join_failure_values_are_indicator(self, mixed_table):
+        values = JOIN_FAILURE.values(mixed_table)
+        assert values.tolist() == [0, 0, 0, 0, 1]
+
+
+class TestThresholds:
+    def test_defaults_match_paper(self):
+        th = MetricThresholds()
+        assert th.buffering_ratio == 0.05
+        assert th.join_time_s == 10.0
+        assert th.bitrate_kbps == 700.0
+
+    def test_scaled(self):
+        th = MetricThresholds().scaled(2.0)
+        assert th.buffering_ratio == pytest.approx(0.10)
+        assert th.join_time_s == pytest.approx(20.0)
+        assert th.bitrate_kbps == pytest.approx(1400.0)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            MetricThresholds().scaled(0.0)
+
+
+class TestLookup:
+    def test_by_library_name(self):
+        assert metric_by_name("buffering_ratio") is BUFFERING_RATIO
+
+    def test_by_paper_name(self):
+        assert metric_by_name("BufRatio") is BUFFERING_RATIO
+        assert metric_by_name("JoinFailure") is JOIN_FAILURE
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            metric_by_name("latency")
+
+    def test_all_metrics_order(self):
+        names = [m.name for m in ALL_METRICS]
+        assert names == ["buffering_ratio", "bitrate", "join_time", "join_failure"]

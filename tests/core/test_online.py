@@ -1,0 +1,177 @@
+"""Tests for the streaming critical-cluster monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKey
+from repro.core.epoching import split_into_epochs
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.online import OnlineDetector
+from repro.core.problems import ProblemClusterConfig
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+def epoch_table(bad_cdn_fail_p: float, n: int = 1500, seed: int = 0) -> SessionTable:
+    rng = np.random.default_rng(seed)
+    sessions = []
+    for _ in range(n):
+        cdn = "cdn_bad" if rng.random() < 0.3 else f"cdn_{rng.integers(0, 2)}"
+        fail_p = bad_cdn_fail_p if cdn == "cdn_bad" else 0.03
+        sessions.append(
+            make_session(
+                cdn=cdn,
+                asn=f"AS{rng.integers(0, 4)}",
+                join_failed=bool(rng.random() < fail_p),
+            )
+        )
+    return SessionTable.from_sessions(sessions)
+
+
+CONFIG = ProblemClusterConfig(
+    min_sessions=50, min_problems=3, significance_sigmas=0.0
+)
+BAD_KEY = ClusterKey.from_mapping({"cdn": "cdn_bad"})
+
+
+def make_detector(confirm_after=2) -> OnlineDetector:
+    return OnlineDetector(
+        JOIN_FAILURE, problem_config=CONFIG, confirm_after=confirm_after
+    )
+
+
+class TestAlertLifecycle:
+    def test_raise_confirm_clear(self):
+        detector = make_detector(confirm_after=2)
+        # epoch 0: healthy; epochs 1-3: outage; epoch 4: healthy again.
+        fail_ps = [0.03, 0.5, 0.5, 0.5, 0.03]
+        events_per_epoch = []
+        for i, p in enumerate(fail_ps):
+            obs = detector.observe_epoch(epoch_table(p, seed=i))
+            events_per_epoch.append(
+                [(e.kind, e.alert.key) for e in obs.events]
+            )
+        assert ("raised", BAD_KEY) in events_per_epoch[1]
+        assert ("confirmed", BAD_KEY) in events_per_epoch[2]
+        assert ("cleared", BAD_KEY) in events_per_epoch[4]
+
+    def test_alert_durations(self):
+        detector = make_detector()
+        for i, p in enumerate([0.5, 0.5, 0.5, 0.03]):
+            detector.observe_epoch(epoch_table(p, seed=10 + i))
+        bad = [a for a in detector.closed_alerts if a.key == BAD_KEY]
+        assert len(bad) == 1
+        assert bad[0].raised_epoch == 0
+        assert bad[0].cleared_epoch == 3
+        assert bad[0].duration_epochs == 3
+
+    def test_unconfirmed_blip_never_confirms(self):
+        detector = make_detector(confirm_after=2)
+        for i, p in enumerate([0.03, 0.5, 0.03]):
+            detector.observe_epoch(epoch_table(p, seed=20 + i))
+        bad = [a for a in detector.all_alerts if a.key == BAD_KEY]
+        assert len(bad) == 1
+        assert not bad[0].is_confirmed
+        assert bad[0].actionable_alleviation == 0.0
+
+    def test_reopened_streak_is_new_alert(self):
+        detector = make_detector()
+        for i, p in enumerate([0.5, 0.03, 0.5]):
+            detector.observe_epoch(epoch_table(p, seed=30 + i))
+        bad = [a for a in detector.all_alerts if a.key == BAD_KEY]
+        assert len(bad) == 2
+
+    def test_actionable_alleviation_accrues_after_confirm(self):
+        detector = make_detector(confirm_after=2)
+        for i, p in enumerate([0.5, 0.5, 0.5]):
+            detector.observe_epoch(epoch_table(p, seed=40 + i))
+        bad = [a for a in detector.all_alerts if a.key == BAD_KEY][0]
+        assert bad.is_confirmed
+        assert bad.actionable_alleviation > 0
+        assert detector.total_actionable_alleviation >= bad.actionable_alleviation
+
+    def test_confirm_after_validated(self):
+        with pytest.raises(ValueError):
+            make_detector(confirm_after=0)
+
+
+class TestHistoryAndQueries:
+    def test_history_records_epochs(self):
+        detector = make_detector()
+        for i, p in enumerate([0.03, 0.5]):
+            detector.observe_epoch(epoch_table(p, seed=50 + i))
+        assert len(detector.history) == 2
+        assert detector.history[0].epoch == 0
+        assert detector.history[1].n_critical_clusters >= 1
+
+    def test_critical_keys_at(self):
+        detector = make_detector()
+        for i, p in enumerate([0.03, 0.5, 0.5, 0.03]):
+            detector.observe_epoch(epoch_table(p, seed=60 + i))
+        assert BAD_KEY not in detector.critical_keys_at(0)
+        assert BAD_KEY in detector.critical_keys_at(1)
+        assert BAD_KEY in detector.critical_keys_at(2)
+        assert BAD_KEY not in detector.critical_keys_at(3)
+
+
+class TestOnlineMatchesBatch:
+    def test_same_critical_sets_as_batch_pipeline(self, tiny_trace):
+        """Streaming the trace epoch by epoch reproduces the batch
+        pipeline's per-epoch critical sets exactly."""
+        from repro.core.pipeline import AnalysisConfig, analyze_trace
+
+        table = tiny_trace.table
+        grid, per_epoch = split_into_epochs(table, tiny_trace.grid)
+        n = min(grid.n_epochs, 8)
+
+        detector = OnlineDetector(JOIN_FAILURE)
+        for epoch in range(n):
+            detector.observe_epoch(table, per_epoch[epoch])
+
+        batch = analyze_trace(
+            table.select(np.nonzero(table.start_time < n * 3600.0)[0]),
+            config=AnalysisConfig(metrics=(JOIN_FAILURE,)),
+        )
+        for epoch in range(n):
+            online_keys = detector.critical_keys_at(epoch)
+            batch_keys = set(batch["join_failure"].epochs[epoch].critical_clusters)
+            assert online_keys == batch_keys, f"epoch {epoch}"
+
+
+class TestHysteresis:
+    def test_clear_after_bridges_gaps(self):
+        """With clear_after=2, a one-epoch dip does not clear the alert."""
+        detector = OnlineDetector(
+            JOIN_FAILURE, problem_config=CONFIG, confirm_after=2,
+            clear_after=2,
+        )
+        for i, p in enumerate([0.5, 0.5, 0.03, 0.5, 0.5]):
+            detector.observe_epoch(epoch_table(p, seed=70 + i))
+        bad = [a for a in detector.all_alerts if a.key == BAD_KEY]
+        assert len(bad) == 1  # one alert spanning the dip
+        assert bad[0].is_open
+        assert bad[0].total_active_epochs == 4
+
+    def test_clear_after_one_is_immediate(self):
+        detector = OnlineDetector(
+            JOIN_FAILURE, problem_config=CONFIG, clear_after=1
+        )
+        for i, p in enumerate([0.5, 0.03]):
+            detector.observe_epoch(epoch_table(p, seed=80 + i))
+        bad = [a for a in detector.closed_alerts if a.key == BAD_KEY]
+        assert len(bad) == 1
+        assert bad[0].cleared_epoch == 1
+
+    def test_cleared_epoch_marks_first_absence(self):
+        detector = OnlineDetector(
+            JOIN_FAILURE, problem_config=CONFIG, clear_after=2
+        )
+        for i, p in enumerate([0.5, 0.03, 0.03]):
+            detector.observe_epoch(epoch_table(p, seed=90 + i))
+        bad = [a for a in detector.closed_alerts if a.key == BAD_KEY]
+        assert len(bad) == 1
+        assert bad[0].cleared_epoch == 1  # absent from epoch 1 onward
+
+    def test_clear_after_validated(self):
+        with pytest.raises(ValueError):
+            OnlineDetector(JOIN_FAILURE, clear_after=0)

@@ -1,0 +1,63 @@
+"""Tests for cross-metric Jaccard overlap (Table 2 machinery)."""
+
+import pytest
+
+from repro.core.overlap import (
+    jaccard_similarity,
+    top_critical_clusters,
+    top_k_critical_overlap,
+)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity({1}, set()) == 0.0
+
+    def test_accepts_iterables(self):
+        assert jaccard_similarity([1, 1, 2], (2, 3)) == pytest.approx(1 / 3)
+
+
+class TestTopCriticalClusters:
+    def test_ranked_by_attribution(self, tiny_analysis):
+        ma = tiny_analysis["join_failure"]
+        top = top_critical_clusters(ma, k=5)
+        totals = ma.critical_attribution_totals()
+        scores = [totals[k] for k in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_result(self, tiny_analysis):
+        ma = tiny_analysis["join_failure"]
+        assert len(top_critical_clusters(ma, k=3)) <= 3
+
+    def test_invalid_k(self, tiny_analysis):
+        with pytest.raises(ValueError):
+            top_critical_clusters(tiny_analysis["join_failure"], k=0)
+
+
+class TestOverlapMatrix:
+    def test_all_pairs_present(self, tiny_analysis):
+        overlaps = top_k_critical_overlap(tiny_analysis.metrics, k=50)
+        n = len(tiny_analysis.metrics)
+        assert len(overlaps) == n * (n - 1) // 2
+
+    def test_values_in_unit_interval(self, tiny_analysis):
+        for value in top_k_critical_overlap(tiny_analysis.metrics, k=50).values():
+            assert 0.0 <= value <= 1.0
+
+    def test_metrics_not_identical(self, tiny_analysis):
+        # The planted events are metric-specific, so the critical sets
+        # must not coincide (paper Table 2's core finding).
+        for value in top_k_critical_overlap(tiny_analysis.metrics, k=100).values():
+            assert value < 0.9

@@ -1,0 +1,155 @@
+"""Tests for the end-to-end analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import JOIN_FAILURE
+from repro.core.pipeline import (
+    AnalysisConfig,
+    analyze_trace,
+    restrict_epochs,
+)
+from repro.core.problems import ProblemClusterConfig
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+@pytest.fixture(scope="module")
+def two_epoch_analysis():
+    """Epoch 0: cdn_bad fails heavily; epoch 1: healthy."""
+    rng = np.random.default_rng(3)
+    sessions = []
+    for epoch, bad_p in ((0, 0.5), (1, 0.05)):
+        for _ in range(2000):
+            cdn = "cdn_bad" if rng.random() < 0.3 else f"cdn_{rng.integers(0, 2)}"
+            fail_p = bad_p if cdn == "cdn_bad" else 0.05
+            sessions.append(
+                make_session(
+                    start_time=epoch * 3600.0 + float(rng.uniform(0, 3600)),
+                    join_failed=bool(rng.random() < fail_p),
+                    cdn=cdn,
+                    asn=f"AS{rng.integers(0, 4)}",
+                )
+            )
+    table = SessionTable.from_sessions(sessions)
+    config = AnalysisConfig(
+        metrics=(JOIN_FAILURE,),
+        problem_config=ProblemClusterConfig(
+            min_sessions=50, min_problems=3, significance_sigmas=0.0
+        ),
+    )
+    return analyze_trace(table, config=config)
+
+
+class TestAnalyzeTrace:
+    def test_epoch_count(self, two_epoch_analysis):
+        assert two_epoch_analysis.grid.n_epochs == 2
+        ma = two_epoch_analysis["join_failure"]
+        assert len(ma.epochs) == 2
+
+    def test_problem_found_only_in_bad_epoch(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        keys0 = {k.label() for k in ma.epochs[0].critical_clusters}
+        keys1 = {k.label() for k in ma.epochs[1].critical_clusters}
+        assert "[cdn=cdn_bad]" in keys0
+        assert "[cdn=cdn_bad]" not in keys1
+
+    def test_problem_ratio_series(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        series = ma.problem_ratio_series
+        assert series.shape == (2,)
+        assert series[0] > series[1]
+
+    def test_counts_series(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        assert ma.problem_cluster_counts[0] >= 1
+        assert ma.critical_cluster_counts[0] >= 1
+
+    def test_timelines(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        timelines = ma.critical_timelines()
+        bad = [tl for k, tl in timelines.items() if k.label() == "[cdn=cdn_bad]"]
+        assert len(bad) == 1
+        assert bad[0].prevalence == pytest.approx(0.5)
+
+    def test_attribution_totals(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        totals = ma.critical_attribution_totals()
+        best = max(totals.items(), key=lambda kv: kv[1])
+        assert best[0].label() == "[cdn=cdn_bad]"
+
+    def test_metric_names(self, two_epoch_analysis):
+        assert two_epoch_analysis.metric_names == ["join_failure"]
+
+    def test_progress_callback(self):
+        table = SessionTable.from_sessions(
+            [make_session(start_time=t * 3600.0) for t in range(3)]
+        )
+        calls = []
+        analyze_trace(
+            table,
+            config=AnalysisConfig(metrics=(JOIN_FAILURE,)),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_epoch_analysis_invariants(self, two_epoch_analysis):
+        for epoch in two_epoch_analysis["join_failure"].epochs:
+            assert 0 <= epoch.problem_cluster_coverage <= 1
+            assert 0 <= epoch.critical_cluster_coverage <= 1 + 1e-9
+            assert epoch.total_problems <= epoch.total_sessions
+            # critical clusters explain at most what problem clusters hold
+            assert (
+                epoch.critical_cluster_coverage
+                <= epoch.problem_cluster_coverage + 1e-9
+            )
+
+
+class TestRestrictEpochs:
+    def test_subset_and_renumbering(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        view = restrict_epochs(ma, [1])
+        assert len(view.epochs) == 1
+        assert view.epochs[0].epoch == 0  # renumbered
+        assert view.grid.n_epochs == 1
+        assert view.epochs[0].total_sessions == ma.epochs[1].total_sessions
+
+    def test_preserves_cluster_content(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        view = restrict_epochs(ma, [0, 1])
+        assert view.total_problem_sessions == ma.total_problem_sessions
+
+
+class TestTinyTraceIntegration:
+    """Integration: the full pipeline over a generated trace."""
+
+    def test_all_four_metrics_analyzed(self, tiny_analysis):
+        assert set(tiny_analysis.metric_names) == {
+            "buffering_ratio",
+            "bitrate",
+            "join_time",
+            "join_failure",
+        }
+
+    def test_epochs_match_grid(self, tiny_analysis, tiny_trace):
+        assert tiny_analysis.grid.n_epochs == tiny_trace.spec.n_epochs
+        for ma in tiny_analysis.metrics.values():
+            assert len(ma.epochs) == tiny_trace.spec.n_epochs
+
+    def test_some_structure_found(self, tiny_analysis):
+        for name, ma in tiny_analysis.metrics.items():
+            assert ma.mean_problem_clusters > 0, name
+            assert ma.mean_critical_clusters > 0, name
+            assert ma.mean_critical_cluster_coverage > 0.1, name
+
+    def test_critical_coverage_never_exceeds_problem_coverage(self, tiny_analysis):
+        for ma in tiny_analysis.metrics.values():
+            for epoch in ma.epochs:
+                assert (
+                    epoch.critical_cluster_coverage
+                    <= epoch.problem_cluster_coverage + 1e-9
+                )
+
+    def test_critical_counts_below_problem_counts(self, tiny_analysis):
+        for ma in tiny_analysis.metrics.values():
+            assert ma.mean_critical_clusters <= ma.mean_problem_clusters

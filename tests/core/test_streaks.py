@@ -1,0 +1,117 @@
+"""Tests for prevalence and persistence (Figure 6 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaks import (
+    ClusterTimeline,
+    Streak,
+    build_timelines,
+    max_persistence_values,
+    median_persistence_values,
+    persistence_streaks,
+    prevalence,
+    prevalence_values,
+)
+
+
+def timeline(epochs, total):
+    return ClusterTimeline(key="c", epochs=np.array(epochs), n_epochs_total=total)
+
+
+class TestStreak:
+    def test_end(self):
+        assert Streak(start=2, length=3).end == 5
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Streak(start=0, length=0)
+
+
+class TestClusterTimeline:
+    def test_prevalence(self):
+        # Figure 6: "ASN1, CDN1" appears in 4 of 6 epochs -> 0.67
+        tl = timeline([0, 1, 3, 4], 6)
+        assert tl.prevalence == pytest.approx(4 / 6)
+
+    def test_prevalence_empty(self):
+        assert timeline([], 6).prevalence == 0.0
+
+    def test_streak_coalescing(self):
+        # Figure 6: occurrences {0,1} and {3,4} coalesce to two streaks
+        tl = timeline([0, 1, 3, 4], 6)
+        assert tl.streaks() == [Streak(0, 2), Streak(3, 2)]
+
+    def test_median_and_max_persistence(self):
+        tl = timeline([0, 1, 3, 4, 5, 6], 10)  # streaks of 2 and 4
+        assert tl.median_persistence == pytest.approx(3.0)
+        assert tl.max_persistence == 4
+
+    def test_figure6_asn2_example(self):
+        # "ASN2" appears in 4 consecutive epochs: max persistence 4.
+        tl = timeline([2, 3, 4, 5], 6)
+        assert tl.max_persistence == 4
+        assert tl.median_persistence == 4.0
+
+    def test_single_occurrence(self):
+        tl = timeline([3], 6)
+        assert tl.streaks() == [Streak(3, 1)]
+        assert tl.max_persistence == 1
+
+    def test_duplicates_deduplicated(self):
+        tl = timeline([2, 2, 3], 6)
+        assert tl.n_occurrences == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            timeline([7], 6)
+        with pytest.raises(ValueError):
+            timeline([-1], 6)
+
+    def test_no_occurrences_properties(self):
+        tl = timeline([], 6)
+        assert tl.streaks() == []
+        assert tl.median_persistence == 0.0
+        assert tl.max_persistence == 0
+
+
+class TestBuildTimelines:
+    def test_inversion(self):
+        per_epoch = [{"a"}, {"a", "b"}, set(), {"b"}]
+        timelines = build_timelines(per_epoch)
+        assert timelines["a"].epochs.tolist() == [0, 1]
+        assert timelines["b"].epochs.tolist() == [1, 3]
+        assert timelines["a"].n_epochs_total == 4
+
+    def test_explicit_n_epochs(self):
+        timelines = build_timelines([{"a"}], n_epochs=10)
+        assert timelines["a"].prevalence == pytest.approx(0.1)
+
+    def test_n_epochs_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_timelines([{"a"}, {"a"}], n_epochs=1)
+
+    def test_empty(self):
+        assert build_timelines([]) == {}
+
+
+class TestConvenienceExtractors:
+    @pytest.fixture()
+    def timelines(self):
+        return build_timelines([{"a", "b"}, {"a"}, {"a", "c"}, set()])
+
+    def test_prevalence_map(self, timelines):
+        p = prevalence(timelines)
+        assert p["a"] == pytest.approx(0.75)
+        assert p["b"] == pytest.approx(0.25)
+
+    def test_persistence_streaks_map(self, timelines):
+        s = persistence_streaks(timelines)
+        assert s["a"] == [Streak(0, 3)]
+        assert s["c"] == [Streak(2, 1)]
+
+    def test_value_extractors_align(self, timelines):
+        assert prevalence_values(timelines).shape == (3,)
+        assert median_persistence_values(timelines).shape == (3,)
+        assert max_persistence_values(timelines).shape == (3,)
+        assert max_persistence_values(timelines).max() == 3

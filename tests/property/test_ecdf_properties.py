@@ -1,0 +1,77 @@
+"""Property-based tests of the ECDF and render helpers."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.cdfs import ECDF
+from repro.analysis.render import render_series, render_table
+from repro.core.overlap import jaccard_similarity
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+@given(finite_arrays)
+def test_ecdf_monotone(values):
+    ecdf = ECDF(values)
+    grid = np.linspace(values.min() - 1, values.max() + 1, 23)
+    cdf = np.asarray(ecdf.at(grid))
+    assert (np.diff(cdf) >= 0).all()
+    assert cdf[0] >= 0 and cdf[-1] == 1.0
+
+
+@given(finite_arrays, st.floats(-1e6, 1e6, allow_nan=False))
+def test_ecdf_complementarity(values, x):
+    ecdf = ECDF(values)
+    assert ecdf.at(x) + ecdf.exceed(x) == 1.0
+
+
+@given(finite_arrays)
+def test_ecdf_quantile_inverse(values):
+    ecdf = ECDF(values)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        v = ecdf.quantile(q)
+        assert values.min() <= v <= values.max()
+
+
+@given(st.sets(st.integers(0, 30)), st.sets(st.integers(0, 30)))
+def test_jaccard_symmetry_and_bounds(a, b):
+    j = jaccard_similarity(a, b)
+    assert j == jaccard_similarity(b, a)
+    assert 0.0 <= j <= 1.0
+    if a == b and a:
+        assert j == 1.0
+    if not (a & b):
+        assert j == 0.0
+
+
+@given(
+    st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=30),
+)
+def test_render_series_row_count(xs):
+    text = render_series(xs, {"y": xs})
+    assert len(text.splitlines()) == len(xs) + 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(
+                alphabet=st.characters(
+                    codec="ascii", min_codepoint=32, max_codepoint=126
+                ),
+                max_size=8,
+            ),
+            st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_render_table_never_crashes(rows):
+    text = render_table(["name", "value"], rows)
+    assert len(text.splitlines()) == len(rows) + 2

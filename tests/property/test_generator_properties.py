@@ -1,0 +1,107 @@
+"""Property-based tests of the trace generator across its config space."""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import ALL_METRICS
+from repro.trace.arrivals import ArrivalModel
+from repro.trace.entities import WorldConfig, build_world
+from repro.trace.events import EventConfig
+from repro.trace.generator import generate_trace
+from repro.trace.workloads import WorkloadSpec
+
+specs = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    seed=st.integers(0, 2**31 - 1),
+    n_epochs=st.integers(1, 4),
+    world=st.builds(
+        WorldConfig,
+        n_asns=st.integers(4, 20),
+        n_cdns=st.integers(2, 6),
+        n_sites=st.integers(2, 10),
+        zipf_exponent=st.floats(0.5, 1.5),
+        single_bitrate_site_fraction=st.floats(0.0, 0.4),
+        wireless_asn_fraction=st.floats(0.0, 0.5),
+    ),
+    events=st.builds(
+        EventConfig,
+        chronic_per_metric=st.integers(0, 2),
+        major_per_week=st.integers(0, 6),
+        minor_per_week=st.integers(0, 6),
+        transient_per_week=st.integers(0, 6),
+        include_themed_chronics=st.booleans(),
+    ),
+    arrivals=st.builds(
+        ArrivalModel,
+        base_sessions_per_epoch=st.integers(60, 400),
+        diurnal_amplitude=st.floats(0.0, 0.6),
+        noise_sigma=st.floats(0.0, 0.2),
+    ),
+    include_region=st.booleans(),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs)
+def test_generated_trace_invariants(spec):
+    trace = generate_trace(spec)
+    table = trace.table
+
+    # Timestamps within the grid.
+    assert table.start_time.min() >= 0.0
+    assert table.start_time.max() < spec.n_epochs * spec.epoch_seconds
+
+    # Attribute codes within vocabularies.
+    for col, vocab in enumerate(table.vocabs):
+        assert table.codes[:, col].min() >= 0
+        assert table.codes[:, col].max() < len(vocab)
+
+    # Session-level quality invariants.
+    ok = ~table.join_failed
+    assert (table.duration_s[ok] > 0).all()
+    assert (table.buffering_s <= table.duration_s + 1e-9).all()
+    assert np.isnan(table.join_time_s[~ok]).all()
+    assert (np.nan_to_num(table.bitrate_kbps[ok], nan=1.0) > 0).all()
+
+    # Region column consistent with ASN regions when enabled.
+    if spec.include_region:
+        assert table.schema.names[-1] == "region"
+        region = table.codes[:, -1]
+        expected = trace.world.region_of_asn[table.codes[:, 0]]
+        assert np.array_equal(region, expected)
+
+    # Metric masks are well-formed for every metric.
+    for metric in ALL_METRICS:
+        problems = metric.problem_mask(table)
+        valid = metric.valid_mask(table)
+        assert not np.any(problems & ~valid)
+
+
+@settings(max_examples=15, deadline=None)
+@given(specs)
+def test_generation_deterministic(spec):
+    t1 = generate_trace(spec)
+    t2 = generate_trace(spec)
+    assert np.array_equal(t1.table.codes, t2.table.codes)
+    assert np.array_equal(t1.table.join_failed, t2.table.join_failed)
+    assert [e.event_id for e in t1.catalog] == [e.event_id for e in t2.catalog]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(2, 12),
+    st.integers(2, 5),
+    st.integers(2, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_world_build_never_crashes(n_asns, n_cdns, n_sites, seed):
+    world = build_world(
+        WorldConfig(n_asns=n_asns, n_cdns=n_cdns, n_sites=n_sites),
+        np.random.default_rng(seed),
+    )
+    assert len(world.vocabularies()) == 7
+    for site in world.sites:
+        assert all(0 <= i < n_cdns for i in site.cdn_indices)

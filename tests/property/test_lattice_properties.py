@@ -1,0 +1,102 @@
+"""Property-based tests of the attribute/cluster lattice."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import (
+    DEFAULT_SCHEMA,
+    iter_submasks,
+    iter_supermasks,
+    popcount,
+)
+from repro.core.clusters import ClusterKey
+
+FULL = DEFAULT_SCHEMA.full_mask
+
+masks = st.integers(min_value=0, max_value=FULL)
+nonempty_masks = st.integers(min_value=1, max_value=FULL)
+
+
+@given(nonempty_masks)
+def test_submasks_are_strict_subsets(mask):
+    for sub in iter_submasks(mask):
+        assert sub & mask == sub
+        assert sub not in (0, mask)
+
+
+@given(nonempty_masks)
+def test_submask_count(mask):
+    assert len(list(iter_submasks(mask))) == 2 ** popcount(mask) - 2
+
+
+@given(masks)
+def test_supermasks_are_strict_supersets(mask):
+    for sup in iter_supermasks(mask, FULL):
+        assert sup & mask == mask
+        assert sup != mask
+
+
+@given(nonempty_masks, nonempty_masks)
+def test_submask_supermask_duality(a, b):
+    """a is a strict submask of b iff b is a strict supermask of a."""
+    a_sub_b = a in set(iter_submasks(b))
+    b_sup_a = b in set(iter_supermasks(a, FULL))
+    if a != 0 and a != b:
+        assert a_sub_b == b_sup_a
+
+
+@given(masks)
+def test_names_of_round_trip(mask):
+    names = DEFAULT_SCHEMA.names_of(mask)
+    assert DEFAULT_SCHEMA.mask_of(names) == mask
+
+
+# -- ClusterKey properties ---------------------------------------------------
+values = st.sampled_from(["v1", "v2", "v3"])
+attr_maps = st.dictionaries(
+    st.sampled_from(DEFAULT_SCHEMA.names), values, min_size=0, max_size=7
+)
+
+
+@given(attr_maps)
+def test_key_round_trips_mapping(mapping):
+    key = ClusterKey.from_mapping(mapping)
+    assert key.as_dict() == mapping
+    assert key.depth == len(mapping)
+
+
+@given(attr_maps)
+def test_ancestors_are_ancestors(mapping):
+    key = ClusterKey.from_mapping(mapping)
+    for ancestor in key.ancestors():
+        assert ancestor.is_ancestor_of(key)
+        assert not key.is_ancestor_of(ancestor)
+
+
+@given(attr_maps)
+def test_ancestor_count(mapping):
+    key = ClusterKey.from_mapping(mapping)
+    n = len(mapping)
+    expected = max(2**n - 2, 0)
+    assert len(list(key.ancestors())) == expected
+
+
+@given(attr_maps, attr_maps)
+def test_ancestor_relation_antisymmetric(m1, m2):
+    k1 = ClusterKey.from_mapping(m1)
+    k2 = ClusterKey.from_mapping(m2)
+    assert not (k1.is_ancestor_of(k2) and k2.is_ancestor_of(k1))
+
+
+@given(attr_maps)
+def test_parents_have_depth_minus_one(mapping):
+    key = ClusterKey.from_mapping(mapping)
+    for parent in key.parents():
+        assert parent.depth == key.depth - 1
+        if parent.depth > 0:
+            assert parent.is_ancestor_of(key)
+
+
+@given(attr_maps)
+def test_mask_matches_depth(mapping):
+    key = ClusterKey.from_mapping(mapping)
+    assert popcount(key.mask()) == key.depth

@@ -1,0 +1,96 @@
+"""Property-based tests of the playback simulation invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.abr import BufferBasedABR, FixedBitrateABR, RateBasedABR
+from repro.sim.bandwidth import MarkovBandwidth
+from repro.sim.cdn import CDNServer
+from repro.sim.playback import simulate_session
+from repro.sim.segments import VideoManifest
+
+ladders = st.lists(
+    st.floats(100.0, 8000.0), min_size=1, max_size=5, unique=True
+).map(lambda xs: tuple(sorted(xs)))
+
+abr_factories = st.sampled_from([
+    lambda: FixedBitrateABR(rung=0),
+    lambda: FixedBitrateABR(rung=2),
+    lambda: RateBasedABR(),
+    lambda: BufferBasedABR(),
+])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ladder=ladders,
+    mean_bw=st.floats(200.0, 20_000.0),
+    abr_factory=abr_factories,
+    watch=st.floats(10.0, 400.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_playback_invariants(ladder, mean_bw, abr_factory, watch, seed):
+    rng = np.random.default_rng(seed)
+    manifest = VideoManifest(
+        ladder_kbps=ladder, segment_duration_s=4.0, total_duration_s=120.0
+    )
+    server = CDNServer(
+        name="edge", rtt_s=0.05, failure_prob=0.01, throughput_cap_kbps=1e9
+    )
+    result = simulate_session(
+        manifest=manifest,
+        abr=abr_factory(),
+        bandwidth=MarkovBandwidth(mean_bw, rng),
+        server=server,
+        rng=rng,
+        watch_duration_s=watch,
+        max_join_time_s=600.0,
+    )
+    if result.failed:
+        assert result.played_s == 0.0
+        assert np.isnan(result.join_time_s)
+        return
+    # Accounting invariants.
+    assert result.join_time_s > 0
+    assert result.played_s >= 0
+    assert result.buffering_s >= 0
+    assert result.duration_s == result.played_s + result.buffering_s
+    assert 0.0 <= result.buffering_ratio <= 1.0
+    # Bitrate comes from the ladder.
+    assert ladder[0] - 1e-9 <= result.avg_bitrate_kbps <= ladder[-1] + 1e-9
+    # Stall accounting is event-consistent.
+    if result.buffering_s > 0:
+        assert result.stall_events >= 1
+    # Per-rung playtime is non-negative and covers valid rungs only.
+    for rung, seconds in result.rung_playtime_s.items():
+        assert 0 <= rung < manifest.n_rungs
+        assert seconds >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mean_bw=st.floats(500.0, 20_000.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fixed_low_rung_never_buffers_more_than_high(mean_bw, seed):
+    """Playing a lower fixed rung on the same link never stalls more."""
+    manifest = VideoManifest(
+        ladder_kbps=(300.0, 3000.0), segment_duration_s=4.0,
+        total_duration_s=80.0,
+    )
+    server = CDNServer(name="e", rtt_s=0.03, failure_prob=0.0,
+                       throughput_cap_kbps=1e9)
+
+    def run(rung):
+        rng = np.random.default_rng(seed)
+        return simulate_session(
+            manifest=manifest,
+            abr=FixedBitrateABR(rung=rung),
+            bandwidth=MarkovBandwidth(mean_bw, np.random.default_rng(seed)),
+            server=server,
+            rng=rng,
+            max_join_time_s=1e9,
+        )
+
+    low, high = run(0), run(1)
+    assert low.buffering_s <= high.buffering_s + 1e-6

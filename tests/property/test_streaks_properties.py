@@ -1,0 +1,72 @@
+"""Property-based tests of prevalence/persistence semantics."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.streaks import ClusterTimeline, build_timelines
+
+epoch_sets = st.lists(
+    st.sets(st.sampled_from("abcde"), max_size=5), min_size=1, max_size=40
+)
+
+
+@given(epoch_sets)
+def test_streaks_partition_occurrences(per_epoch):
+    timelines = build_timelines(per_epoch)
+    for tl in timelines.values():
+        covered = []
+        for streak in tl.streaks():
+            covered.extend(range(streak.start, streak.end))
+        assert sorted(covered) == tl.epochs.tolist()
+
+
+@given(epoch_sets)
+def test_streaks_are_maximal(per_epoch):
+    timelines = build_timelines(per_epoch)
+    for key, tl in timelines.items():
+        present = set(tl.epochs.tolist())
+        for streak in tl.streaks():
+            # not extendable left or right
+            assert streak.start - 1 not in present
+            assert streak.end not in present
+
+
+@given(epoch_sets)
+def test_prevalence_bounds(per_epoch):
+    timelines = build_timelines(per_epoch)
+    for tl in timelines.values():
+        assert 0 < tl.prevalence <= 1
+        assert tl.prevalence == tl.n_occurrences / len(per_epoch)
+
+
+@given(epoch_sets)
+def test_max_persistence_bounds_median(per_epoch):
+    timelines = build_timelines(per_epoch)
+    for tl in timelines.values():
+        assert tl.median_persistence <= tl.max_persistence
+        assert tl.max_persistence <= tl.n_occurrences
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+def test_timeline_idempotent_under_duplicates(epochs):
+    tl1 = ClusterTimeline(key="k", epochs=np.array(epochs), n_epochs_total=101)
+    tl2 = ClusterTimeline(
+        key="k", epochs=np.array(epochs + epochs), n_epochs_total=101
+    )
+    assert tl1.epochs.tolist() == tl2.epochs.tolist()
+    assert tl1.streaks() == tl2.streaks()
+
+
+@given(st.sets(st.integers(0, 60), min_size=1, max_size=40), st.integers(1, 10))
+def test_shifting_epochs_shifts_streaks(epoch_set, shift):
+    base = ClusterTimeline(
+        key="k", epochs=np.array(sorted(epoch_set)), n_epochs_total=100
+    )
+    shifted = ClusterTimeline(
+        key="k",
+        epochs=np.array([e + shift for e in sorted(epoch_set)]),
+        n_epochs_total=100,
+    )
+    base_streaks = [(s.start + shift, s.length) for s in base.streaks()]
+    got = [(s.start, s.length) for s in shifted.streaks()]
+    assert base_streaks == got

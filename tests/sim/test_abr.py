@@ -1,0 +1,104 @@
+"""Tests for the ABR algorithms."""
+
+import pytest
+
+from repro.sim.abr import BufferBasedABR, FixedBitrateABR, RateBasedABR
+from repro.sim.segments import VideoManifest
+
+MANIFEST = VideoManifest(
+    ladder_kbps=(400.0, 1000.0, 2500.0, 5000.0),
+    segment_duration_s=4.0,
+    total_duration_s=60.0,
+)
+
+
+class TestFixedBitrate:
+    def test_constant_choice(self):
+        abr = FixedBitrateABR(rung=1)
+        assert abr.choose(MANIFEST, 100_000.0, 30.0) == 1
+        assert abr.choose(MANIFEST, 10.0, 0.0) == 1
+
+    def test_clamped_to_ladder(self):
+        abr = FixedBitrateABR(rung=99)
+        assert abr.choose(MANIFEST, 1000.0, 0.0) == 3
+
+    def test_negative_rung_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBitrateABR(rung=-1)
+
+    def test_observe_is_noop(self):
+        abr = FixedBitrateABR()
+        abr.observe(123.0)
+        assert abr.choose(MANIFEST, 1.0, 0.0) == 0
+
+
+class TestRateBased:
+    def test_safety_margin_applied(self):
+        abr = RateBasedABR(safety=0.8)
+        # 0.8 * 1200 = 960 -> rung 400
+        assert abr.choose(MANIFEST, 1200.0, 0.0) == 0
+        # 0.8 * 1300 = 1040 -> rung 1000
+        assert abr.choose(MANIFEST, 1300.0, 0.0) == 1
+
+    def test_uses_initial_estimate_when_unobserved(self):
+        abr = RateBasedABR(safety=1.0)
+        assert abr.choose(MANIFEST, 2500.0, 0.0) == 2
+
+    def test_ewma_converges_to_observations(self):
+        abr = RateBasedABR(safety=1.0, ewma_alpha=0.5)
+        for _ in range(20):
+            abr.observe(5000.0)
+        assert abr.estimate_kbps == pytest.approx(5000.0, rel=0.01)
+        assert abr.choose(MANIFEST, 100.0, 0.0) == 3  # estimate overrides hint
+
+    def test_ewma_reacts_to_drop(self):
+        abr = RateBasedABR(safety=1.0, ewma_alpha=0.5)
+        abr.observe(5000.0)
+        for _ in range(6):
+            abr.observe(500.0)
+        assert abr.choose(MANIFEST, 5000.0, 0.0) == 0
+
+    def test_observe_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            RateBasedABR().observe(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateBasedABR(safety=0.0)
+        with pytest.raises(ValueError):
+            RateBasedABR(ewma_alpha=1.5)
+
+
+class TestBufferBased:
+    def test_reservoir_forces_lowest(self):
+        abr = BufferBasedABR(reservoir_s=8.0, cushion_end_s=30.0)
+        assert abr.choose(MANIFEST, 1e9, 4.0) == 0
+        assert abr.choose(MANIFEST, 1e9, 8.0) == 0
+
+    def test_full_cushion_forces_highest(self):
+        abr = BufferBasedABR(reservoir_s=8.0, cushion_end_s=30.0)
+        assert abr.choose(MANIFEST, 1.0, 30.0) == 3
+        assert abr.choose(MANIFEST, 1.0, 55.0) == 3
+
+    def test_linear_interpolation(self):
+        abr = BufferBasedABR(reservoir_s=8.0, cushion_end_s=30.0)
+        rungs = [abr.choose(MANIFEST, 1.0, level) for level in (10, 15, 20, 25, 29)]
+        assert rungs == sorted(rungs)
+        assert rungs[0] >= 0
+        assert rungs[-1] <= 3
+
+    def test_monotone_in_buffer_level(self):
+        abr = BufferBasedABR()
+        levels = [0, 5, 10, 15, 20, 25, 30, 40]
+        rungs = [abr.choose(MANIFEST, 1.0, lv) for lv in levels]
+        assert rungs == sorted(rungs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferBasedABR(reservoir_s=-1.0)
+        with pytest.raises(ValueError):
+            BufferBasedABR(reservoir_s=10.0, cushion_end_s=5.0)
+
+    def test_throughput_ignored(self):
+        abr = BufferBasedABR()
+        assert abr.choose(MANIFEST, 1.0, 50.0) == abr.choose(MANIFEST, 1e9, 50.0)

@@ -1,0 +1,89 @@
+"""Tests for the Markov-modulated bandwidth process."""
+
+import numpy as np
+import pytest
+
+from repro.sim.bandwidth import MarkovBandwidth
+
+
+def make(mean=5000.0, seed=0, **kwargs):
+    return MarkovBandwidth(mean, np.random.default_rng(seed), **kwargs)
+
+
+class TestValidation:
+    def test_mean_positive(self):
+        with pytest.raises(ValueError):
+            make(mean=0.0)
+
+    def test_transition_rows_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            MarkovBandwidth(
+                1000.0, np.random.default_rng(0),
+                state_factors=(1.0, 0.5),
+                transitions=((0.5, 0.4), (0.5, 0.5)),
+            )
+
+    def test_transition_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            MarkovBandwidth(
+                1000.0, np.random.default_rng(0),
+                state_factors=(1.0, 0.5, 0.2),
+                transitions=((0.5, 0.5), (0.5, 0.5)),
+            )
+
+    def test_negative_probability(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovBandwidth(
+                1000.0, np.random.default_rng(0),
+                state_factors=(1.0, 0.5),
+                transitions=((1.5, -0.5), (0.5, 0.5)),
+            )
+
+    def test_initial_state_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make(initial_state=9)
+
+    def test_negative_jitter(self):
+        with pytest.raises(ValueError):
+            make(jitter_sigma=-0.1)
+
+
+class TestDynamics:
+    def test_rates_positive(self):
+        bw = make()
+        for sample in bw.sample_series(200):
+            assert sample.rate_kbps > 0
+
+    def test_states_valid(self):
+        bw = make()
+        for sample in bw.sample_series(200):
+            assert 0 <= sample.state < 3
+
+    def test_mean_rate_tracks_mean_parameter(self):
+        bw = make(mean=8000.0, seed=1, jitter_sigma=0.0)
+        rates = [s.rate_kbps for s in bw.sample_series(5000)]
+        # Stationary mix of (1.0, 0.5, 0.15) factors: mean well below
+        # the nominal but the same order of magnitude.
+        assert 0.4 * 8000 < np.mean(rates) <= 8000
+
+    def test_deterministic_given_seed(self):
+        r1 = [s.rate_kbps for s in make(seed=7).sample_series(50)]
+        r2 = [s.rate_kbps for s in make(seed=7).sample_series(50)]
+        assert r1 == r2
+
+    def test_sticky_good_state(self):
+        bw = make(seed=2, initial_state=0)
+        states = [s.state for s in bw.sample_series(2000)]
+        frac_good = states.count(0) / len(states)
+        assert frac_good > 0.5  # good state dominates the stationary mix
+
+    def test_deep_fade_reduces_rate(self):
+        bw = make(seed=3, jitter_sigma=0.0, initial_state=0)
+        rates_by_state = {0: [], 1: [], 2: []}
+        for sample in bw.sample_series(3000):
+            rates_by_state[sample.state].append(sample.rate_kbps)
+        assert np.mean(rates_by_state[2]) < np.mean(rates_by_state[0])
+
+    def test_negative_series_length_rejected(self):
+        with pytest.raises(ValueError):
+            make().sample_series(-1)

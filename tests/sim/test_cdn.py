@@ -1,0 +1,78 @@
+"""Tests for CDN servers and site CDN selection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cdn import CDNServer, SiteCDNSelector
+
+
+def server(**overrides) -> CDNServer:
+    kwargs = dict(name="edge", rtt_s=0.05, failure_prob=0.02,
+                  throughput_cap_kbps=50_000.0)
+    kwargs.update(overrides)
+    return CDNServer(**kwargs)
+
+
+class TestCDNServer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            server(rtt_s=0.0)
+        with pytest.raises(ValueError):
+            server(failure_prob=1.0)
+        with pytest.raises(ValueError):
+            server(throughput_cap_kbps=0.0)
+
+    def test_effective_throughput_caps(self):
+        s = server(throughput_cap_kbps=10_000.0)
+        assert s.effective_throughput(50_000.0) == 10_000.0
+        assert s.effective_throughput(5_000.0) == 5_000.0
+
+    def test_effective_throughput_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            server().effective_throughput(0.0)
+
+    def test_join_failure_rate_matches_probability(self):
+        s = server(failure_prob=0.2)
+        rng = np.random.default_rng(0)
+        fails = sum(s.join_fails(rng) for _ in range(20_000)) / 20_000
+        assert fails == pytest.approx(0.2, abs=0.02)
+
+    def test_odds_multiplier_raises_rate(self):
+        s = server(failure_prob=0.02)
+        rng = np.random.default_rng(1)
+        base = sum(s.join_fails(rng) for _ in range(20_000)) / 20_000
+        rng = np.random.default_rng(1)
+        boosted = sum(s.join_fails(rng, 10.0) for _ in range(20_000)) / 20_000
+        assert boosted > 5 * base
+        assert boosted < 1.0
+
+    def test_zero_failure_never_fails(self):
+        s = server(failure_prob=0.0)
+        rng = np.random.default_rng(2)
+        assert not any(s.join_fails(rng, 100.0) for _ in range(1000))
+
+    def test_odds_multiplier_must_be_positive(self):
+        with pytest.raises(ValueError):
+            server().join_fails(np.random.default_rng(0), 0.0)
+
+
+class TestSiteCDNSelector:
+    def test_weighted_selection(self):
+        servers = [server(name="a"), server(name="b")]
+        selector = SiteCDNSelector(servers, weights=[9.0, 1.0])
+        rng = np.random.default_rng(3)
+        picks = [selector.select(rng).name for _ in range(2000)]
+        frac_a = picks.count("a") / len(picks)
+        assert frac_a == pytest.approx(0.9, abs=0.03)
+
+    def test_single_server(self):
+        selector = SiteCDNSelector([server(name="only")], weights=[1.0])
+        assert selector.select(np.random.default_rng(0)).name == "only"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteCDNSelector([], weights=[])
+        with pytest.raises(ValueError):
+            SiteCDNSelector([server()], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            SiteCDNSelector([server()], weights=[-1.0])

@@ -1,0 +1,86 @@
+"""Tests for the mechanistic QoE engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import MechanisticParams, MechanisticQoEEngine
+from repro.trace.entities import WorldConfig, build_world
+from repro.trace.population import AttributeSampler
+from repro.trace.qoe import EffectArrays
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=10, n_cdns=4, n_sites=6),
+                       np.random.default_rng(8))
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return MechanisticQoEEngine(world)
+
+
+@pytest.fixture(scope="module")
+def codes(world):
+    return AttributeSampler(world).sample(400, np.random.default_rng(9))
+
+
+class TestMechanisticEngine:
+    def test_batch_shapes(self, engine, codes):
+        batch = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(0)
+        )
+        assert len(batch) == len(codes)
+
+    def test_invariants(self, engine, codes):
+        batch = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(0)
+        )
+        ok = ~batch.join_failed
+        assert (batch.duration_s[ok] >= 0).all()
+        assert (batch.buffering_s[ok] <= batch.duration_s[ok] + 1e-9).all()
+        assert np.isnan(batch.bitrate_kbps[~ok]).all()
+
+    def test_bitrates_within_site_ladders(self, world, engine, codes):
+        batch = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(1)
+        )
+        ok = ~batch.join_failed
+        for i in np.nonzero(ok)[0]:
+            ladder = world.sites[int(codes[i, 2])].ladder
+            assert ladder[0] <= batch.bitrate_kbps[i] <= ladder[-1]
+
+    def test_failure_odds_effect(self, engine, codes):
+        eff = EffectArrays.neutral(len(codes))
+        eff.join_failure_odds[:] = 100.0
+        batch = engine.generate(codes, eff, np.random.default_rng(2))
+        base = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(2)
+        )
+        assert batch.join_failed.mean() > base.join_failed.mean()
+
+    def test_bitrate_cap_effect(self, engine, codes):
+        eff = EffectArrays.neutral(len(codes))
+        eff.bitrate_cap_kbps[:] = 500.0
+        batch = engine.generate(codes, eff, np.random.default_rng(3))
+        ok = ~batch.join_failed
+        assert (batch.bitrate_kbps[ok] <= 500.0).all()
+
+    def test_join_time_factor_effect(self, engine, codes):
+        eff = EffectArrays.neutral(len(codes))
+        eff.join_time_factor[:] = 8.0
+        slow = engine.generate(codes, eff, np.random.default_rng(4))
+        base = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(4)
+        )
+        assert np.nanmedian(slow.join_time_s) > np.nanmedian(base.join_time_s)
+
+    def test_custom_params(self, world, codes):
+        engine = MechanisticQoEEngine(
+            world, MechanisticParams(watch_median_s=30.0, watch_sigma=0.1)
+        )
+        batch = engine.generate(
+            codes, EffectArrays.neutral(len(codes)), np.random.default_rng(5)
+        )
+        ok = ~batch.join_failed
+        assert np.median(batch.duration_s[ok]) < 120.0

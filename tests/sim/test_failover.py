@@ -1,0 +1,136 @@
+"""Tests for mid-stream CDN failover."""
+
+import numpy as np
+import pytest
+
+from repro.sim.abr import FixedBitrateABR, RateBasedABR
+from repro.sim.bandwidth import MarkovBandwidth
+from repro.sim.cdn import CDNServer
+from repro.sim.failover import (
+    compare_single_vs_multi_cdn,
+    simulate_session_with_failover,
+)
+from repro.sim.segments import VideoManifest
+
+MANIFEST = VideoManifest(
+    ladder_kbps=(400.0, 1000.0, 2500.0),
+    segment_duration_s=4.0,
+    total_duration_s=120.0,
+)
+
+
+def server(name="edge", fail=0.01, cap=1e9, rtt=0.03):
+    return CDNServer(name=name, rtt_s=rtt, failure_prob=fail,
+                     throughput_cap_kbps=cap)
+
+
+def steady(mean, seed=0):
+    return MarkovBandwidth(
+        mean, np.random.default_rng(seed),
+        state_factors=(1.0,), transitions=((1.0,),), jitter_sigma=0.0,
+    )
+
+
+def run(servers, bandwidth_kbps=8000.0, seed=0, **kwargs):
+    return simulate_session_with_failover(
+        manifest=MANIFEST,
+        abr=kwargs.pop("abr", RateBasedABR()),
+        bandwidth=steady(bandwidth_kbps, seed),
+        servers=servers,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestJoinFailover:
+    def test_second_server_rescues_join(self):
+        # First server always fails; second never does.
+        servers = [server("dead", fail=0.99), server("alive", fail=0.0)]
+        result = run(servers, seed=1, failure_odds=100.0)
+        assert not result.failed
+        assert result.join_attempts == 2
+        assert result.servers_used[0] == "alive"
+
+    def test_all_servers_failing_fails_session(self):
+        servers = [server("dead1", fail=0.99), server("dead2", fail=0.99)]
+        result = run(servers, seed=2, failure_odds=1e6)
+        assert result.failed
+        assert result.join_attempts == 2
+
+    def test_single_healthy_server_plays(self):
+        result = run([server(fail=0.0)])
+        assert not result.failed
+        assert result.midstream_switches == 0
+
+
+class TestMidstreamFailover:
+    def test_switch_away_from_capped_server(self):
+        # First server's edge is so slow the top rung stalls; the
+        # second is healthy. Forcing the top rung triggers switching.
+        servers = [
+            server("slow", fail=0.0, cap=900.0),
+            server("fast", fail=0.0, cap=1e9),
+        ]
+        result = run(
+            servers, bandwidth_kbps=20_000.0, seed=3,
+            abr=FixedBitrateABR(rung=2), stall_tolerance_s=2.0,
+        )
+        assert not result.failed
+        assert result.midstream_switches >= 1
+        assert "fast" in result.servers_used
+
+    def test_no_switching_with_single_server(self):
+        result = run(
+            [server("slow", fail=0.0, cap=900.0)],
+            bandwidth_kbps=20_000.0, seed=4,
+            abr=FixedBitrateABR(rung=2), stall_tolerance_s=2.0,
+        )
+        assert result.midstream_switches == 0
+        assert result.buffering_s > 0
+
+    def test_failover_reduces_buffering(self):
+        slow_only = run(
+            [server("slow", fail=0.0, cap=900.0)],
+            bandwidth_kbps=20_000.0, seed=5,
+            abr=FixedBitrateABR(rung=2), stall_tolerance_s=2.0,
+        )
+        with_failover = run(
+            [server("slow", fail=0.0, cap=900.0), server("fast", fail=0.0)],
+            bandwidth_kbps=20_000.0, seed=5,
+            abr=FixedBitrateABR(rung=2), stall_tolerance_s=2.0,
+        )
+        assert with_failover.buffering_s < slow_only.buffering_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run([])
+        with pytest.raises(ValueError, match="invalid failover"):
+            run([server()], stall_tolerance_s=0.0)
+
+
+class TestComparison:
+    def test_multi_cdn_reduces_failures(self):
+        servers = [server("flaky", fail=0.3), server("stable", fail=0.005)]
+        comparison = compare_single_vs_multi_cdn(
+            MANIFEST, RateBasedABR, servers,
+            mean_bandwidth_kbps=8000.0, n_sessions=150, seed=6,
+            failure_odds=3.0,
+        )
+        assert comparison.multi_failure_rate < comparison.single_failure_rate
+        assert comparison.failure_reduction > 0.5
+
+    def test_accounting_fields(self):
+        servers = [server("a", fail=0.05), server("b", fail=0.05)]
+        comparison = compare_single_vs_multi_cdn(
+            MANIFEST, RateBasedABR, servers,
+            mean_bandwidth_kbps=6000.0, n_sessions=50, seed=7,
+        )
+        assert comparison.n_sessions == 50
+        assert 0 <= comparison.multi_failure_rate <= 1
+        assert comparison.mean_switches >= 0
+
+    def test_requires_two_servers(self):
+        with pytest.raises(ValueError, match="two servers"):
+            compare_single_vs_multi_cdn(
+                MANIFEST, RateBasedABR, [server()], 5000.0
+            )

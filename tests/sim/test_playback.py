@@ -1,0 +1,141 @@
+"""Tests for the session playback simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.abr import FixedBitrateABR, RateBasedABR
+from repro.sim.bandwidth import MarkovBandwidth
+from repro.sim.cdn import CDNServer
+from repro.sim.playback import simulate_session
+from repro.sim.segments import VideoManifest
+
+MANIFEST = VideoManifest(
+    ladder_kbps=(400.0, 1000.0, 2500.0),
+    segment_duration_s=4.0,
+    total_duration_s=120.0,
+)
+
+
+def steady_bandwidth(mean, seed=0):
+    """A bandwidth process pinned to its good state with no jitter."""
+    return MarkovBandwidth(
+        mean, np.random.default_rng(seed),
+        state_factors=(1.0,), transitions=((1.0,),), jitter_sigma=0.0,
+    )
+
+
+def healthy_server(**overrides):
+    kwargs = dict(name="edge", rtt_s=0.03, failure_prob=0.001,
+                  throughput_cap_kbps=1e9)
+    kwargs.update(overrides)
+    return CDNServer(**kwargs)
+
+
+def run(bandwidth_kbps=8000.0, abr=None, server=None, seed=0, **kwargs):
+    return simulate_session(
+        manifest=MANIFEST,
+        abr=abr or RateBasedABR(),
+        bandwidth=steady_bandwidth(bandwidth_kbps, seed),
+        server=server or healthy_server(),
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestHealthySession:
+    def test_plays_without_stalls(self):
+        result = run(bandwidth_kbps=10_000.0)
+        assert not result.failed
+        assert result.buffering_s == 0.0
+        assert result.stall_events == 0
+        assert result.played_s > 0
+
+    def test_join_time_reasonable(self):
+        result = run(bandwidth_kbps=10_000.0)
+        # Startup needs one 4 s segment at the lowest-ish rung.
+        assert 0 < result.join_time_s < 5.0
+
+    def test_reaches_top_rung(self):
+        result = run(bandwidth_kbps=20_000.0)
+        assert result.avg_bitrate_kbps > 1000.0
+
+    def test_buffering_ratio_zero(self):
+        result = run(bandwidth_kbps=10_000.0)
+        assert result.buffering_ratio == 0.0
+
+
+class TestConstrainedSession:
+    def test_slow_link_stalls_fixed_high_rung(self):
+        # Forcing the top rung over a link slower than the rung must stall.
+        result = run(bandwidth_kbps=2000.0, abr=FixedBitrateABR(rung=2))
+        assert result.buffering_s > 0
+        assert result.stall_events >= 1
+
+    def test_abr_avoids_most_stalls_vs_fixed(self):
+        fixed = run(bandwidth_kbps=2000.0, abr=FixedBitrateABR(rung=2), seed=4)
+        adaptive = run(bandwidth_kbps=2000.0, abr=RateBasedABR(), seed=4)
+        assert adaptive.buffering_s < fixed.buffering_s
+
+    def test_slow_link_picks_low_rung(self):
+        result = run(bandwidth_kbps=900.0)
+        assert result.avg_bitrate_kbps <= 1000.0
+
+    def test_watch_duration_limits_playback(self):
+        short = run(watch_duration_s=20.0)
+        long = run(watch_duration_s=100.0)
+        assert short.played_s <= long.played_s
+        assert short.played_s <= 30.0  # ~watch limit + buffer drain slack
+
+
+class TestFailures:
+    def test_server_failure_yields_join_failure(self):
+        result = run(server=healthy_server(failure_prob=0.5), seed=3,
+                     failure_odds=50.0)
+        assert result.failed
+        assert np.isnan(result.join_time_s)
+        assert result.played_s == 0.0
+
+    def test_hopeless_startup_times_out(self):
+        result = simulate_session(
+            manifest=MANIFEST,
+            abr=FixedBitrateABR(rung=2),
+            bandwidth=steady_bandwidth(50.0),
+            server=healthy_server(),
+            rng=np.random.default_rng(0),
+            max_join_time_s=30.0,
+        )
+        assert result.failed
+
+
+class TestAccounting:
+    def test_duration_is_play_plus_stall(self):
+        result = run(bandwidth_kbps=1200.0, abr=FixedBitrateABR(rung=2), seed=5)
+        assert result.duration_s == pytest.approx(
+            result.played_s + result.buffering_s
+        )
+
+    def test_avg_bitrate_within_ladder(self):
+        for seed in range(5):
+            result = run(seed=seed)
+            if not result.failed:
+                assert MANIFEST.ladder_kbps[0] <= result.avg_bitrate_kbps
+                assert result.avg_bitrate_kbps <= MANIFEST.ladder_kbps[-1]
+
+    def test_rung_playtime_sums_to_steady_state_play(self):
+        result = run(bandwidth_kbps=6000.0)
+        assert sum(result.rung_playtime_s.values()) > 0
+
+    def test_switch_count_nonnegative(self):
+        result = run(bandwidth_kbps=3000.0)
+        assert result.rung_switches >= 0
+
+    def test_join_overhead_adds_to_join_time(self):
+        base = run(seed=6)
+        slowed = run(seed=6, join_overhead_s=5.0)
+        assert slowed.join_time_s == pytest.approx(base.join_time_s + 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run(startup_buffer_s=0.0)
+        with pytest.raises(ValueError):
+            run(watch_duration_s=0.0)

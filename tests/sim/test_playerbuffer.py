@@ -1,0 +1,88 @@
+"""Tests for player buffer dynamics."""
+
+import pytest
+
+from repro.sim.playerbuffer import PlayerBuffer
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            PlayerBuffer(capacity_s=0.0)
+
+    def test_initial_level_bounds(self):
+        with pytest.raises(ValueError):
+            PlayerBuffer(capacity_s=10.0, level_s=11.0)
+
+    def test_negative_operations_rejected(self):
+        buf = PlayerBuffer()
+        with pytest.raises(ValueError):
+            buf.add(-1.0)
+        with pytest.raises(ValueError):
+            buf.drain(-1.0)
+
+
+class TestFilling:
+    def test_add_accumulates(self):
+        buf = PlayerBuffer(capacity_s=60.0)
+        buf.add(4.0)
+        buf.add(4.0)
+        assert buf.level_s == pytest.approx(8.0)
+
+    def test_add_clamps_to_capacity(self):
+        buf = PlayerBuffer(capacity_s=10.0)
+        buf.add(25.0)
+        assert buf.level_s == 10.0
+        assert buf.is_full
+
+    def test_headroom(self):
+        buf = PlayerBuffer(capacity_s=10.0, level_s=4.0)
+        assert buf.headroom_s() == pytest.approx(6.0)
+
+
+class TestDraining:
+    def test_no_drain_before_playback(self):
+        buf = PlayerBuffer(level_s=5.0)
+        stall = buf.drain(3.0)
+        assert stall == 0.0
+        assert buf.level_s == 5.0
+
+    def test_drain_during_playback(self):
+        buf = PlayerBuffer(level_s=5.0)
+        buf.start_playback()
+        stall = buf.drain(3.0)
+        assert stall == 0.0
+        assert buf.level_s == pytest.approx(2.0)
+
+    def test_underrun_counts_stall(self):
+        buf = PlayerBuffer(level_s=2.0)
+        buf.start_playback()
+        stall = buf.drain(5.0)
+        assert stall == pytest.approx(3.0)
+        assert buf.level_s == 0.0
+        assert buf.total_stall_s == pytest.approx(3.0)
+        assert buf.stall_events == 1
+
+    def test_continuous_underrun_is_one_event(self):
+        buf = PlayerBuffer(level_s=1.0)
+        buf.start_playback()
+        buf.drain(2.0)
+        buf.drain(2.0)  # still starving, same stall event
+        assert buf.stall_events == 1
+        assert buf.total_stall_s == pytest.approx(3.0)
+
+    def test_refill_ends_stall_event(self):
+        buf = PlayerBuffer(level_s=1.0)
+        buf.start_playback()
+        buf.drain(2.0)  # stall 1
+        buf.add(4.0)
+        buf.drain(2.0)  # healthy
+        buf.drain(10.0)  # stall 2
+        assert buf.stall_events == 2
+
+    def test_exact_drain_no_stall(self):
+        buf = PlayerBuffer(level_s=4.0)
+        buf.start_playback()
+        assert buf.drain(4.0) == 0.0
+        assert buf.level_s == 0.0
+        assert buf.stall_events == 0

@@ -1,0 +1,82 @@
+"""Tests for video manifests and segments."""
+
+import pytest
+
+from repro.sim.segments import Segment, VideoManifest
+
+
+class TestSegment:
+    def test_size(self):
+        seg = Segment(index=0, duration_s=4.0, bitrate_kbps=1000.0)
+        assert seg.size_kbits == pytest.approx(4000.0)
+
+    def test_download_time(self):
+        seg = Segment(index=0, duration_s=4.0, bitrate_kbps=1000.0)
+        assert seg.download_time(2000.0) == pytest.approx(2.0)
+        assert seg.download_time(2000.0, rtt_s=0.1) == pytest.approx(2.1)
+
+    def test_download_faster_than_realtime(self):
+        seg = Segment(index=0, duration_s=4.0, bitrate_kbps=1000.0)
+        assert seg.download_time(4000.0) < seg.duration_s
+
+    def test_invalid_throughput(self):
+        seg = Segment(index=0, duration_s=4.0, bitrate_kbps=1000.0)
+        with pytest.raises(ValueError):
+            seg.download_time(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(index=-1, duration_s=4.0, bitrate_kbps=1000.0)
+        with pytest.raises(ValueError):
+            Segment(index=0, duration_s=0.0, bitrate_kbps=1000.0)
+
+
+class TestVideoManifest:
+    @pytest.fixture()
+    def manifest(self):
+        return VideoManifest(
+            ladder_kbps=(400.0, 1000.0, 2500.0),
+            segment_duration_s=4.0,
+            total_duration_s=30.0,
+        )
+
+    def test_n_segments_includes_partial(self, manifest):
+        assert manifest.n_segments == 8  # 7 full + one 2s tail
+
+    def test_n_segments_exact_multiple(self):
+        manifest = VideoManifest(
+            ladder_kbps=(400.0,), segment_duration_s=4.0, total_duration_s=32.0
+        )
+        assert manifest.n_segments == 8
+
+    def test_segment_durations(self, manifest):
+        assert manifest.segment(0, 0).duration_s == pytest.approx(4.0)
+        assert manifest.segment(7, 0).duration_s == pytest.approx(2.0)
+
+    def test_segment_bitrate_follows_rung(self, manifest):
+        assert manifest.segment(0, 2).bitrate_kbps == 2500.0
+
+    def test_segment_bounds(self, manifest):
+        with pytest.raises(ValueError, match="rung"):
+            manifest.segment(0, 3)
+        with pytest.raises(ValueError, match="segment"):
+            manifest.segment(8, 0)
+
+    def test_rung_below(self, manifest):
+        assert manifest.rung_below(300.0) == 0  # below lowest: lowest
+        assert manifest.rung_below(999.0) == 0
+        assert manifest.rung_below(1000.0) == 1
+        assert manifest.rung_below(99_999.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            VideoManifest(ladder_kbps=())
+        with pytest.raises(ValueError, match="ascending"):
+            VideoManifest(ladder_kbps=(1000.0, 400.0))
+        with pytest.raises(ValueError, match="positive"):
+            VideoManifest(ladder_kbps=(-5.0, 400.0))
+        with pytest.raises(ValueError):
+            VideoManifest(ladder_kbps=(400.0,), segment_duration_s=0.0)
+
+    def test_n_rungs(self, manifest):
+        assert manifest.n_rungs == 3

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["generate", "--workload", "tiny", "--seed", "3",
+                   "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_csv(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(["generate", "--workload", "tiny", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "-o", str(tmp_path / "trace.parquet")])
+
+
+class TestAnalyze:
+    def test_analyze_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "join_failure" in text
+        assert "Critical clusters" in text
+
+    def test_unsupported_extension(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "trace.parquet"])
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        text = capsys.readouterr().out
+        for experiment_id in ("fig1", "tab1", "fig11", "tab5", "validation"):
+            assert experiment_id in text
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "tab1", "--workload", "tiny",
+                     "--seed", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "Table 1" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99", "--workload", "tiny"])
+
+
+class TestValidate:
+    def test_validate(self, capsys):
+        assert main(["validate", "--workload", "tiny", "--seed", "5"]) == 0
+        assert "Ground-truth validation" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_workload_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--workload", "galaxy",
+                  "-o", str(tmp_path / "x.jsonl")])

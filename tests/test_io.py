@@ -1,0 +1,137 @@
+"""Tests for trace and result persistence."""
+
+import csv
+import math
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    read_sessions_csv,
+    read_sessions_jsonl,
+    write_sessions_csv,
+    write_sessions_jsonl,
+    write_series_csv,
+    write_table_csv,
+)
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+@pytest.fixture()
+def sample_table() -> SessionTable:
+    return SessionTable.from_sessions(
+        [
+            make_session(start_time=12.5, duration_s=300.0, buffering_s=4.5,
+                         join_time_s=2.25, bitrate_kbps=1600.0, cdn="cdn_x"),
+            make_session(start_time=99.0, join_failed=True, asn="AS77"),
+        ]
+    )
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, sample_table, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_sessions_jsonl(sample_table, path)
+        assert n == 2
+        back = read_sessions_jsonl(path)
+        assert len(back) == 2
+        original = list(sample_table.rows())
+        restored = list(back.rows())
+        assert restored[0].attrs == original[0].attrs
+        assert restored[0].buffering_s == original[0].buffering_s
+        assert restored[1].join_failed is True
+        assert math.isnan(restored[1].join_time_s)
+
+    def test_nan_encoded_as_null(self, sample_table, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_sessions_jsonl(sample_table, path)
+        lines = path.read_text().splitlines()
+        assert '"join_time_s": null' in lines[1]
+
+    def test_blank_lines_skipped(self, sample_table, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_sessions_jsonl(sample_table, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_sessions_jsonl(path)) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_sessions_jsonl(path)
+
+    def test_missing_attribute_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"asn": "AS1"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            read_sessions_jsonl(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, sample_table, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = write_sessions_csv(sample_table, path)
+        assert n == 2
+        back = read_sessions_csv(path)
+        original = list(sample_table.rows())
+        restored = list(back.rows())
+        assert restored[0].attrs == original[0].attrs
+        assert restored[0].bitrate_kbps == original[0].bitrate_kbps
+        assert restored[1].join_failed is True
+
+    def test_header(self, sample_table, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_sessions_csv(sample_table, path)
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+        assert header[:7] == list(sample_table.schema.names)
+        assert "join_failed" in header
+
+
+class TestResultExport:
+    def test_write_table(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_table_csv(path, ["metric", "value"], [["a", 1], ["b", 2]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["metric", "value"], ["a", "1"], ["b", "2"]]
+
+    def test_write_table_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_table_csv(tmp_path / "t.csv", ["a", "b"], [["only_one"]])
+
+    def test_write_series(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv(path, [0, 1], {"y": [0.5, 0.6]}, x_label="hour")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["hour", "y"]
+        assert rows[2] == ["1", "0.6"]
+
+    def test_write_series_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "s.csv", [0, 1], {"y": [1.0]})
+
+
+class TestGeneratedTraceRoundTrip:
+    def test_analysis_identical_after_round_trip(self, tiny_trace, tmp_path):
+        from repro.core import analyze_trace
+        from repro.core.metrics import JOIN_FAILURE
+        from repro.core.pipeline import AnalysisConfig
+
+        path = tmp_path / "trace.jsonl"
+        # Subset for speed: first two epochs.
+        rows = np.nonzero(tiny_trace.table.start_time < 2 * 3600.0)[0]
+        subset = tiny_trace.table.select(rows)
+        write_sessions_jsonl(subset, path)
+        restored = read_sessions_jsonl(path)
+        config = AnalysisConfig(metrics=(JOIN_FAILURE,))
+        a1 = analyze_trace(subset, config=config)
+        a2 = analyze_trace(restored, config=config)
+        e1 = a1["join_failure"].epochs
+        e2 = a2["join_failure"].epochs
+        assert [e.total_problems for e in e1] == [e.total_problems for e in e2]
+        assert [set(e.critical_clusters) for e in e1] == [
+            set(e.critical_clusters) for e in e2
+        ]

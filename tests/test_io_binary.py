@@ -1,0 +1,87 @@
+"""Tests for the npz binary trace format."""
+
+import numpy as np
+import pytest
+
+from repro.io.binary import read_sessions_npz, write_sessions_npz
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        table = SessionTable.from_sessions(
+            [
+                make_session(start_time=1.25, buffering_s=3.5, cdn="cdn_q"),
+                make_session(join_failed=True, asn="AS9"),
+            ]
+        )
+        path = tmp_path / "trace.npz"
+        assert write_sessions_npz(table, path) == 2
+        back = read_sessions_npz(path)
+        assert back.schema.names == table.schema.names
+        assert back.vocabs == table.vocabs
+        assert np.array_equal(back.codes, table.codes)
+        assert np.array_equal(back.start_time, table.start_time)
+        assert np.array_equal(back.join_failed, table.join_failed)
+        # NaNs survive exactly.
+        assert np.isnan(back.join_time_s[1])
+
+    def test_generated_trace_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_sessions_npz(tiny_trace.table, path)
+        back = read_sessions_npz(path)
+        assert len(back) == len(tiny_trace.table)
+        assert np.array_equal(back.codes, tiny_trace.table.codes)
+        assert np.allclose(
+            back.bitrate_kbps, tiny_trace.table.bitrate_kbps, equal_nan=True
+        )
+
+    def test_custom_schema_preserved(self, tmp_path):
+        import dataclasses
+
+        from repro.trace import StandardWorkloads, generate_trace
+
+        spec = dataclasses.replace(
+            StandardWorkloads.tiny_with_region(seed=3), n_epochs=2
+        )
+        trace = generate_trace(spec)
+        path = tmp_path / "region.npz"
+        write_sessions_npz(trace.table, path)
+        back = read_sessions_npz(path)
+        assert back.schema.names[-1] == "region"
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, other=np.arange(3))
+        with pytest.raises(ValueError, match="not a repro npz trace"):
+            read_sessions_npz(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        import json
+
+        table = SessionTable.from_sessions([make_session()])
+        path = tmp_path / "trace.npz"
+        write_sessions_npz(table, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = 999
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            read_sessions_npz(path)
+
+
+class TestCliNpz:
+    def test_generate_and_analyze_npz(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.npz"
+        assert main(["generate", "--workload", "tiny", "--seed", "3",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        assert "join_failure" in capsys.readouterr().out

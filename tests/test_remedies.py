@@ -1,0 +1,240 @@
+"""Tests for the automated remediation subsystem (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import JOIN_FAILURE, BUFFERING_RATIO
+from repro.remedies import (
+    add_bitrate_rungs,
+    attenuated_effects,
+    contract_additional_cdns,
+    evaluate_remedies,
+    peer_with_isp,
+    suggest_remedies,
+    upgrade_cdn,
+)
+from repro.trace.entities import WorldConfig, build_world
+from repro.trace.events import EventCatalog, EventEffects, GroundTruthEvent
+from repro.trace.generator import generate_trace
+from repro.trace.workloads import StandardWorkloads
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=20, n_cdns=6, n_sites=10),
+                       np.random.default_rng(3))
+
+
+def single_cdn_site(world):
+    for site in world.sites:
+        if len(site.cdn_indices) == 1:
+            return site
+    pytest.skip("no single-CDN site in this world")
+
+
+class TestAttenuation:
+    def test_identity_at_zero(self):
+        effects = EventEffects(join_failure_odds=20.0, buffering_factor=4.0)
+        assert attenuated_effects(effects, 0.0) == effects
+
+    def test_full_cure_is_neutral(self):
+        effects = EventEffects(
+            join_failure_odds=20.0, buffering_factor=4.0,
+            bitrate_cap_kbps=500.0,
+        )
+        cured = attenuated_effects(effects, 1.0)
+        assert cured.is_neutral
+
+    def test_partial_cure_moves_toward_neutral(self):
+        effects = EventEffects(join_failure_odds=16.0)
+        half = attenuated_effects(effects, 0.5)
+        assert 1.0 < half.join_failure_odds < 16.0
+        assert half.join_failure_odds == pytest.approx(4.0)  # 16^0.5
+
+    def test_cap_relaxes(self):
+        effects = EventEffects(bitrate_cap_kbps=500.0)
+        half = attenuated_effects(effects, 0.5)
+        assert half.bitrate_cap_kbps == pytest.approx(1000.0)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            attenuated_effects(EventEffects(), 1.5)
+
+
+class TestRemedyConstruction:
+    def test_contract_cdns_world_change(self, world):
+        site = single_cdn_site(world)
+        new_cdn = next(
+            c.name for i, c in enumerate(world.cdns)
+            if i not in site.cdn_indices
+        )
+        remedy = contract_additional_cdns(world, site.name, [new_cdn],
+                                          traffic_share=0.5)
+        new_world = remedy.apply_world(world)
+        new_site = new_world.sites[world.site_index(site.name)]
+        assert len(new_site.cdn_indices) == len(site.cdn_indices) + 1
+        assert sum(new_site.cdn_weights) == pytest.approx(1.0)
+        # Original world untouched.
+        assert len(site.cdn_indices) == 1
+
+    def test_contract_rejects_duplicate_cdn(self, world):
+        site = single_cdn_site(world)
+        existing = world.cdns[site.cdn_indices[0]].name
+        with pytest.raises(ValueError, match="already uses"):
+            contract_additional_cdns(world, site.name, [existing])
+
+    def test_contract_attenuates_matching_failure_events(self, world):
+        site = single_cdn_site(world)
+        new_cdn = next(
+            c.name for i, c in enumerate(world.cdns)
+            if i not in site.cdn_indices
+        )
+        remedy = contract_additional_cdns(world, site.name, [new_cdn],
+                                          traffic_share=0.6)
+        event = GroundTruthEvent(
+            event_id="e", tag="t", category="chronic",
+            primary_metric="join_failure",
+            constraints=(("site", site.name),),
+            start_epoch=0, duration_epochs=10,
+            effects=EventEffects(join_failure_odds=20.0),
+        )
+        fixed = remedy.apply_event(event)
+        assert fixed.effects.join_failure_odds < 20.0
+        other = GroundTruthEvent(
+            event_id="o", tag="t", category="chronic",
+            primary_metric="join_failure",
+            constraints=(("site", "someone_else"),),
+            start_epoch=0, duration_epochs=10,
+            effects=EventEffects(join_failure_odds=20.0),
+        )
+        assert remedy.apply_event(other) == other
+
+    def test_add_rungs(self, world):
+        site = world.sites[0]
+        ladder = tuple(sorted(set(site.ladder) | {200.0, 450.0, 6_500.0}))
+        remedy = add_bitrate_rungs(world, site.name, ladder)
+        new_world = remedy.apply_world(world)
+        assert new_world.sites[0].ladder == ladder
+
+    def test_add_rungs_requires_growth(self, world):
+        site = world.sites[0]
+        with pytest.raises(ValueError, match="add rungs"):
+            add_bitrate_rungs(world, site.name, site.ladder)
+
+    def test_upgrade_cdn_validates_name(self, world):
+        with pytest.raises(KeyError):
+            upgrade_cdn(world, "cdn_mars")
+
+    def test_peering_attenuates_asn_events(self, world):
+        asn = world.asns[0].name
+        remedy = peer_with_isp(world, asn, fraction=1.0)
+        event = GroundTruthEvent(
+            event_id="e", tag="t", category="chronic",
+            primary_metric="buffering_ratio",
+            constraints=(("asn", asn),),
+            start_epoch=0, duration_epochs=5,
+            effects=EventEffects(buffering_factor=6.0),
+        )
+        assert remedy.apply_event(event).effects.is_neutral
+
+
+class TestEvaluate:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        """Trace dominated by one planted failing single-CDN site."""
+        spec = StandardWorkloads.tiny(seed=33)
+        world = build_world(spec.world, np.random.default_rng(spec.seed))
+        # Force a single-CDN site deterministically.
+        from dataclasses import replace as dreplace
+
+        sites = list(world.sites)
+        sites[0] = dreplace(sites[0], cdn_indices=(0,), cdn_weights=(1.0,))
+        from repro.trace.entities import World
+
+        world = World(config=world.config, asns=world.asns, cdns=world.cdns,
+                      sites=sites)
+        event = GroundTruthEvent(
+            event_id="bad-site", tag="low-priority-site",
+            category="chronic", primary_metric="join_failure",
+            constraints=(("site", sites[0].name),),
+            start_epoch=0, duration_epochs=spec.n_epochs,
+            effects=EventEffects(join_failure_odds=30.0),
+        )
+        baseline = generate_trace(spec, world=world,
+                                  catalog=EventCatalog([event]))
+        return spec, world, sites[0], baseline
+
+    def test_multi_cdn_remedy_reduces_failures(self, scenario):
+        spec, world, site, baseline = scenario
+        new_cdns = [world.cdns[1].name, world.cdns[2].name]
+        remedy = contract_additional_cdns(world, site.name, new_cdns,
+                                          traffic_share=0.7)
+        evaluation = evaluate_remedies(
+            spec, [remedy], metrics=(JOIN_FAILURE,), baseline=baseline
+        )
+        delta = evaluation.deltas["join_failure"]
+        assert delta.remedied_ratio < delta.baseline_ratio
+        assert delta.relative_reduction > 0.1
+
+    def test_render(self, scenario):
+        spec, world, site, baseline = scenario
+        remedy = upgrade_cdn(world, world.cdns[0].name)
+        evaluation = evaluate_remedies(
+            spec, [remedy], metrics=(JOIN_FAILURE,), baseline=baseline
+        )
+        assert "Remedy evaluation" in evaluation.render()
+
+    def test_requires_remedies(self, scenario):
+        spec, _, _, baseline = scenario
+        with pytest.raises(ValueError, match="at least one"):
+            evaluate_remedies(spec, [], baseline=baseline)
+
+    def test_baseline_spec_mismatch_rejected(self, scenario):
+        spec, world, _, baseline = scenario
+        other_spec = StandardWorkloads.tiny(seed=99)
+        remedy = upgrade_cdn(world, world.cdns[0].name)
+        with pytest.raises(ValueError, match="different spec"):
+            evaluate_remedies(other_spec, [remedy], baseline=baseline)
+
+
+class TestSuggest:
+    def test_suggestions_on_generated_trace(self, tiny_ctx):
+        suggestions = []
+        for name, ma in tiny_ctx.analysis.metrics.items():
+            suggestions.extend(
+                suggest_remedies(tiny_ctx.trace.world, ma, top_k=4)
+            )
+        assert suggestions
+        for s in suggestions:
+            assert s.rationale
+            assert s.remedy.description
+
+    def test_suggestions_deduplicated(self, tiny_ctx):
+        ma = tiny_ctx.analysis["join_failure"]
+        suggestions = suggest_remedies(tiny_ctx.trace.world, ma, top_k=10)
+        names = [s.remedy.name for s in suggestions]
+        assert len(names) == len(set(names))
+
+    def test_top_k_validated(self, tiny_ctx):
+        with pytest.raises(ValueError):
+            suggest_remedies(
+                tiny_ctx.trace.world,
+                tiny_ctx.analysis["join_failure"],
+                top_k=0,
+            )
+
+    def test_suggested_remedies_evaluable(self, tiny_ctx):
+        """The full loop: detect -> suggest -> re-generate -> improve."""
+        ma = tiny_ctx.analysis["join_failure"]
+        suggestions = suggest_remedies(tiny_ctx.trace.world, ma, top_k=5)
+        if not suggestions:
+            pytest.skip("no suggestions for this seed")
+        evaluation = evaluate_remedies(
+            tiny_ctx.trace.spec,
+            [s.remedy for s in suggestions],
+            metrics=(JOIN_FAILURE, BUFFERING_RATIO),
+            baseline=tiny_ctx.trace,
+        )
+        delta = evaluation.deltas["join_failure"]
+        # The remedies must not make the target metric worse.
+        assert delta.remedied_ratio <= delta.baseline_ratio + 0.01

@@ -1,0 +1,74 @@
+"""Tests for the diurnal arrival model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.arrivals import ArrivalModel
+
+
+class TestValidation:
+    def test_defaults_ok(self):
+        ArrivalModel()
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(base_sessions_per_epoch=0)
+        with pytest.raises(ValueError):
+            ArrivalModel(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            ArrivalModel(weekend_factor=0.0)
+        with pytest.raises(ValueError):
+            ArrivalModel(noise_sigma=-0.1)
+
+
+class TestExpected:
+    def test_peak_at_peak_hour(self):
+        model = ArrivalModel(base_sessions_per_epoch=1000, peak_hour=20.0,
+                             weekend_factor=1.0)
+        expected = model.expected(np.arange(24))
+        assert int(np.argmax(expected)) == 20
+
+    def test_trough_opposite_peak(self):
+        model = ArrivalModel(base_sessions_per_epoch=1000, peak_hour=20.0,
+                             weekend_factor=1.0)
+        expected = model.expected(np.arange(24))
+        assert int(np.argmin(expected)) == 8
+
+    def test_weekend_lift(self):
+        model = ArrivalModel(base_sessions_per_epoch=1000, weekend_factor=1.2)
+        expected = model.expected(np.arange(168))
+        weekday_mean = expected[:120].mean()
+        weekend_mean = expected[120:].mean()
+        assert weekend_mean > weekday_mean
+
+    def test_amplitude_zero_is_flat(self):
+        model = ArrivalModel(base_sessions_per_epoch=1000, diurnal_amplitude=0.0,
+                             weekend_factor=1.0)
+        expected = model.expected(np.arange(24))
+        assert np.allclose(expected, 1000.0)
+
+
+class TestSample:
+    def test_counts_positive_ints(self):
+        model = ArrivalModel(base_sessions_per_epoch=500)
+        counts = model.sample(48, np.random.default_rng(0))
+        assert counts.shape == (48,)
+        assert counts.dtype == np.int64
+        assert (counts >= model.min_sessions).all()
+
+    def test_deterministic(self):
+        model = ArrivalModel()
+        c1 = model.sample(24, np.random.default_rng(5))
+        c2 = model.sample(24, np.random.default_rng(5))
+        assert np.array_equal(c1, c2)
+
+    def test_tracks_expected_profile(self):
+        model = ArrivalModel(base_sessions_per_epoch=5000, noise_sigma=0.01)
+        counts = model.sample(24, np.random.default_rng(1))
+        expected = model.expected(np.arange(24))
+        assert np.allclose(counts, expected, rtol=0.1)
+
+    def test_min_sessions_floor(self):
+        model = ArrivalModel(base_sessions_per_epoch=1, min_sessions=50)
+        counts = model.sample(5, np.random.default_rng(2))
+        assert (counts == 50).all()

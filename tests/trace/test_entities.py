@@ -1,0 +1,148 @@
+"""Tests for the synthetic world model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.entities import (
+    ASNProfile,
+    CDNProfile,
+    CONNECTION_TYPES,
+    REGIONS,
+    SiteProfile,
+    WorldConfig,
+    build_world,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=50, n_cdns=8, n_sites=20),
+                       np.random.default_rng(1))
+
+
+class TestWorldConfig:
+    def test_defaults(self):
+        config = WorldConfig()
+        assert config.n_asns == 200
+        assert config.n_cdns == 12
+        assert config.n_sites == 60
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_asns=1)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorldConfig(single_bitrate_site_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorldConfig(wireless_asn_fraction=-0.1)
+
+
+class TestBuildWorld:
+    def test_entity_counts(self, world):
+        assert len(world.asns) == 50
+        assert len(world.cdns) == 8
+        assert len(world.sites) == 20
+
+    def test_deterministic_given_seed(self):
+        config = WorldConfig(n_asns=10, n_cdns=4, n_sites=6)
+        w1 = build_world(config, np.random.default_rng(7))
+        w2 = build_world(config, np.random.default_rng(7))
+        assert [a.name for a in w1.asns] == [a.name for a in w2.asns]
+        assert [a.quality for a in w1.asns] == [a.quality for a in w2.asns]
+        assert [s.ladder for s in w1.sites] == [s.ladder for s in w2.sites]
+
+    def test_asn_regions_valid(self, world):
+        for asn in world.asns:
+            assert asn.region in REGIONS
+
+    def test_asn_access_mix_normalized(self, world):
+        for asn in world.asns:
+            assert sum(asn.access_mix) == pytest.approx(1.0)
+
+    def test_wireless_asns_mostly_mobile(self, world):
+        mobile_idx = CONNECTION_TYPES.index("mobile_wireless")
+        for asn in world.asns:
+            if asn.wireless:
+                assert asn.access_mix[mobile_idx] > 0.5
+
+    def test_some_single_bitrate_sites(self, world):
+        single = [s for s in world.sites if s.single_bitrate]
+        assert len(single) >= 1
+
+    def test_site_ladders_ascending(self, world):
+        for site in world.sites:
+            assert list(site.ladder) == sorted(site.ladder)
+
+    def test_site_cdn_policy_valid(self, world):
+        for site in world.sites:
+            assert all(0 <= i < len(world.cdns) for i in site.cdn_indices)
+            assert sum(site.cdn_weights) == pytest.approx(1.0)
+
+    def test_cdn_kinds(self, world):
+        kinds = {c.kind for c in world.cdns}
+        assert kinds <= {"global", "in_house", "isp", "datacenter"}
+        assert any(c.kind in ("in_house", "isp") for c in world.cdns)
+
+    def test_vocabularies_schema_order(self, world):
+        vocabs = world.vocabularies()
+        assert len(vocabs) == 7
+        assert vocabs[0] == [a.name for a in world.asns]
+        assert vocabs[3] == ["vod", "live"]
+
+    def test_entity_index_lookups(self, world):
+        assert world.asn_index(world.asns[3].name) == 3
+        assert world.cdn_index(world.cdns[0].name) == 0
+        assert world.site_index(world.sites[5].name) == 5
+        with pytest.raises(KeyError):
+            world.asn_index("ASnope")
+
+    def test_region_of_asn_matches_profiles(self, world):
+        for i, asn in enumerate(world.asns):
+            assert REGIONS[world.region_of_asn[i]] == asn.region
+
+
+class TestProfileValidation:
+    def test_asn_rejects_bad_region(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            ASNProfile(
+                name="AS1", region="mars", wireless=False, quality=1.0,
+                access_mix=(0.2, 0.2, 0.2, 0.2, 0.2), weight=1.0,
+            )
+
+    def test_asn_rejects_unnormalized_mix(self):
+        with pytest.raises(ValueError, match="sums to"):
+            ASNProfile(
+                name="AS1", region="us", wireless=False, quality=1.0,
+                access_mix=(0.5, 0.5, 0.5, 0.2, 0.2), weight=1.0,
+            )
+
+    def test_cdn_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="unknown CDN kind"):
+            CDNProfile(
+                name="c", kind="quantum", base_rtt_ms=50, failure_prob=0.01,
+                throughput_quality=1.0, region_coverage=(1,) * len(REGIONS),
+            )
+
+    def test_cdn_rejects_bad_failure_prob(self):
+        with pytest.raises(ValueError):
+            CDNProfile(
+                name="c", kind="global", base_rtt_ms=50, failure_prob=1.0,
+                throughput_quality=1.0, region_coverage=(1,) * len(REGIONS),
+            )
+
+    def test_site_rejects_unsorted_ladder(self):
+        with pytest.raises(ValueError, match="ascending"):
+            SiteProfile(
+                name="s", genre="ugc", ladder=(2000.0, 1000.0),
+                cdn_indices=(0,), cdn_weights=(1.0,), live_fraction=0.1,
+                player_mix=(0.4, 0.3, 0.3), weight=1.0,
+            )
+
+    def test_site_rejects_empty_cdns(self):
+        with pytest.raises(ValueError):
+            SiteProfile(
+                name="s", genre="ugc", ladder=(1000.0,),
+                cdn_indices=(), cdn_weights=(), live_fraction=0.1,
+                player_mix=(0.4, 0.3, 0.3), weight=1.0,
+            )

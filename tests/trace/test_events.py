@@ -1,0 +1,199 @@
+"""Tests for the ground-truth event catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKey
+from repro.trace.entities import WorldConfig, build_world
+from repro.trace.events import (
+    EventCatalog,
+    EventConfig,
+    EventEffects,
+    GroundTruthEvent,
+    NEUTRAL_EFFECTS,
+    generate_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=60, n_cdns=8, n_sites=24),
+                       np.random.default_rng(2))
+
+
+def simple_event(**overrides) -> GroundTruthEvent:
+    kwargs = dict(
+        event_id="e0",
+        tag="test",
+        category="major",
+        primary_metric="join_failure",
+        constraints=(("cdn", "cdn_x"),),
+        start_epoch=2,
+        duration_epochs=3,
+        effects=EventEffects(join_failure_odds=10.0),
+    )
+    kwargs.update(overrides)
+    return GroundTruthEvent(**kwargs)
+
+
+class TestEventEffects:
+    def test_neutral(self):
+        assert NEUTRAL_EFFECTS.is_neutral
+        assert not EventEffects(buffering_factor=2.0).is_neutral
+
+    def test_combine_multiplies(self):
+        a = EventEffects(bandwidth_factor=0.5, join_failure_odds=2.0)
+        b = EventEffects(bandwidth_factor=0.5, join_time_factor=3.0)
+        c = a.combine(b)
+        assert c.bandwidth_factor == pytest.approx(0.25)
+        assert c.join_failure_odds == pytest.approx(2.0)
+        assert c.join_time_factor == pytest.approx(3.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            EventEffects(buffering_factor=0.0)
+        with pytest.raises(ValueError):
+            EventEffects(bitrate_cap_kbps=-1.0)
+
+
+class TestGroundTruthEvent:
+    def test_activity_window(self):
+        event = simple_event()
+        assert not event.is_active(1)
+        assert event.is_active(2)
+        assert event.is_active(4)
+        assert not event.is_active(5)
+        assert event.end_epoch == 5
+
+    def test_active_epochs_vector(self):
+        event = simple_event()
+        active = event.active_epochs(8)
+        assert active.tolist() == [False, False, True, True, True, False, False, False]
+
+    def test_recurrence(self):
+        event = simple_event(
+            start_epoch=0, duration_epochs=48,
+            recurrence_period=24, recurrence_active=6,
+        )
+        assert event.is_active(0)
+        assert event.is_active(5)
+        assert not event.is_active(6)
+        assert event.is_active(24)
+        assert not event.is_active(30)
+
+    def test_prevalence(self):
+        event = simple_event(start_epoch=0, duration_epochs=12)
+        assert event.prevalence(24) == pytest.approx(0.5)
+
+    def test_cluster_key(self):
+        event = simple_event(constraints=(("asn", "AS1"), ("cdn", "c2")))
+        assert event.cluster_key == ClusterKey.from_mapping(
+            {"asn": "AS1", "cdn": "c2"}
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            simple_event(primary_metric="latency")
+        with pytest.raises(ValueError, match="unknown category"):
+            simple_event(category="catastrophic")
+        with pytest.raises(ValueError, match="constrain"):
+            simple_event(constraints=())
+        with pytest.raises(ValueError, match="invalid event window"):
+            simple_event(duration_epochs=0)
+        with pytest.raises(ValueError, match="go together"):
+            simple_event(recurrence_period=24)
+        with pytest.raises(ValueError, match="invalid recurrence"):
+            simple_event(recurrence_period=24, recurrence_active=30)
+
+
+class TestEventCatalog:
+    def test_active_at(self):
+        catalog = EventCatalog([
+            simple_event(event_id="a", start_epoch=0, duration_epochs=2),
+            simple_event(event_id="b", start_epoch=1, duration_epochs=2),
+        ])
+        assert [e.event_id for e in catalog.active_at(1)] == ["a", "b"]
+        assert [e.event_id for e in catalog.active_at(2)] == ["b"]
+
+    def test_filters(self):
+        catalog = EventCatalog([
+            simple_event(event_id="a", category="chronic"),
+            simple_event(event_id="b", primary_metric="bitrate"),
+        ])
+        assert len(catalog.by_category("chronic")) == 1
+        assert len(catalog.by_metric("bitrate")) == 1
+        assert len(catalog.keys()) == 1  # same constraints
+
+
+class TestGenerateCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self, world):
+        return generate_catalog(
+            world, n_epochs=168, config=EventConfig(),
+            rng=np.random.default_rng(3),
+        )
+
+    def test_deterministic(self, world):
+        c1 = generate_catalog(world, 72, rng=np.random.default_rng(5))
+        c2 = generate_catalog(world, 72, rng=np.random.default_rng(5))
+        assert [e.event_id for e in c1] == [e.event_id for e in c2]
+        assert [e.constraints for e in c1] == [e.constraints for e in c2]
+
+    def test_all_categories_present(self, catalog):
+        for category in ("chronic", "major", "minor", "transient"):
+            assert catalog.by_category(category), category
+
+    def test_all_metrics_targeted(self, catalog):
+        for metric in ("buffering_ratio", "bitrate", "join_time", "join_failure"):
+            assert catalog.by_metric(metric), metric
+
+    def test_chronic_prevalence_above_bar(self, catalog):
+        # Table 3 needs chronics with >60% prevalence.
+        for event in catalog.by_category("chronic"):
+            assert event.prevalence(168) > 0.6, event.tag
+
+    def test_transients_last_one_epoch(self, catalog):
+        for event in catalog.by_category("transient"):
+            assert event.duration_epochs == 1
+
+    def test_event_windows_within_trace(self, catalog):
+        for event in catalog:
+            assert 0 <= event.start_epoch < 168
+
+    def test_constraints_reference_real_entities(self, world, catalog):
+        vocab = {
+            "asn": {a.name for a in world.asns},
+            "cdn": {c.name for c in world.cdns},
+            "site": {s.name for s in world.sites},
+            "connection_type": set(
+                __import__("repro.trace.entities", fromlist=["CONNECTION_TYPES"]).CONNECTION_TYPES
+            ),
+        }
+        for event in catalog:
+            for attr, label in event.constraints:
+                assert label in vocab[attr], (event.event_id, attr, label)
+
+    def test_counts_scale_with_weeks(self, world):
+        one = generate_catalog(world, 168, rng=np.random.default_rng(6))
+        two = generate_catalog(world, 336, rng=np.random.default_rng(6))
+        assert len(two.by_category("major")) >= len(one.by_category("major"))
+
+    def test_effects_match_primary_metric(self, catalog):
+        for event in catalog.by_category("major"):
+            eff = event.effects
+            if event.primary_metric == "buffering_ratio":
+                assert eff.buffering_factor > 1.0
+            elif event.primary_metric == "bitrate":
+                assert np.isfinite(eff.bitrate_cap_kbps)
+            elif event.primary_metric == "join_time":
+                assert eff.join_time_factor > 1.0
+            elif event.primary_metric == "join_failure":
+                assert eff.join_failure_odds > 1.0
+
+    def test_themed_chronics_can_be_disabled(self, world):
+        catalog = generate_catalog(
+            world, 72,
+            config=EventConfig(include_themed_chronics=False),
+            rng=np.random.default_rng(8),
+        )
+        assert not catalog.by_category("chronic")

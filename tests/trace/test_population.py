@@ -1,0 +1,97 @@
+"""Tests for attribute sampling."""
+
+import numpy as np
+import pytest
+
+from repro.trace.entities import (
+    BROWSERS,
+    CONNECTION_TYPES,
+    PLAYER_TYPES,
+    WorldConfig,
+    build_world,
+)
+from repro.trace.population import AttributeSampler, constraint_codes
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=40, n_cdns=6, n_sites=15),
+                       np.random.default_rng(6))
+
+
+@pytest.fixture(scope="module")
+def sampler(world):
+    return AttributeSampler(world)
+
+
+@pytest.fixture(scope="module")
+def codes(sampler):
+    return sampler.sample(20_000, np.random.default_rng(7))
+
+
+class TestSampling:
+    def test_shape_and_dtype(self, codes):
+        assert codes.shape == (20_000, 7)
+        assert codes.dtype == np.int32
+
+    def test_codes_within_vocab(self, world, codes):
+        limits = [
+            len(world.asns), len(world.cdns), len(world.sites),
+            2, len(PLAYER_TYPES), len(BROWSERS), len(CONNECTION_TYPES),
+        ]
+        for col, limit in enumerate(limits):
+            assert codes[:, col].min() >= 0
+            assert codes[:, col].max() < limit
+
+    def test_popularity_skew(self, world, codes):
+        """Zipf weights: the most popular site dominates the tail."""
+        counts = np.bincount(codes[:, 2], minlength=len(world.sites))
+        assert counts[0] > counts[len(world.sites) // 2] * 2
+
+    def test_cdn_respects_site_policy(self, world, codes):
+        for site_idx, site in enumerate(world.sites):
+            rows = codes[:, 2] == site_idx
+            if rows.any():
+                used = set(np.unique(codes[rows, 1]))
+                assert used <= set(site.cdn_indices), site.name
+
+    def test_connection_type_follows_asn_mix(self, world, codes):
+        mobile_idx = CONNECTION_TYPES.index("mobile_wireless")
+        for asn_idx, asn in enumerate(world.asns):
+            rows = codes[:, 0] == asn_idx
+            if asn.wireless and rows.sum() > 100:
+                frac_mobile = (codes[rows, 6] == mobile_idx).mean()
+                assert frac_mobile > 0.6, asn.name
+
+    def test_live_fraction_respected(self, world, codes):
+        for site_idx, site in enumerate(world.sites):
+            rows = codes[:, 2] == site_idx
+            if rows.sum() > 300:
+                live_frac = codes[rows, 3].mean()
+                assert live_frac == pytest.approx(site.live_fraction, abs=0.1)
+
+    def test_deterministic(self, sampler):
+        c1 = sampler.sample(100, np.random.default_rng(11))
+        c2 = sampler.sample(100, np.random.default_rng(11))
+        assert np.array_equal(c1, c2)
+
+    def test_label_codes(self, world, sampler):
+        vocabs = sampler.label_codes()
+        assert set(vocabs) == {
+            "asn", "cdn", "site", "content_type", "player", "browser",
+            "connection_type",
+        }
+        assert vocabs["asn"] == [a.name for a in world.asns]
+
+
+class TestConstraintCodes:
+    def test_translation(self, world):
+        pairs = constraint_codes(
+            world,
+            [("cdn", world.cdns[2].name), ("connection_type", "dsl")],
+        )
+        assert pairs == [(1, 2), (6, CONNECTION_TYPES.index("dsl"))]
+
+    def test_unknown_label_raises(self, world):
+        with pytest.raises(KeyError, match="unknown"):
+            constraint_codes(world, [("cdn", "cdn_nonexistent")])

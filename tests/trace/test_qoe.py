@@ -1,0 +1,158 @@
+"""Tests for the statistical QoE engine."""
+
+import numpy as np
+import pytest
+
+from repro.trace.entities import CONNECTION_TYPES, WorldConfig, build_world
+from repro.trace.events import EventEffects
+from repro.trace.population import AttributeSampler
+from repro.trace.qoe import (
+    EffectArrays,
+    QoEModelParams,
+    StatisticalQoEEngine,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_asns=30, n_cdns=6, n_sites=12),
+                       np.random.default_rng(4))
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return StatisticalQoEEngine(world)
+
+
+@pytest.fixture(scope="module")
+def codes(world):
+    return AttributeSampler(world).sample(5000, np.random.default_rng(5))
+
+
+def neutral(n):
+    return EffectArrays.neutral(n)
+
+
+class TestEffectArrays:
+    def test_neutral(self):
+        eff = neutral(4)
+        assert len(eff) == 4
+        assert (eff.bandwidth_factor == 1.0).all()
+        assert np.isinf(eff.bitrate_cap_kbps).all()
+
+
+class TestBatchGeneration:
+    def test_shapes(self, engine, codes):
+        batch = engine.generate(codes, neutral(len(codes)), np.random.default_rng(0))
+        n = codes.shape[0]
+        for col in ("duration_s", "buffering_s", "join_time_s",
+                    "bitrate_kbps", "join_failed"):
+            assert getattr(batch, col).shape == (n,)
+
+    def test_invariants(self, engine, codes):
+        batch = engine.generate(codes, neutral(len(codes)), np.random.default_rng(0))
+        ok = ~batch.join_failed
+        assert (batch.duration_s[ok] > 0).all()
+        assert (batch.buffering_s[ok] >= 0).all()
+        assert (batch.buffering_s[ok] <= batch.duration_s[ok] + 1e-9).all()
+        assert (batch.join_time_s[ok] > 0).all()
+        assert (batch.bitrate_kbps[ok] > 0).all()
+        # Failed sessions carry no playback measurements.
+        assert np.isnan(batch.join_time_s[~ok]).all()
+        assert np.isnan(batch.bitrate_kbps[~ok]).all()
+        assert (batch.duration_s[~ok] == 0).all()
+
+    def test_baseline_calibration(self, engine, codes):
+        """Event-free problem rates are low but non-zero.
+
+        Structural pathologies live in the planted event catalogue, so
+        the bare engine produces only the diffuse background; the
+        Figure 1 shape emerges at trace level (see integration tests).
+        """
+        batch = engine.generate(codes, neutral(len(codes)), np.random.default_rng(1))
+        ok = ~batch.join_failed
+        buf_ratio = batch.buffering_s[ok] / batch.duration_s[ok]
+        assert 0.0005 < batch.join_failed.mean() < 0.10
+        assert 0.002 < (buf_ratio > 0.05).mean() < 0.20
+        assert 0.002 < (batch.join_time_s[ok] > 10).mean() < 0.20
+        assert (batch.bitrate_kbps[ok] < 2000).mean() > 0.3
+
+    def test_bitrates_come_from_site_ladders(self, world, engine, codes):
+        batch = engine.generate(codes, neutral(len(codes)), np.random.default_rng(2))
+        ok = ~batch.join_failed
+        for site_idx, site in enumerate(world.sites):
+            rows = (codes[:, 2] == site_idx) & ok
+            if rows.any():
+                assert set(np.unique(batch.bitrate_kbps[rows])) <= set(site.ladder)
+
+    def test_deterministic_given_rng(self, engine, codes):
+        b1 = engine.generate(codes, neutral(len(codes)), np.random.default_rng(9))
+        b2 = engine.generate(codes, neutral(len(codes)), np.random.default_rng(9))
+        assert np.array_equal(b1.join_failed, b2.join_failed)
+        assert np.allclose(b1.buffering_s, b2.buffering_s)
+
+
+class TestEventEffectsApplied:
+    def test_failure_odds_raise_failures(self, engine, codes):
+        eff = neutral(len(codes))
+        eff.join_failure_odds[:] = 25.0
+        rng = np.random.default_rng(3)
+        degraded = engine.generate(codes, eff, rng)
+        baseline = engine.generate(
+            codes, neutral(len(codes)), np.random.default_rng(3)
+        )
+        assert degraded.join_failed.mean() > 3 * baseline.join_failed.mean()
+
+    def test_bitrate_cap_is_absolute(self, engine, codes):
+        eff = neutral(len(codes))
+        eff.bitrate_cap_kbps[:] = 650.0
+        batch = engine.generate(codes, eff, np.random.default_rng(4))
+        ok = ~batch.join_failed
+        assert (batch.bitrate_kbps[ok] <= 650.0).all()
+
+    def test_bitrate_cap_does_not_increase_buffering(self, engine, codes):
+        capped = neutral(len(codes))
+        capped.bitrate_cap_kbps[:] = 650.0
+        b_capped = engine.generate(codes, capped, np.random.default_rng(5))
+        b_base = engine.generate(
+            codes, neutral(len(codes)), np.random.default_rng(5)
+        )
+        ok = ~b_capped.join_failed & ~b_base.join_failed
+        ratio_capped = (b_capped.buffering_s[ok] / b_capped.duration_s[ok] > 0.05).mean()
+        ratio_base = (b_base.buffering_s[ok] / b_base.duration_s[ok] > 0.05).mean()
+        assert ratio_capped <= ratio_base + 0.02
+
+    def test_buffering_factor_uniformly_degrades(self, engine, codes):
+        eff = neutral(len(codes))
+        eff.buffering_factor[:] = 6.0
+        batch = engine.generate(codes, eff, np.random.default_rng(6))
+        ok = ~batch.join_failed
+        ratio = batch.buffering_s[ok] / batch.duration_s[ok]
+        # With a +5 additive stall term most sessions cross the 5% bar
+        # regardless of their connection type.
+        for conn_idx in range(len(CONNECTION_TYPES)):
+            rows = codes[ok.nonzero()[0], 6] == conn_idx
+            if rows.sum() > 50:
+                assert (ratio[rows] > 0.05).mean() > 0.4, CONNECTION_TYPES[conn_idx]
+
+    def test_join_time_factor(self, engine, codes):
+        eff = neutral(len(codes))
+        eff.join_time_factor[:] = 6.0
+        slow = engine.generate(codes, eff, np.random.default_rng(7))
+        base = engine.generate(codes, neutral(len(codes)), np.random.default_rng(7))
+        assert np.nanmedian(slow.join_time_s) > 4 * np.nanmedian(base.join_time_s)
+
+    def test_bandwidth_factor_lowers_bitrate(self, engine, codes):
+        eff = neutral(len(codes))
+        eff.bandwidth_factor[:] = 0.2
+        slow = engine.generate(codes, eff, np.random.default_rng(8))
+        base = engine.generate(codes, neutral(len(codes)), np.random.default_rng(8))
+        assert np.nanmean(slow.bitrate_kbps) < np.nanmean(base.bitrate_kbps)
+
+
+class TestParams:
+    def test_custom_params(self, world, codes):
+        params = QoEModelParams(base_failure_prob=0.2)
+        engine = StatisticalQoEEngine(world, params)
+        batch = engine.generate(codes, neutral(len(codes)), np.random.default_rng(0))
+        assert batch.join_failed.mean() > 0.1
