@@ -4,15 +4,24 @@ Times the three core stages on one representative epoch of the week
 trace — per-epoch aggregation, problem-cluster detection, and the
 critical-cluster phase-transition search — plus a full single-metric
 day of pipeline. These are the costs that dominate every experiment.
+
+``bench_pipeline_engine_json`` additionally records an end-to-end
+serial-vs-parallel comparison (sessions/sec, speedup, per-phase
+timings) to ``benchmarks/results/BENCH_pipeline.json`` so future
+changes have a perf trajectory to compare against.
 """
+
+import json
+import os
+import time
 
 import numpy as np
 import pytest
 
-from repro.core.aggregation import aggregate_epoch
+from repro.core.aggregation import EpochLeafIndex, KeyCodec, aggregate_epoch
 from repro.core.critical import find_critical_clusters
 from repro.core.epoching import split_into_epochs
-from repro.core.metrics import JOIN_FAILURE
+from repro.core.metrics import ALL_METRICS, JOIN_FAILURE
 from repro.core.pipeline import AnalysisConfig, analyze_trace
 from repro.core.problems import find_problem_clusters
 
@@ -55,3 +64,80 @@ def bench_full_pipeline_one_day(benchmark, week_context):
         rounds=1, iterations=1,
     )
     assert analysis.grid.n_epochs == 24
+
+
+def bench_shared_leaf_index(benchmark, epoch_inputs):
+    """Shared pack/unique once + four metric restrictions (the new path)."""
+    table, rows = epoch_inputs
+    codec = KeyCodec.from_table(table)
+
+    def shared():
+        index = EpochLeafIndex.build(table, rows, codec=codec)
+        return [
+            aggregate_epoch(table, rows, metric, leaf_index=index)
+            for metric in ALL_METRICS
+        ]
+
+    aggs = benchmark(shared)
+    assert len(aggs) == len(ALL_METRICS)
+
+
+def bench_per_metric_packing(benchmark, epoch_inputs):
+    """Per-metric pack/unique (the old path), for direct comparison."""
+    table, rows = epoch_inputs
+    codec = KeyCodec.from_table(table)
+
+    def per_metric():
+        return [
+            aggregate_epoch(table, rows, metric, codec=codec)
+            for metric in ALL_METRICS
+        ]
+
+    aggs = benchmark(per_metric)
+    assert len(aggs) == len(ALL_METRICS)
+
+
+def bench_pipeline_engine_json(week_context, results_dir):
+    """End-to-end serial vs parallel run, recorded to BENCH_pipeline.json.
+
+    Not a microbench: one timed serial pass and one timed parallel pass
+    (``workers="auto"``) over a day of the week trace, all four
+    metrics, with the per-phase counters the instrumented pipeline
+    collects. Asserts the two engines return identical results.
+    """
+    table = week_context.trace.table
+    day = table.select(np.nonzero(table.start_time < 24 * 3600.0)[0])
+    n_cpus = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial = analyze_trace(day, workers=0)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = analyze_trace(day, workers="auto")
+    parallel_s = time.perf_counter() - start
+
+    for name in serial.metric_names:
+        assert serial[name].epochs == parallel[name].epochs, name
+
+    payload = {
+        "workload": "week (first 24 h)",
+        "sessions": len(day),
+        "epochs": serial.grid.n_epochs,
+        "metrics": len(serial.metric_names),
+        "cpus": n_cpus,
+        "serial_seconds": serial_s,
+        "serial_sessions_per_sec": len(day) / serial_s,
+        "parallel_workers": n_cpus,
+        "parallel_seconds": parallel_s,
+        "parallel_sessions_per_sec": len(day) / parallel_s,
+        "speedup": serial_s / parallel_s,
+        "serial_phases": serial.timings.as_dict(),
+        "parallel_phases": parallel.timings.as_dict(),
+    }
+    path = results_dir / "BENCH_pipeline.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}: "
+          f"{payload['serial_sessions_per_sec']:.0f} sess/s serial, "
+          f"{payload['parallel_sessions_per_sec']:.0f} sess/s parallel "
+          f"({payload['speedup']:.2f}x on {n_cpus} CPUs)")

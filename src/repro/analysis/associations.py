@@ -99,10 +99,9 @@ def value_concentration(
     """
     col = table.schema.index(attribute)
     other_col = table.schema.index(other)
-    try:
-        code = table.vocabs[col].index(value)
-    except ValueError:
-        raise KeyError(f"unknown {attribute} value {value!r}") from None
+    code = table.code_of(attribute, value)
+    if code is None:
+        raise KeyError(f"unknown {attribute} value {value!r}")
     rows = table.codes[:, col] == code
     n = int(rows.sum())
     if n == 0:

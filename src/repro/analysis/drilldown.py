@@ -120,9 +120,8 @@ def _cluster_rows(table: SessionTable, key: ClusterKey) -> np.ndarray:
     rows = np.ones(len(table), dtype=bool)
     for attribute, value in key.pairs:
         col = table.schema.index(attribute)
-        try:
-            code = table.vocabs[col].index(value)
-        except ValueError:
+        code = table.code_of(attribute, value)
+        if code is None:
             return np.zeros(len(table), dtype=bool)
         rows &= table.codes[:, col] == code
     return rows

@@ -135,9 +135,8 @@ def cluster_engagement_impact(
         rows = np.ones(len(table), dtype=bool)
         for attribute, value in key.pairs:
             col = table.schema.index(attribute)
-            try:
-                code = table.vocabs[col].index(value)
-            except ValueError:
+            code = table.code_of(attribute, value)
+            if code is None:
                 rows[:] = False
                 break
             rows &= table.codes[:, col] == code

@@ -150,9 +150,8 @@ def _event_cluster_sizes(table, grid, event: GroundTruthEvent) -> np.ndarray:
     rows = np.ones(len(table), dtype=bool)
     for attr, label in event.constraints:
         col = table.schema.index(attr)
-        try:
-            code = table.vocabs[col].index(label)
-        except ValueError:
+        code = table.code_of(attr, label)
+        if code is None:
             return np.zeros(grid.n_epochs, dtype=np.int64)
         rows &= table.codes[:, col] == code
     epochs = grid.epoch_of(table.start_time[rows])

@@ -54,6 +54,32 @@ WORKLOAD_NAMES = (
 )
 
 
+def _parse_workers(value: str) -> int | str:
+    """Parse a ``--workers`` value: a non-negative int or 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be non-negative, got {workers}"
+        )
+    return workers
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_parse_workers, default=0, metavar="N|auto",
+        help="analysis worker processes: 0/1 serial (default), "
+        "'auto' one per CPU, N explicit; results are identical "
+        "at any worker count",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-video-quality",
@@ -70,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser("analyze", help="analyze a trace file")
     ana.add_argument("trace", help="trace path (.jsonl or .csv)")
+    _add_workers_arg(ana)
+    ana.add_argument("--timings", action="store_true",
+                     help="print per-phase pipeline timings")
 
     exp = sub.add_parser("experiment", help="run a registered experiment")
     exp.add_argument(
@@ -78,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--workload", choices=WORKLOAD_NAMES, default="small")
     exp.add_argument("--seed", type=int, default=42)
+    _add_workers_arg(exp)
 
     val = sub.add_parser("validate", help="score detector vs planted ground truth")
     val.add_argument("--workload", choices=WORKLOAD_NAMES, default="tiny")
@@ -87,6 +117,9 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--workload", choices=WORKLOAD_NAMES, default="small")
     rep.add_argument("--seed", type=int, default=42)
     rep.add_argument("-o", "--output", required=True, help="markdown path")
+    _add_workers_arg(rep)
+    rep.add_argument("--timings", action="store_true",
+                     help="print per-phase pipeline timings")
 
     rem = sub.add_parser(
         "remedies", help="suggest and evaluate remedies for a workload"
@@ -132,7 +165,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     table = _read_trace(args.trace)
-    analysis = analyze_trace(table)
+    analysis = analyze_trace(table, workers=args.workers)
     rows = []
     for name, ma in analysis.metrics.items():
         rows.append(
@@ -153,11 +186,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"({len(table)} sessions, {analysis.grid.n_epochs} epochs)",
         )
     )
+    if args.timings:
+        print()
+        print(analysis.timings.render())
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    ctx = ExperimentContext.generate(workload=args.workload, seed=args.seed)
+    ctx = ExperimentContext.generate(
+        workload=args.workload, seed=args.seed, workers=args.workers
+    )
     ids = sorted(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
@@ -182,13 +220,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
     trace = generate_trace(spec)
-    analysis = _analyze(trace.table, grid=trace.grid)
+    analysis = _analyze(trace.table, grid=trace.grid, workers=args.workers)
     path = write_report(
         args.output, trace.table, analysis, catalog=trace.catalog,
         title=f"Problem-structure report — workload {args.workload}, "
         f"seed {args.seed}",
     )
     print(f"wrote report to {path}")
+    if args.timings:
+        print()
+        print(analysis.timings.render())
     return 0
 
 

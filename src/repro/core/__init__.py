@@ -26,7 +26,13 @@ from repro.core.metrics import (
 )
 from repro.core.clusters import ClusterKey, ClusterLattice
 from repro.core.epoching import EpochGrid, split_into_epochs
-from repro.core.aggregation import ClusterStats, EpochAggregate, aggregate_epoch
+from repro.core.aggregation import (
+    ClusterStats,
+    EpochAggregate,
+    EpochLeafIndex,
+    KeyCodec,
+    aggregate_epoch,
+)
 from repro.core.problems import ProblemClusterConfig, ProblemClusters, find_problem_clusters
 from repro.core.critical import CriticalClusters, find_critical_clusters
 from repro.core.streaks import (
@@ -40,8 +46,10 @@ from repro.core.pipeline import (
     AnalysisConfig,
     EpochAnalysis,
     MetricAnalysis,
+    PipelineTimings,
     TraceAnalysis,
     analyze_trace,
+    resolve_worker_count,
 )
 from repro.core.online import AlertEvent, ClusterAlert, OnlineDetector
 from repro.core.overlap import jaccard_similarity, top_k_critical_overlap
@@ -67,6 +75,8 @@ __all__ = [
     "split_into_epochs",
     "ClusterStats",
     "EpochAggregate",
+    "EpochLeafIndex",
+    "KeyCodec",
     "aggregate_epoch",
     "ProblemClusterConfig",
     "ProblemClusters",
@@ -81,8 +91,10 @@ __all__ = [
     "AnalysisConfig",
     "EpochAnalysis",
     "MetricAnalysis",
+    "PipelineTimings",
     "TraceAnalysis",
     "analyze_trace",
+    "resolve_worker_count",
     "AlertEvent",
     "ClusterAlert",
     "OnlineDetector",

@@ -62,7 +62,7 @@ class KeyCodec:
     trace (vocabularies are global to the table).
     """
 
-    __slots__ = ("schema", "vocabs", "widths", "offsets", "_field_masks")
+    __slots__ = ("schema", "vocabs", "widths", "offsets", "_field_masks", "_code_maps")
 
     def __init__(
         self,
@@ -76,6 +76,7 @@ class KeyCodec:
         self.widths = widths
         self.offsets = offsets
         self._field_masks: np.ndarray | None = None
+        self._code_maps: list[dict[str, int]] | None = None
 
     @classmethod
     def from_table(cls, table: SessionTable) -> "KeyCodec":
@@ -119,6 +120,39 @@ class KeyCodec:
             self._field_masks = out
         return self._field_masks
 
+    def code_maps(self) -> list[dict[str, int]]:
+        """Per-attribute label -> code reverse maps (built once, cached).
+
+        Vocabularies are append-only lists, so looking a label up with
+        ``list.index`` costs O(V) per call; lookups on hot paths
+        (``stats_of_key`` and the what-if query layers) use these maps
+        instead.
+        """
+        if self._code_maps is None:
+            self._code_maps = [
+                {label: code for code, label in enumerate(vocab)}
+                for vocab in self.vocabs
+            ]
+        return self._code_maps
+
+    def encode_key(self, key: ClusterKey) -> tuple[int, int] | None:
+        """Encode a :class:`ClusterKey` to its ``(mask, packed)`` pair.
+
+        Returns ``None`` when any label is absent from the codec's
+        vocabularies (the cluster cannot exist in this trace).
+        """
+        maps = self.code_maps()
+        mask = 0
+        packed = 0
+        for name, value in key.pairs:
+            i = self.schema.index(name)
+            code = maps[i].get(value)
+            if code is None:
+                return None
+            mask |= 1 << i
+            packed |= code << int(self.offsets[i])
+        return mask, packed
+
     def decode(self, mask: int, packed: int) -> ClusterKey:
         """Decode a ``(mask, packed)`` pair to a :class:`ClusterKey`."""
         pairs = []
@@ -129,6 +163,81 @@ class KeyCodec:
                 )
                 pairs.append((name, self.vocabs[i][code]))
         return ClusterKey(tuple(pairs))
+
+
+class EpochLeafIndex:
+    """Shared leaf index for one epoch's rows, reused across metrics.
+
+    Packing the session code matrix and reducing it with ``np.unique``
+    is the dominant per-epoch aggregation cost, and it is
+    metric-independent: every metric sees the same attribute
+    combinations and only weighs them with its own validity and problem
+    flags. Building the index once per epoch and restricting it per
+    metric (:meth:`restrict`) removes the redundant per-metric packing
+    the serial pipeline used to pay (4x with the paper's four metrics).
+
+    ``restrict`` is exact: it returns the same leaf keys/counts as
+    packing the metric's valid rows directly, including dropping leaf
+    combinations with no valid session.
+    """
+
+    __slots__ = ("codec", "n_rows", "leaf_keys", "inverse")
+
+    def __init__(
+        self,
+        codec: KeyCodec,
+        n_rows: int,
+        leaf_keys: np.ndarray,
+        inverse: np.ndarray,
+    ) -> None:
+        self.codec = codec
+        self.n_rows = n_rows
+        self.leaf_keys = leaf_keys
+        self.inverse = inverse
+
+    @classmethod
+    def build(
+        cls,
+        table: SessionTable,
+        rows: np.ndarray,
+        codec: KeyCodec | None = None,
+    ) -> "EpochLeafIndex":
+        """Pack ``table.codes[rows]`` once and reduce to distinct leaves."""
+        codec = codec or KeyCodec.from_table(table)
+        packed = codec.pack(table.codes[np.asarray(rows)])
+        leaf_keys, inverse = np.unique(packed, return_inverse=True)
+        return cls(
+            codec=codec,
+            n_rows=packed.size,
+            leaf_keys=leaf_keys,
+            inverse=inverse,
+        )
+
+    def restrict(
+        self, valid: np.ndarray, problem: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Leaf keys/session counts/problem counts over the valid rows.
+
+        ``valid`` and ``problem`` are boolean arrays aligned with the
+        rows the index was built from; leaves with no valid session are
+        dropped so the result matches a direct pack of the valid rows.
+        """
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape != (self.n_rows,):
+            raise ValueError(
+                f"valid mask shape {valid.shape} != rows {(self.n_rows,)}"
+            )
+        inv = self.inverse[valid]
+        sessions = np.bincount(inv, minlength=self.leaf_keys.size).astype(np.int64)
+        problems = np.bincount(
+            inv,
+            weights=np.asarray(problem, dtype=np.float64)[valid],
+            minlength=self.leaf_keys.size,
+        ).astype(np.int64)
+        keep = sessions > 0
+        if keep.all():
+            return self.leaf_keys, sessions, problems
+        return self.leaf_keys[keep], sessions[keep], problems[keep]
 
 
 @dataclass
@@ -220,16 +329,10 @@ class EpochAggregate:
 
     def stats_of_key(self, key: ClusterKey) -> ClusterStats | None:
         """Lookup by human-facing key (encodes labels to packed form)."""
-        mask = 0
-        packed = 0
-        for name, value in key.pairs:
-            i = self.codec.schema.index(name)
-            try:
-                code = self.codec.vocabs[i].index(value)
-            except ValueError:
-                return None
-            mask |= 1 << i
-            packed |= code << int(self.codec.offsets[i])
+        encoded = self.codec.encode_key(key)
+        if encoded is None:
+            return None
+        mask, packed = encoded
         if mask == 0:
             return self.global_stats
         return self.stats(mask, packed)
@@ -246,6 +349,7 @@ def aggregate_epoch(
     thresholds: MetricThresholds | None = None,
     codec: KeyCodec | None = None,
     problem_flags: np.ndarray | None = None,
+    leaf_index: EpochLeafIndex | None = None,
 ) -> EpochAggregate:
     """Aggregate one epoch's sessions for one metric.
 
@@ -255,8 +359,15 @@ def aggregate_epoch(
     population. ``problem_flags``, when given, overrides the metric's
     problem classification for the selected rows (used by what-if
     simulations); it must align with ``rows``.
+
+    ``leaf_index``, when given, must have been built from the same
+    ``rows`` (see :class:`EpochLeafIndex`); the expensive pack/unique
+    pass is then shared instead of recomputed, with identical results.
     """
-    codec = codec or KeyCodec.from_table(table)
+    if leaf_index is not None:
+        codec = leaf_index.codec
+    else:
+        codec = codec or KeyCodec.from_table(table)
     valid = metric.valid_mask(table)[rows]
     if problem_flags is None:
         problems_all = metric.problem_mask(table, thresholds)[rows]
@@ -268,15 +379,22 @@ def aggregate_epoch(
             )
         problems_all = problem_flags & valid
 
-    use = np.asarray(rows)[valid]
-    problem = problems_all[valid].astype(np.int64)
-    packed = codec.pack(table.codes[use])
+    if leaf_index is not None:
+        leaf_keys, leaf_sessions, leaf_problems = leaf_index.restrict(
+            valid, problems_all
+        )
+    else:
+        use = np.asarray(rows)[valid]
+        problem = problems_all[valid].astype(np.int64)
+        packed = codec.pack(table.codes[use])
 
-    leaf_keys, inverse = np.unique(packed, return_inverse=True)
-    leaf_sessions = np.bincount(inverse, minlength=leaf_keys.size).astype(np.int64)
-    leaf_problems = np.bincount(
-        inverse, weights=problem, minlength=leaf_keys.size
-    ).astype(np.int64)
+        leaf_keys, inverse = np.unique(packed, return_inverse=True)
+        leaf_sessions = np.bincount(inverse, minlength=leaf_keys.size).astype(
+            np.int64
+        )
+        leaf_problems = np.bincount(
+            inverse, weights=problem, minlength=leaf_keys.size
+        ).astype(np.int64)
 
     field_masks = codec.field_masks()
     per_mask: dict[int, MaskAggregate] = {}

@@ -87,6 +87,19 @@ class QualityMetric:
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
 
+    def __reduce__(self):
+        # The callables are lambdas, which pickle cannot serialize;
+        # registered metrics reconstruct from the registry instead so
+        # analysis configs can ship to worker processes
+        # (``analyze_trace(workers=N)``). Unregistered custom metrics
+        # are not picklable and must run with ``workers=0``.
+        if _BY_NAME.get(self.name) is self:
+            return (metric_by_name, (self.name,))
+        raise TypeError(
+            f"metric {self.name!r} is not registered and cannot be "
+            "pickled; run with workers=0"
+        )
+
 
 def _all_valid(table: SessionTable) -> np.ndarray:
     return np.ones(len(table), dtype=bool)

@@ -4,10 +4,20 @@
 :class:`~repro.core.sessions.SessionTable`:
 
 1. split sessions into one-hour epochs (Section 3.1),
-2. per (epoch, metric): aggregate cluster counts, flag problem
-   clusters, run the critical-cluster phase-transition search,
+2. per epoch: build one shared leaf index (pack + ``np.unique`` once),
+   then per metric aggregate cluster counts, flag problem clusters and
+   run the critical-cluster phase-transition search,
 3. summarise each epoch compactly (decoded cluster identities with
    stats/attribution) so week-scale traces stay memory-friendly.
+
+The methodology is embarrassingly parallel — every (epoch, metric)
+pair is independent — so the engine can fan epochs out over a process
+pool (``workers``): ``0``/``1`` run serially in-process, ``"auto"``
+uses every CPU, and any worker count produces results identical to the
+serial path (same cluster identities, same stats, same attribution).
+Per-phase wall-time counters (pack/aggregate/problems/critical) are
+accumulated on :class:`PipelineTimings` and surfaced via
+``TraceAnalysis.timings``.
 
 The result object exposes the per-metric timelines and series that all
 figures and tables of the evaluation are computed from.
@@ -15,12 +25,21 @@ figures and tables of the evaluation are computed from.
 
 from __future__ import annotations
 
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.aggregation import ClusterStats, KeyCodec, aggregate_epoch
+from repro.core.aggregation import (
+    ClusterStats,
+    EpochLeafIndex,
+    KeyCodec,
+    aggregate_epoch,
+)
 from repro.core.clusters import ClusterKey
 from repro.core.critical import CriticalAttribution, find_critical_clusters
 from repro.core.epoching import EpochGrid, split_into_epochs
@@ -30,14 +49,109 @@ from repro.core.sessions import SessionTable
 from repro.core.streaks import ClusterTimeline, build_timelines
 
 
+def resolve_worker_count(workers: int | str | None) -> int:
+    """Resolve the ``workers`` knob to a concrete process count.
+
+    ``None``/``0``/``1`` mean serial in-process analysis, ``"auto"``
+    means one worker per CPU, and any other non-negative int is taken
+    literally. Worker count never changes results, only wall time.
+    """
+    if workers is None:
+        return 0
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be a non-negative int or 'auto', got {workers!r}"
+        )
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
-    """Knobs for the full pipeline (paper defaults)."""
+    """Knobs for the full pipeline (paper defaults).
+
+    ``workers`` selects the epoch-parallel executor: ``0`` (default)
+    and ``1`` run serially in-process, ``"auto"`` uses every CPU, any
+    other int that many worker processes. Results are identical at any
+    worker count.
+    """
 
     metrics: tuple[QualityMetric, ...] = ALL_METRICS
     thresholds: MetricThresholds = field(default_factory=MetricThresholds)
     problem_config: ProblemClusterConfig = field(default_factory=ProblemClusterConfig)
     epoch_seconds: float = 3600.0
+    workers: int | str = 0
+
+    def __post_init__(self) -> None:
+        resolve_worker_count(self.workers)  # validate eagerly
+
+
+@dataclass
+class PipelineTimings:
+    """Per-phase wall-time counters for one ``analyze_trace`` run.
+
+    ``pack_s`` counts shared leaf-index construction (once per epoch);
+    ``aggregate_s``/``problems_s``/``critical_s`` accumulate per
+    (epoch, metric) unit. In parallel runs the phase counters sum time
+    spent inside worker processes while ``wall_s`` is the parent's
+    wall clock, so ``phase_seconds > wall_s`` indicates real parallel
+    speedup.
+    """
+
+    pack_s: float = 0.0
+    aggregate_s: float = 0.0
+    problems_s: float = 0.0
+    critical_s: float = 0.0
+    wall_s: float = 0.0
+    n_epochs: int = 0
+    n_units: int = 0
+
+    @property
+    def phase_seconds(self) -> float:
+        """Total time attributed to the four instrumented phases."""
+        return self.pack_s + self.aggregate_s + self.problems_s + self.critical_s
+
+    def merge(self, other: "PipelineTimings") -> None:
+        """Accumulate another run's (or epoch's) counters into this one."""
+        self.pack_s += other.pack_s
+        self.aggregate_s += other.aggregate_s
+        self.problems_s += other.problems_s
+        self.critical_s += other.critical_s
+        self.n_epochs += other.n_epochs
+        self.n_units += other.n_units
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pack_s": self.pack_s,
+            "aggregate_s": self.aggregate_s,
+            "problems_s": self.problems_s,
+            "critical_s": self.critical_s,
+            "phase_s": self.phase_seconds,
+            "wall_s": self.wall_s,
+            "n_epochs": float(self.n_epochs),
+            "n_units": float(self.n_units),
+        }
+
+    def render(self) -> str:
+        """Human-readable timing block (printed by ``--timings``)."""
+        lines = [
+            "Pipeline timings "
+            f"({self.n_epochs} epochs, {self.n_units} epoch-metric units):",
+            f"  pack (shared leaf index) : {self.pack_s:9.4f} s",
+            f"  aggregate (per metric)   : {self.aggregate_s:9.4f} s",
+            f"  problem clusters         : {self.problems_s:9.4f} s",
+            f"  critical clusters        : {self.critical_s:9.4f} s",
+            f"  phase total              : {self.phase_seconds:9.4f} s",
+            f"  wall clock               : {self.wall_s:9.4f} s",
+        ]
+        if self.wall_s > 0:
+            lines.append(
+                f"  parallel efficiency      : {self.phase_seconds / self.wall_s:9.2f}x"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -171,6 +285,7 @@ class TraceAnalysis:
     grid: EpochGrid
     config: AnalysisConfig
     metrics: dict[str, MetricAnalysis]
+    timings: PipelineTimings = field(default_factory=PipelineTimings)
 
     def __getitem__(self, metric_name: str) -> MetricAnalysis:
         return self.metrics[metric_name]
@@ -180,25 +295,8 @@ class TraceAnalysis:
         return list(self.metrics)
 
 
-def analyze_epoch(
-    table: SessionTable,
-    rows: np.ndarray,
-    metric: QualityMetric,
-    epoch: int,
-    config: AnalysisConfig,
-    codec: KeyCodec | None = None,
-) -> EpochAnalysis:
-    """Run the full per-epoch methodology for one metric."""
-    agg = aggregate_epoch(
-        table,
-        rows,
-        metric,
-        epoch=epoch,
-        thresholds=config.thresholds,
-        codec=codec,
-    )
-    problems = find_problem_clusters(agg, config.problem_config)
-    critical = find_critical_clusters(problems)
+def _epoch_summary(agg, problems, critical, epoch: int) -> EpochAnalysis:
+    """Compact, pickle-friendly summary of one (epoch, metric) result."""
     problem_clusters = {
         agg.decode(mask, packed): stats
         for mask, packed, stats in problems.iter_clusters()
@@ -214,39 +312,175 @@ def analyze_epoch(
     )
 
 
+def analyze_epoch(
+    table: SessionTable,
+    rows: np.ndarray,
+    metric: QualityMetric,
+    epoch: int,
+    config: AnalysisConfig,
+    codec: KeyCodec | None = None,
+    leaf_index: EpochLeafIndex | None = None,
+) -> EpochAnalysis:
+    """Run the full per-epoch methodology for one metric."""
+    agg = aggregate_epoch(
+        table,
+        rows,
+        metric,
+        epoch=epoch,
+        thresholds=config.thresholds,
+        codec=codec,
+        leaf_index=leaf_index,
+    )
+    problems = find_problem_clusters(agg, config.problem_config)
+    critical = find_critical_clusters(problems)
+    return _epoch_summary(agg, problems, critical, epoch)
+
+
+def _analyze_epoch_metrics(
+    table: SessionTable,
+    rows: np.ndarray,
+    epoch: int,
+    config: AnalysisConfig,
+    codec: KeyCodec,
+) -> tuple[list[EpochAnalysis], PipelineTimings]:
+    """All metrics of one epoch, sharing a single leaf index.
+
+    This is the unit of work both the serial loop and the process pool
+    execute, which is what guarantees serial/parallel equality.
+    """
+    timings = PipelineTimings(n_epochs=1)
+    t0 = time.perf_counter()
+    leaf_index = EpochLeafIndex.build(table, rows, codec=codec)
+    timings.pack_s += time.perf_counter() - t0
+
+    summaries: list[EpochAnalysis] = []
+    for metric in config.metrics:
+        t1 = time.perf_counter()
+        agg = aggregate_epoch(
+            table,
+            rows,
+            metric,
+            epoch=epoch,
+            thresholds=config.thresholds,
+            leaf_index=leaf_index,
+        )
+        t2 = time.perf_counter()
+        problems = find_problem_clusters(agg, config.problem_config)
+        t3 = time.perf_counter()
+        critical = find_critical_clusters(problems)
+        t4 = time.perf_counter()
+        timings.aggregate_s += t2 - t1
+        timings.problems_s += t3 - t2
+        timings.critical_s += t4 - t3
+        timings.n_units += 1
+        summaries.append(_epoch_summary(agg, problems, critical, epoch))
+    return summaries, timings
+
+
+# Worker-process state, installed once per worker by the pool
+# initializer so each epoch batch avoids re-pickling the session table.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(table: SessionTable, config: AnalysisConfig) -> None:
+    codec = KeyCodec.from_table(table)
+    codec.field_masks()  # warm the per-codec cache once per worker
+    _WORKER_STATE["table"] = table
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["codec"] = codec
+
+
+def _worker_run_batch(
+    batch: list[tuple[int, np.ndarray]],
+) -> list[tuple[int, tuple[list[EpochAnalysis], PipelineTimings]]]:
+    table = _WORKER_STATE["table"]
+    config = _WORKER_STATE["config"]
+    codec = _WORKER_STATE["codec"]
+    return [
+        (epoch, _analyze_epoch_metrics(table, rows, epoch, config, codec))
+        for epoch, rows in batch
+    ]
+
+
+def _chunk_epochs(
+    per_epoch_rows: list[np.ndarray], n_workers: int
+) -> list[list[tuple[int, np.ndarray]]]:
+    """Contiguous epoch batches, ~4 per worker for load balance."""
+    n = len(per_epoch_rows)
+    chunk = max(1, math.ceil(n / (n_workers * 4)))
+    pairs = list(enumerate(per_epoch_rows))
+    return [pairs[i : i + chunk] for i in range(0, n, chunk)]
+
+
 def analyze_trace(
     table: SessionTable,
     config: AnalysisConfig | None = None,
     grid: EpochGrid | None = None,
     progress: Callable[[int, int], None] | None = None,
+    workers: int | str | None = None,
 ) -> TraceAnalysis:
     """Analyse a whole trace for every configured metric.
 
-    ``progress`` (optional) is called with ``(done_epochs,
-    total_epochs)`` after each epoch completes, across all metrics.
+    ``workers`` overrides ``config.workers`` when given: ``0``/``1``
+    run serially in-process, ``"auto"`` uses every CPU, ``n`` uses
+    ``n`` worker processes. Any worker count returns results identical
+    to the serial path. ``progress`` (optional) is called with
+    ``(done_units, total_units)`` — units are (epoch, metric) pairs —
+    after each epoch completes across all its metrics.
     """
     config = config or AnalysisConfig()
+    n_workers = resolve_worker_count(
+        config.workers if workers is None else workers
+    )
     if grid is None:
         grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
     grid, per_epoch_rows = split_into_epochs(table, grid)
     codec = KeyCodec.from_table(table)
 
-    metric_analyses: dict[str, MetricAnalysis] = {}
-    total_units = grid.n_epochs * len(config.metrics)
+    n_metrics = len(config.metrics)
+    total_units = grid.n_epochs * n_metrics
+    timings = PipelineTimings()
+    per_epoch: list[list[EpochAnalysis] | None] = [None] * grid.n_epochs
     done = 0
-    for metric in config.metrics:
-        epochs: list[EpochAnalysis] = []
+    wall_start = time.perf_counter()
+
+    if n_workers <= 1 or grid.n_epochs <= 1:
         for epoch, rows in enumerate(per_epoch_rows):
-            epochs.append(
-                analyze_epoch(table, rows, metric, epoch, config, codec=codec)
+            summaries, epoch_timings = _analyze_epoch_metrics(
+                table, rows, epoch, config, codec
             )
-            done += 1
+            per_epoch[epoch] = summaries
+            timings.merge(epoch_timings)
+            done += n_metrics
             if progress is not None:
                 progress(done, total_units)
+    else:
+        batches = _chunk_epochs(per_epoch_rows, n_workers)
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(batches)),
+            initializer=_worker_init,
+            initargs=(table, config),
+        ) as pool:
+            futures = [pool.submit(_worker_run_batch, batch) for batch in batches]
+            for future in as_completed(futures):
+                for epoch, (summaries, epoch_timings) in future.result():
+                    per_epoch[epoch] = summaries
+                    timings.merge(epoch_timings)
+                    done += n_metrics
+                    if progress is not None:
+                        progress(done, total_units)
+    timings.wall_s = time.perf_counter() - wall_start
+
+    metric_analyses: dict[str, MetricAnalysis] = {}
+    for j, metric in enumerate(config.metrics):
         metric_analyses[metric.name] = MetricAnalysis(
-            metric=metric, grid=grid, epochs=epochs
+            metric=metric,
+            grid=grid,
+            epochs=[per_epoch[e][j] for e in range(grid.n_epochs)],
         )
-    return TraceAnalysis(grid=grid, config=config, metrics=metric_analyses)
+    return TraceAnalysis(
+        grid=grid, config=config, metrics=metric_analyses, timings=timings
+    )
 
 
 def restrict_epochs(analysis: MetricAnalysis, epochs: Sequence[int]) -> MetricAnalysis:
@@ -254,8 +488,13 @@ def restrict_epochs(analysis: MetricAnalysis, epochs: Sequence[int]) -> MetricAn
 
     Used by the proactive what-if simulation to form train/test splits
     (paper Section 5.2). Epoch indices are renumbered 0..len-1 so
-    streak semantics remain contiguous within the subset.
+    streak semantics remain contiguous within the subset; the view's
+    grid is re-anchored at the first chosen epoch's true start time so
+    ``epoch_start()`` keeps reporting trace timestamps (for
+    non-contiguous subsets only the first epoch's timestamp is exact —
+    a uniform grid cannot represent gaps).
     """
+    epochs = list(epochs)
     chosen = [analysis.epochs[e] for e in epochs]
     renumbered = [
         EpochAnalysis(
@@ -269,8 +508,11 @@ def restrict_epochs(analysis: MetricAnalysis, epochs: Sequence[int]) -> MetricAn
         )
         for i, e in enumerate(chosen)
     ]
+    origin = (
+        analysis.grid.epoch_start(epochs[0]) if epochs else analysis.grid.origin
+    )
     grid = EpochGrid(
-        origin=analysis.grid.origin,
+        origin=origin,
         epoch_seconds=analysis.grid.epoch_seconds,
         n_epochs=len(renumbered),
     )

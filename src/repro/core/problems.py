@@ -57,6 +57,12 @@ class ProblemClusterConfig:
             raise ValueError("min_problems must be >= 1")
         if self.significance_sigmas < 0:
             raise ValueError("significance_sigmas must be non-negative")
+        if isinstance(self.min_sessions, bool):
+            # bool is a subclass of int: min_sessions=True would
+            # silently mean a floor of 1 session.
+            raise ValueError(
+                f"min_sessions must be an int or 'auto', got {self.min_sessions!r}"
+            )
         if isinstance(self.min_sessions, str):
             if self.min_sessions != "auto":
                 raise ValueError(

@@ -89,6 +89,7 @@ class SessionTable:
         "bitrate_kbps",
         "join_failed",
         "_decoders",
+        "_encoders",
     )
 
     def __init__(
@@ -136,6 +137,7 @@ class SessionTable:
         self.bitrate_kbps = columns["bitrate_kbps"]
         self.join_failed = columns["join_failed"]
         self._decoders = None
+        self._encoders: list[dict[str, int]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -273,6 +275,21 @@ class SessionTable:
     def decode(self, attr_index: int, code: int) -> str:
         """Label for ``code`` of the attribute at ``attr_index``."""
         return self.vocabs[attr_index][code]
+
+    def code_of(self, name: str, label: str) -> int | None:
+        """Integer code of ``label`` for attribute ``name``.
+
+        Returns ``None`` when the label is absent from the vocabulary.
+        Reverse maps are built lazily and cached (vocabularies are
+        immutable once analysis starts), replacing the O(V)
+        ``list.index`` scans query layers used to pay per lookup.
+        """
+        if self._encoders is None:
+            self._encoders = [
+                {lab: code for code, lab in enumerate(vocab)}
+                for vocab in self.vocabs
+            ]
+        return self._encoders[self.schema.index(name)].get(label)
 
     def attr_labels(self, name: str) -> list[str]:
         """Vocabulary (code-ordered labels) of attribute ``name``."""

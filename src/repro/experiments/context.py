@@ -35,9 +35,18 @@ class ExperimentContext:
         workload: str = "week",
         seed: int = 42,
         config: AnalysisConfig | None = None,
+        workers: int | str | None = None,
     ) -> "ExperimentContext":
+        """Generate a workload and analyze it.
+
+        ``workers`` selects the epoch-parallel executor (see
+        :func:`repro.core.pipeline.analyze_trace`); it changes wall
+        time only, never results.
+        """
         trace = generate_trace(StandardWorkloads.by_name(workload, seed=seed))
-        analysis = analyze_trace(trace.table, config=config, grid=trace.grid)
+        analysis = analyze_trace(
+            trace.table, config=config, grid=trace.grid, workers=workers
+        )
         return cls(trace=trace, analysis=analysis)
 
     @property

@@ -751,3 +751,61 @@ def run_ablation_scale(ctx: ExperimentContext) -> ExperimentResult:
         title="Ablation — analysis throughput vs trace volume",
     )
     return ExperimentResult("abl-scale", "Scale ablation", text, data)
+
+
+def run_ablation_parallel(ctx: ExperimentContext) -> ExperimentResult:
+    """Serial vs epoch-parallel pipeline throughput and phase timings.
+
+    Re-analyzes a slice of the context's trace with ``workers=0`` and
+    ``workers="auto"`` and reports wall time, sessions/second and the
+    per-phase counters (pack / aggregate / problems / critical) the
+    instrumented pipeline collects. Results of the two runs are
+    verified identical before reporting.
+    """
+    import os
+    import time
+
+    sub_hours = min(ctx.n_epochs, 24)
+    table = ctx.trace.table.select(
+        np.nonzero(ctx.trace.table.start_time < sub_hours * 3600.0)[0]
+    )
+    n_cpus = os.cpu_count() or 1
+    rows = []
+    data: dict = {"cpus": n_cpus, "sessions": len(table)}
+    analyses = {}
+    for label, workers in (("serial", 0), (f"parallel(auto={n_cpus})", "auto")):
+        start = time.perf_counter()
+        analysis = analyze_trace(table, workers=workers)
+        elapsed = time.perf_counter() - start
+        analyses[label] = analysis
+        t = analysis.timings
+        rows.append([
+            label, elapsed, len(table) / elapsed,
+            t.pack_s, t.aggregate_s, t.problems_s, t.critical_s,
+        ])
+        data[label] = {
+            "seconds": elapsed,
+            "sessions_per_second": len(table) / elapsed,
+            **t.as_dict(),
+        }
+    serial, parallel = analyses.values()
+    identical = all(
+        serial[name].epochs == parallel[name].epochs
+        for name in serial.metric_names
+    )
+    speedup = data["serial"]["seconds"] / data[f"parallel(auto={n_cpus})"]["seconds"]
+    data["speedup"] = speedup
+    data["identical_results"] = identical
+    text = render_table(
+        ["Engine", "Seconds", "Sessions/s", "Pack s", "Aggregate s",
+         "Problems s", "Critical s"],
+        rows,
+        title=f"Ablation — serial vs epoch-parallel engine ({n_cpus} CPUs, "
+        f"first {sub_hours} h)",
+    )
+    text += "\n\n" + render_kv(
+        {"speedup (serial/parallel)": speedup,
+         "results identical": str(identical)},
+        title="Parallel engine (identical output is a hard invariant)",
+    )
+    return ExperimentResult("abl-parallel", "Parallel engine ablation", text, data)

@@ -153,3 +153,47 @@ class TestTinyTraceIntegration:
     def test_critical_counts_below_problem_counts(self, tiny_analysis):
         for ma in tiny_analysis.metrics.values():
             assert ma.mean_critical_clusters <= ma.mean_problem_clusters
+
+
+class TestRestrictEpochsOrigin:
+    """The subset view must report true trace timestamps, not epoch-0's."""
+
+    def test_origin_moves_to_first_chosen_epoch(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        view = restrict_epochs(ma, [1])
+        assert view.grid.origin == ma.grid.epoch_start(1)
+        assert view.grid.epoch_start(0) == ma.grid.epoch_start(1)
+
+    def test_full_subset_keeps_origin(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        view = restrict_epochs(ma, [0, 1])
+        assert view.grid.origin == ma.grid.origin
+
+    def test_empty_subset_keeps_origin(self, two_epoch_analysis):
+        ma = two_epoch_analysis["join_failure"]
+        view = restrict_epochs(ma, [])
+        assert view.grid.origin == ma.grid.origin
+        assert view.grid.n_epochs == 0
+
+
+class TestPipelineTimings:
+    def test_timings_populated(self, two_epoch_analysis):
+        t = two_epoch_analysis.timings
+        assert t.n_epochs == 2
+        assert t.n_units == 2  # 2 epochs x 1 metric
+        assert t.pack_s > 0
+        assert t.aggregate_s > 0
+        assert t.problems_s > 0
+        assert t.critical_s > 0
+        assert t.wall_s > 0
+
+    def test_timings_render_mentions_phases(self, two_epoch_analysis):
+        text = two_epoch_analysis.timings.render()
+        for word in ("pack", "aggregate", "problem", "critical", "wall"):
+            assert word in text
+
+    def test_as_dict_roundtrips_fields(self, two_epoch_analysis):
+        d = two_epoch_analysis.timings.as_dict()
+        assert d["n_epochs"] == 2
+        assert set(d) >= {"pack_s", "aggregate_s", "problems_s",
+                          "critical_s", "wall_s"}

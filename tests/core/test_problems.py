@@ -190,3 +190,16 @@ class TestCoverage:
             mask_agg = pc.agg.per_mask[mask]
             recomputed = pc.counts_are_problem(mask_agg.sessions, mask_agg.problems)
             assert np.array_equal(recomputed, flags)
+
+
+class TestConfigRejectsBooleans:
+    """bool is an int subclass; min_sessions=True must not mean 1."""
+
+    @pytest.mark.parametrize("flag", [True, False])
+    def test_bool_min_sessions_rejected(self, flag):
+        with pytest.raises(ValueError, match="min_sessions"):
+            ProblemClusterConfig(min_sessions=flag)
+
+    def test_int_and_auto_still_accepted(self):
+        assert ProblemClusterConfig(min_sessions=7).min_sessions == 7
+        assert ProblemClusterConfig(min_sessions="auto").min_sessions == "auto"

@@ -74,3 +74,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["generate", "--workload", "galaxy",
                   "-o", str(tmp_path / "x.jsonl")])
+
+
+class TestWorkersFlag:
+    def test_analyze_parallel_with_timings(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--workers", "2",
+                     "--timings"]) == 0
+        text = capsys.readouterr().out
+        assert "Pipeline timings" in text
+
+    def test_analyze_serial_timings(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--timings"]) == 0
+        assert "Pipeline timings" in capsys.readouterr().out
+
+    def test_bad_workers_value_exits(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
+        with pytest.raises(SystemExit):
+            main(["analyze", str(out), "--workers", "lots"])
+
+    def test_auto_workers_accepted(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
+        assert main(["analyze", str(out), "--workers", "auto"]) == 0

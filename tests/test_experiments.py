@@ -25,7 +25,7 @@ class TestRegistry:
 
     def test_ablations_registered(self):
         for experiment_id in ("abl-threshold", "abl-hhh", "abl-engine",
-                              "abl-scale", "validation"):
+                              "abl-scale", "abl-parallel", "validation"):
             assert experiment_id in EXPERIMENTS
 
     def test_get_unknown(self):
