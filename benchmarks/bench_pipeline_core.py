@@ -6,9 +6,10 @@ critical-cluster phase-transition search — plus a full single-metric
 day of pipeline. These are the costs that dominate every experiment.
 
 ``bench_pipeline_engine_json`` additionally records an end-to-end
-serial-vs-parallel comparison (sessions/sec, speedup, per-phase
-timings) to ``benchmarks/results/BENCH_pipeline.json`` so future
-changes have a perf trajectory to compare against.
+comparison of the three engines — legacy serial, legacy epoch-parallel,
+and trace-indexed serial — (sessions/sec, speedups, per-phase timings)
+to ``benchmarks/results/BENCH_pipeline.json`` so future changes have a
+perf trajectory to compare against.
 """
 
 import json
@@ -21,6 +22,7 @@ import pytest
 from repro.core.aggregation import EpochLeafIndex, KeyCodec, aggregate_epoch
 from repro.core.critical import find_critical_clusters
 from repro.core.epoching import split_into_epochs
+from repro.core.index import TraceClusterIndex
 from repro.core.metrics import ALL_METRICS, JOIN_FAILURE
 from repro.core.pipeline import AnalysisConfig, analyze_trace
 from repro.core.problems import find_problem_clusters
@@ -82,6 +84,22 @@ def bench_shared_leaf_index(benchmark, epoch_inputs):
     assert len(aggs) == len(ALL_METRICS)
 
 
+def bench_indexed_epoch_view(benchmark, epoch_inputs):
+    """Epoch view + four metric aggregations through a prebuilt
+    trace-global index (the indexed engine's steady-state per-epoch
+    cost, directly comparable to ``bench_shared_leaf_index``)."""
+    table, rows = epoch_inputs
+    index = TraceClusterIndex.build(table)
+    index.warm_metric_masks(ALL_METRICS)
+
+    def indexed():
+        view = index.epoch_view(rows)
+        return [view.aggregate(metric) for metric in ALL_METRICS]
+
+    aggs = benchmark(indexed)
+    assert len(aggs) == len(ALL_METRICS)
+
+
 def bench_per_metric_packing(benchmark, epoch_inputs):
     """Per-metric pack/unique (the old path), for direct comparison."""
     table, rows = epoch_inputs
@@ -98,27 +116,44 @@ def bench_per_metric_packing(benchmark, epoch_inputs):
 
 
 def bench_pipeline_engine_json(week_context, results_dir):
-    """End-to-end serial vs parallel run, recorded to BENCH_pipeline.json.
+    """End-to-end engine comparison, recorded to BENCH_pipeline.json.
 
-    Not a microbench: one timed serial pass and one timed parallel pass
-    (``workers="auto"``) over a day of the week trace, all four
+    Not a microbench: one timed pass per engine configuration — legacy
+    serial (``engine="epoch", workers=0``), legacy parallel
+    (``workers="auto"``), and trace-indexed serial
+    (``engine="indexed"``) — over a day of the week trace, all four
     metrics, with the per-phase counters the instrumented pipeline
-    collects. Asserts the two engines return identical results.
+    collects. Asserts all configurations return identical results.
+
+    The parallel comparison is only meaningful with more than one CPU;
+    on a 1-CPU box the recorded "speedup" measures pure process-pool
+    overhead, and the payload says so (``parallel_comparison_note``).
+    The indexed-engine speedups are CPU-count independent.
     """
     table = week_context.trace.table
     day = table.select(np.nonzero(table.start_time < 24 * 3600.0)[0])
     n_cpus = os.cpu_count() or 1
 
     start = time.perf_counter()
-    serial = analyze_trace(day, workers=0)
+    serial = analyze_trace(day, workers=0, engine="epoch")
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = analyze_trace(day, workers="auto")
+    parallel = analyze_trace(day, workers="auto", engine="epoch")
     parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    indexed = analyze_trace(day, workers=0, engine="indexed")
+    indexed_s = time.perf_counter() - start
 
     for name in serial.metric_names:
         assert serial[name].epochs == parallel[name].epochs, name
+        assert serial[name].epochs == indexed[name].epochs, name
+
+    st, it = serial.timings, indexed.timings
+
+    def phase_ratio(legacy_s: float, indexed_phase_s: float) -> float:
+        return legacy_s / indexed_phase_s if indexed_phase_s > 0 else float("inf")
 
     payload = {
         "workload": "week (first 24 h)",
@@ -132,12 +167,32 @@ def bench_pipeline_engine_json(week_context, results_dir):
         "parallel_seconds": parallel_s,
         "parallel_sessions_per_sec": len(day) / parallel_s,
         "speedup": serial_s / parallel_s,
+        "parallel_comparison_note": (
+            "meaningful: ran on > 1 CPU"
+            if n_cpus > 1
+            else "NOT meaningful: 1 CPU — 'speedup' here measures "
+            "process-pool overhead only"
+        ),
+        "indexed_seconds": indexed_s,
+        "indexed_sessions_per_sec": len(day) / indexed_s,
+        "indexed_speedup_vs_serial": serial_s / indexed_s,
+        "indexed_phase_speedups": {
+            "aggregate": phase_ratio(st.aggregate_s, it.aggregate_s),
+            "aggregate_plus_problems": phase_ratio(
+                st.aggregate_s + st.problems_s, it.aggregate_s + it.problems_s
+            ),
+            "problems": phase_ratio(st.problems_s, it.problems_s),
+            "critical": phase_ratio(st.critical_s, it.critical_s),
+        },
         "serial_phases": serial.timings.as_dict(),
         "parallel_phases": parallel.timings.as_dict(),
+        "indexed_phases": indexed.timings.as_dict(),
     }
     path = results_dir / "BENCH_pipeline.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {path}: "
           f"{payload['serial_sessions_per_sec']:.0f} sess/s serial, "
           f"{payload['parallel_sessions_per_sec']:.0f} sess/s parallel "
-          f"({payload['speedup']:.2f}x on {n_cpus} CPUs)")
+          f"({payload['speedup']:.2f}x on {n_cpus} CPUs), "
+          f"{payload['indexed_sessions_per_sec']:.0f} sess/s indexed "
+          f"({payload['indexed_speedup_vs_serial']:.2f}x vs legacy serial)")

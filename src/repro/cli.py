@@ -80,6 +80,15 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("auto", "epoch", "indexed"), default="auto",
+        help="analysis engine: 'indexed' builds one trace-global cluster "
+        "index (what 'auto' resolves to), 'epoch' is the legacy "
+        "per-epoch path; results are identical either way",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-video-quality",
@@ -97,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser("analyze", help="analyze a trace file")
     ana.add_argument("trace", help="trace path (.jsonl or .csv)")
     _add_workers_arg(ana)
+    _add_engine_arg(ana)
     ana.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
 
@@ -108,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--workload", choices=WORKLOAD_NAMES, default="small")
     exp.add_argument("--seed", type=int, default=42)
     _add_workers_arg(exp)
+    _add_engine_arg(exp)
 
     val = sub.add_parser("validate", help="score detector vs planted ground truth")
     val.add_argument("--workload", choices=WORKLOAD_NAMES, default="tiny")
@@ -118,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=42)
     rep.add_argument("-o", "--output", required=True, help="markdown path")
     _add_workers_arg(rep)
+    _add_engine_arg(rep)
     rep.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
 
@@ -165,7 +177,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     table = _read_trace(args.trace)
-    analysis = analyze_trace(table, workers=args.workers)
+    analysis = analyze_trace(table, workers=args.workers, engine=args.engine)
     rows = []
     for name, ma in analysis.metrics.items():
         rows.append(
@@ -194,7 +206,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ctx = ExperimentContext.generate(
-        workload=args.workload, seed=args.seed, workers=args.workers
+        workload=args.workload, seed=args.seed, workers=args.workers,
+        engine=args.engine,
     )
     ids = sorted(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     for experiment_id in ids:
@@ -220,7 +233,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
     trace = generate_trace(spec)
-    analysis = _analyze(trace.table, grid=trace.grid, workers=args.workers)
+    analysis = _analyze(
+        trace.table, grid=trace.grid, workers=args.workers, engine=args.engine
+    )
     path = write_report(
         args.output, trace.table, analysis, catalog=trace.catalog,
         title=f"Problem-structure report — workload {args.workload}, "

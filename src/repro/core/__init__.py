@@ -33,7 +33,13 @@ from repro.core.aggregation import (
     KeyCodec,
     aggregate_epoch,
 )
-from repro.core.problems import ProblemClusterConfig, ProblemClusters, find_problem_clusters
+from repro.core.index import TraceClusterIndex
+from repro.core.problems import (
+    ProblemClusterConfig,
+    ProblemClusters,
+    cluster_problem_flags,
+    find_problem_clusters,
+)
 from repro.core.critical import CriticalClusters, find_critical_clusters
 from repro.core.streaks import (
     ClusterTimeline,
@@ -49,6 +55,7 @@ from repro.core.pipeline import (
     PipelineTimings,
     TraceAnalysis,
     analyze_trace,
+    resolve_engine,
     resolve_worker_count,
 )
 from repro.core.online import AlertEvent, ClusterAlert, OnlineDetector
@@ -77,9 +84,11 @@ __all__ = [
     "EpochAggregate",
     "EpochLeafIndex",
     "KeyCodec",
+    "TraceClusterIndex",
     "aggregate_epoch",
     "ProblemClusterConfig",
     "ProblemClusters",
+    "cluster_problem_flags",
     "find_problem_clusters",
     "CriticalClusters",
     "find_critical_clusters",
@@ -94,6 +103,7 @@ __all__ = [
     "PipelineTimings",
     "TraceAnalysis",
     "analyze_trace",
+    "resolve_engine",
     "resolve_worker_count",
     "AlertEvent",
     "ClusterAlert",

@@ -277,7 +277,14 @@ class MaskAggregate:
 
 
 class EpochAggregate:
-    """All cluster counts for one (epoch, metric) pair."""
+    """All cluster counts for one (epoch, metric) pair.
+
+    ``index`` is set when the aggregate was produced through a
+    :class:`~repro.core.index.TraceClusterIndex` — it then holds the
+    :class:`~repro.core.index.EpochClusterView` the aggregate came
+    from, and downstream detectors reuse the view's precomputed
+    leaf/cluster projections instead of per-epoch ``searchsorted``.
+    """
 
     __slots__ = (
         "epoch",
@@ -286,6 +293,7 @@ class EpochAggregate:
         "per_mask",
         "total_sessions",
         "total_problems",
+        "index",
     )
 
     def __init__(
@@ -296,6 +304,7 @@ class EpochAggregate:
         per_mask: dict[int, MaskAggregate],
         total_sessions: int,
         total_problems: int,
+        index=None,
     ) -> None:
         self.epoch = epoch
         self.metric_name = metric_name
@@ -303,6 +312,7 @@ class EpochAggregate:
         self.per_mask = per_mask
         self.total_sessions = total_sessions
         self.total_problems = total_problems
+        self.index = index
 
     @property
     def global_stats(self) -> ClusterStats:
@@ -350,6 +360,7 @@ def aggregate_epoch(
     codec: KeyCodec | None = None,
     problem_flags: np.ndarray | None = None,
     leaf_index: EpochLeafIndex | None = None,
+    cluster_index=None,
 ) -> EpochAggregate:
     """Aggregate one epoch's sessions for one metric.
 
@@ -363,7 +374,21 @@ def aggregate_epoch(
     ``leaf_index``, when given, must have been built from the same
     ``rows`` (see :class:`EpochLeafIndex`); the expensive pack/unique
     pass is then shared instead of recomputed, with identical results.
+
+    ``cluster_index``, when given, must be a
+    :class:`~repro.core.index.TraceClusterIndex` built from the same
+    ``table``; aggregation then reduces to bincounts over the index's
+    precomputed inverses (see that class for the exact-equivalence
+    argument) and ``leaf_index``/``codec`` are ignored.
     """
+    if cluster_index is not None:
+        return cluster_index.aggregate(
+            rows,
+            metric,
+            epoch=epoch,
+            thresholds=thresholds,
+            problem_flags=problem_flags,
+        )
     if leaf_index is not None:
         codec = leaf_index.codec
     else:

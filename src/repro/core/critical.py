@@ -23,9 +23,12 @@ The descendant condition is evaluated **cluster-globally**: a candidate
 is healthy — that pattern means the real cause lives in a specific
 combination, not in the ASN. The implementation runs a bottom-up
 dynamic program over the per-mask cluster tables (one boolean per
-cluster, child tables folded onto parents with vectorised
-``logical_and.at``), so the cost stays near-linear in the number of
-distinct clusters.
+cluster, failing children folded onto parents with one ``bincount``
+per lattice edge), so the cost stays near-linear in the number of
+distinct clusters. When the aggregate carries a
+:class:`~repro.core.index.TraceClusterIndex`, the child -> parent fold
+indices are the index's trace-global cached projections — computed
+once, reused across every epoch and metric.
 """
 
 from __future__ import annotations
@@ -112,31 +115,46 @@ class CriticalClusters:
         }
 
 
+def _project_index(agg, fine: int, coarse: int) -> np.ndarray:
+    """Positions of mask ``fine``'s clusters within mask ``coarse``'s keys.
+
+    Reuses the trace-global cache when the aggregate carries a
+    :class:`~repro.core.index.TraceClusterIndex` (one ``searchsorted``
+    per (fine, coarse) pair for the whole trace, all epochs and
+    metrics); falls back to a per-epoch ``searchsorted`` otherwise.
+    """
+    if agg.index is not None:
+        return agg.index.project_index(fine, coarse)
+    proj = agg.per_mask[fine].keys & agg.codec.field_masks()[coarse]
+    return np.searchsorted(agg.per_mask[coarse].keys, proj)
+
+
 def _descendants_ok(problems: ProblemClusters) -> dict[int, np.ndarray]:
     """Per cluster: itself and every significant descendant is a
     problem cluster (insignificant clusters are vacuously fine)."""
     agg = problems.agg
     codec = agg.codec
     full = codec.full_mask
-    field_masks = codec.field_masks()
     min_sessions = problems.min_sessions
 
     desc_ok: dict[int, np.ndarray] = {}
     for m in sorted(range(1, full + 1), key=popcount, reverse=True):
         mask_agg = agg.per_mask[m]
-        own = problems.is_problem[m] | (mask_agg.sessions < min_sessions)
-        acc = own.copy()
+        acc = problems.is_problem[m] | (mask_agg.sessions < min_sessions)
         for i in range(codec.n_attrs):
             bit = 1 << i
             child_mask = m | bit
             if child_mask == m or child_mask > full:
                 continue
-            child_agg = agg.per_mask[child_mask]
-            proj = child_agg.keys & field_masks[m]
-            idx = np.searchsorted(mask_agg.keys, proj)
-            fold = np.ones(mask_agg.keys.size, dtype=bool)
-            np.logical_and.at(fold, idx, desc_ok[child_mask])
-            acc &= fold
+            bad = ~desc_ok[child_mask]
+            if not bad.any():
+                continue
+            # Fold failing children onto their parent clusters: a
+            # parent is disqualified iff at least one of its children
+            # is (equivalent to logical_and.at, but one bincount).
+            idx = _project_index(agg, child_mask, m)
+            hits = np.bincount(idx[bad], minlength=mask_agg.keys.size)
+            acc &= hits == 0
         desc_ok[m] = acc
     return desc_ok
 
@@ -151,7 +169,6 @@ def _removal_ok(
     longer satisfy the problem-cluster predicate.
     """
     agg = problems.agg
-    field_masks = agg.codec.field_masks()
     out: dict[int, np.ndarray] = {}
     for m, need in needed.items():
         mask_agg = agg.per_mask[m]
@@ -160,7 +177,7 @@ def _removal_ok(
             if not ok.any():
                 break
             anc_agg = agg.per_mask[a]
-            idx = np.searchsorted(anc_agg.keys, mask_agg.keys & field_masks[a])
+            idx = _project_index(agg, m, a)
             rem_sessions = anc_agg.sessions[idx] - mask_agg.sessions
             rem_problems = anc_agg.problems[idx] - mask_agg.problems
             still_problem = problems.is_problem[a][idx] & problems.counts_are_problem(
@@ -182,6 +199,11 @@ def find_critical_clusters(problems: ProblemClusters) -> CriticalClusters:
 
     if n_leaves == 0 or agg.total_problems == 0:
         return CriticalClusters(problems, {}, 0.0)
+    if problems.n_clusters == 0:
+        # No problem clusters means no candidates: every problem
+        # session is unattributed. Skipping the DP entirely is output-
+        # identical (the candidate matrix would be all-False).
+        return CriticalClusters(problems, {}, float(agg.total_problems))
 
     # Cluster-level candidacy: problem cluster + all descendants fine.
     desc_ok = _descendants_ok(problems)

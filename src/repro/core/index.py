@@ -1,0 +1,429 @@
+"""Trace-global cluster index: build the lattice once, reduce epochs to bincounts.
+
+The per-epoch pipeline used to rebuild the same structure for every
+(epoch, metric) unit: pack attribute codes into int64 leaf keys, reduce
+them with ``np.unique``, project every non-empty attribute mask with
+another ``np.unique`` over int64 keys, and ``searchsorted`` leaf keys
+into each mask's cluster table. Almost none of that depends on the
+metric, and the expensive parts don't depend on the epoch either — they
+are properties of the *trace's* leaf universe. The index splits the
+work into two amortised levels:
+
+**Trace level** (:class:`TraceClusterIndex`, built once per trace):
+
+* all sessions are packed once and reduced to the trace-global leaf
+  universe (``leaf_keys`` + a row -> leaf inverse),
+* every non-empty attribute mask gets its projected cluster key array
+  and a leaf -> cluster inverse,
+* cluster-to-cluster projection indices between lattice levels (the
+  ``searchsorted`` folds of aggregation and the critical-cluster DP)
+  are computed once and cached across all epochs and metrics,
+* per-metric validity/problem masks over the whole table are computed
+  once and sliced per epoch.
+
+**Epoch level** (:class:`EpochClusterView`, built once per epoch and
+shared by every metric): the epoch's *active* subset of each mask's
+global cluster table, found with one ``np.unique`` over small int32
+cluster ids (never over int64 keys), plus localized leaf projections
+and lattice fold indices obtained by gathers through the global cache.
+The compact tables are exactly the clusters the legacy engine would
+enumerate for the epoch, so downstream phases touch the same amount of
+data — minus every per-unit ``np.unique``/``searchsorted``.
+
+With a view, aggregating one (epoch, metric) unit collapses to two
+``np.bincount`` calls at the leaf level plus two per mask, folded down
+the lattice from the cheapest finer mask. The resulting aggregates may
+retain leaf combinations whose sessions are all invalid for the metric
+(the legacy engine drops them); such zero-count clusters can never be
+problem clusters, never disqualify an ancestor, and never receive
+attribution, so problem/critical outputs are identical to the legacy
+engine (pinned by ``tests/property/test_parallel_equivalence.py``).
+
+Memory footprint: one int32 per (mask, leaf) pair for the global
+inverse tables — ``(2^n - 1) * n_leaves * 4`` bytes dominate (about
+20 MB for 40k distinct leaves under the paper's 7 attributes) — plus
+the packed key arrays and the cached projection indices.
+:meth:`TraceClusterIndex.memory_bytes` reports the exact total.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.aggregation import EpochAggregate, KeyCodec, MaskAggregate
+from repro.core.attributes import popcount
+from repro.core.metrics import MetricThresholds, QualityMetric
+from repro.core.sessions import SessionTable
+
+
+class TraceClusterIndex:
+    """Precomputed cluster lattice for one :class:`SessionTable`.
+
+    Build once with :meth:`build`, then call :meth:`epoch_view` (or
+    :meth:`aggregate` directly) for any rows subset of the same table.
+    The index snapshots the table's vocabularies through its
+    :class:`KeyCodec`, so decoded cluster identities are stable across
+    epochs.
+    """
+
+    __slots__ = (
+        "table",
+        "codec",
+        "leaf_keys",
+        "row_to_leaf",
+        "mask_keys",
+        "leaf_to_cluster",
+        "fold_source",
+        "fold_order",
+        "_project_index",
+        "_metric_masks",
+    )
+
+    def __init__(
+        self,
+        table: SessionTable,
+        codec: KeyCodec,
+        leaf_keys: np.ndarray,
+        row_to_leaf: np.ndarray,
+        mask_keys: dict[int, np.ndarray],
+        leaf_to_cluster: dict[int, np.ndarray],
+        fold_source: dict[int, int],
+        fold_order: list[int],
+    ) -> None:
+        self.table = table
+        self.codec = codec
+        self.leaf_keys = leaf_keys
+        self.row_to_leaf = row_to_leaf
+        self.mask_keys = mask_keys
+        self.leaf_to_cluster = leaf_to_cluster
+        self.fold_source = fold_source
+        self.fold_order = fold_order
+        self._project_index: dict[tuple[int, int], np.ndarray] = {}
+        self._metric_masks: dict[
+            tuple[str, MetricThresholds], tuple[np.ndarray, np.ndarray]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, table: SessionTable, codec: KeyCodec | None = None
+    ) -> "TraceClusterIndex":
+        """Pack all sessions, compute the leaf universe and every
+        per-mask projection, and prewarm the lattice fold indices."""
+        codec = codec or KeyCodec.from_table(table)
+        field_masks = codec.field_masks()
+        full = codec.full_mask
+
+        packed = codec.pack(table.codes)
+        leaf_keys, row_to_leaf = np.unique(packed, return_inverse=True)
+        row_to_leaf = row_to_leaf.astype(np.int32, copy=False)
+
+        mask_keys: dict[int, np.ndarray] = {full: leaf_keys}
+        leaf_to_cluster: dict[int, np.ndarray] = {
+            full: np.arange(leaf_keys.size, dtype=np.int32)
+        }
+        for m in range(1, full):
+            keys, inverse = np.unique(
+                leaf_keys & field_masks[m], return_inverse=True
+            )
+            mask_keys[m] = keys
+            leaf_to_cluster[m] = inverse.astype(np.int32, copy=False)
+
+        # Each non-leaf mask folds its counts down from one finer mask
+        # (one extra attribute); pick the finer mask with the fewest
+        # clusters so every fold touches as little data as possible.
+        n_attrs = codec.n_attrs
+        fold_source: dict[int, int] = {}
+        for m in range(1, full):
+            best = -1
+            for i in range(n_attrs):
+                finer = m | (1 << i)
+                if finer == m:
+                    continue
+                if best < 0 or mask_keys[finer].size < mask_keys[best].size:
+                    best = finer
+            fold_source[m] = best
+        fold_order = sorted(range(1, full), key=popcount, reverse=True)
+
+        index = cls(
+            table=table,
+            codec=codec,
+            leaf_keys=leaf_keys,
+            row_to_leaf=row_to_leaf,
+            mask_keys=mask_keys,
+            leaf_to_cluster=leaf_to_cluster,
+            fold_source=fold_source,
+            fold_order=fold_order,
+        )
+        # Prewarm every one-attribute-apart projection: these are the
+        # aggregation fold indices and the child->parent indices of the
+        # critical-cluster descendants DP.
+        for m in range(1, full):
+            for i in range(n_attrs):
+                finer = m | (1 << i)
+                if finer != m:
+                    index.project_index(finer, m)
+        return index
+
+    # ------------------------------------------------------------------
+    # Precomputed structure
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_keys.size)
+
+    @property
+    def n_clusters_total(self) -> int:
+        """Distinct clusters across all non-empty masks."""
+        return int(sum(keys.size for keys in self.mask_keys.values()))
+
+    def project_index(self, fine: int, coarse: int) -> np.ndarray:
+        """Positions of mask ``fine``'s clusters projected onto mask
+        ``coarse`` (a strict submask), within ``coarse``'s key array.
+
+        Computed with one ``searchsorted`` on first use and cached —
+        every epoch and metric afterwards reuses the same array (the
+        projection depends only on the trace's leaf universe).
+        """
+        key = (fine, coarse)
+        idx = self._project_index.get(key)
+        if idx is None:
+            if coarse & fine != coarse or coarse == fine:
+                raise ValueError(
+                    f"mask {coarse:#x} is not a strict submask of {fine:#x}"
+                )
+            proj = self.mask_keys[fine] & self.codec.field_masks()[coarse]
+            idx = np.searchsorted(self.mask_keys[coarse], proj).astype(
+                np.int32, copy=False
+            )
+            self._project_index[key] = idx
+        return idx
+
+    def metric_masks(
+        self, metric: QualityMetric, thresholds: MetricThresholds | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-table ``(valid, problem)`` boolean masks for one metric.
+
+        Computed once per (metric name, thresholds) pair and cached;
+        per-epoch aggregation slices these instead of re-deriving
+        full-table masks for every epoch.
+        """
+        thresholds = thresholds or MetricThresholds()
+        key = (metric.name, thresholds)
+        cached = self._metric_masks.get(key)
+        if cached is None:
+            cached = (
+                metric.valid_mask(self.table),
+                metric.problem_mask(self.table, thresholds),
+            )
+            self._metric_masks[key] = cached
+        return cached
+
+    def warm_metric_masks(
+        self,
+        metrics: Iterable[QualityMetric],
+        thresholds: MetricThresholds | None = None,
+    ) -> None:
+        """Precompute metric masks (e.g. before shipping to workers)."""
+        for metric in metrics:
+            self.metric_masks(metric, thresholds)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the index's numpy arrays (incl. caches)."""
+        arrays = [self.leaf_keys, self.row_to_leaf]
+        arrays += list(self.mask_keys.values())
+        arrays += list(self.leaf_to_cluster.values())
+        arrays += list(self._project_index.values())
+        for valid, problem in self._metric_masks.values():
+            arrays += [valid, problem]
+        return int(sum(a.nbytes for a in arrays))
+
+    # ------------------------------------------------------------------
+    # Per-epoch reduction
+    # ------------------------------------------------------------------
+    def epoch_view(self, rows: np.ndarray, epoch: int = 0) -> "EpochClusterView":
+        """Compact view of the epoch's active slice of the lattice,
+        shared by every metric analysed over the same ``rows``."""
+        return EpochClusterView(self, rows, epoch=epoch)
+
+    def aggregate(
+        self,
+        rows: np.ndarray,
+        metric: QualityMetric,
+        epoch: int = 0,
+        thresholds: MetricThresholds | None = None,
+        problem_flags: np.ndarray | None = None,
+    ) -> EpochAggregate:
+        """One-shot aggregation of ``rows`` for one metric.
+
+        Convenience for single-metric callers; multi-metric callers
+        should build one :meth:`epoch_view` and aggregate each metric
+        through it.
+        """
+        return self.epoch_view(rows, epoch=epoch).aggregate(
+            metric, thresholds=thresholds, problem_flags=problem_flags
+        )
+
+
+class EpochClusterView:
+    """One epoch's active slice of a :class:`TraceClusterIndex`.
+
+    Holds, for every non-empty attribute mask, the sorted global ids of
+    the clusters that actually occur among the epoch's rows, the
+    compacted (epoch-local) leaf -> cluster projections, and lazily
+    localized cluster -> cluster fold indices. All of it is derived
+    from the global index by ``np.unique`` over small int32 id arrays
+    and gathers — no int64 key packing, no ``searchsorted`` over keys.
+
+    The view is metric-independent: aggregate each metric over the same
+    epoch with :meth:`aggregate`, and the problem/critical detectors
+    reuse ``leaf_to_cluster``/:meth:`project_index` via the aggregate's
+    ``index`` attribute.
+    """
+
+    __slots__ = (
+        "index",
+        "epoch",
+        "rows",
+        "row_leaf_local",
+        "active_ids",
+        "leaf_to_cluster",
+        "_keys",
+        "_project_local",
+    )
+
+    def __init__(
+        self, index: TraceClusterIndex, rows: np.ndarray, epoch: int = 0
+    ) -> None:
+        self.index = index
+        self.epoch = epoch
+        rows = np.asarray(rows)
+        self.rows = rows
+
+        inv = index.row_to_leaf[rows]
+        leaf_ids, row_leaf_local = np.unique(inv, return_inverse=True)
+        self.row_leaf_local = row_leaf_local.astype(np.int32, copy=False)
+
+        full = index.codec.full_mask
+        active_ids: dict[int, np.ndarray] = {full: leaf_ids}
+        leaf_to_cluster: dict[int, np.ndarray] = {
+            full: np.arange(leaf_ids.size, dtype=np.int32)
+        }
+        for m in range(1, full):
+            ids, local = np.unique(
+                index.leaf_to_cluster[m][leaf_ids], return_inverse=True
+            )
+            active_ids[m] = ids
+            leaf_to_cluster[m] = local.astype(np.int32, copy=False)
+        self.active_ids = active_ids
+        self.leaf_to_cluster = leaf_to_cluster
+        self._keys: dict[int, np.ndarray] = {}
+        self._project_local: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.active_ids[self.index.codec.full_mask].size)
+
+    def keys(self, mask: int) -> np.ndarray:
+        """Sorted packed keys of the epoch's active clusters of ``mask``."""
+        out = self._keys.get(mask)
+        if out is None:
+            out = self.index.mask_keys[mask][self.active_ids[mask]]
+            self._keys[mask] = out
+        return out
+
+    def project_index(self, fine: int, coarse: int) -> np.ndarray:
+        """Epoch-local analog of :meth:`TraceClusterIndex.project_index`.
+
+        Localized once per (fine, coarse) pair per epoch — every metric
+        of the epoch shares it — by gathering the cached global
+        projection at the active fine clusters and re-ranking within
+        the active coarse clusters. Every projection of an active fine
+        cluster is itself active (it contains the same active leaf), so
+        the ``searchsorted`` below always hits exactly.
+        """
+        key = (fine, coarse)
+        idx = self._project_local.get(key)
+        if idx is None:
+            global_proj = self.index.project_index(fine, coarse)
+            idx = np.searchsorted(
+                self.active_ids[coarse], global_proj[self.active_ids[fine]]
+            ).astype(np.int32, copy=False)
+            self._project_local[key] = idx
+        return idx
+
+    def aggregate(
+        self,
+        metric: QualityMetric,
+        thresholds: MetricThresholds | None = None,
+        problem_flags: np.ndarray | None = None,
+    ) -> EpochAggregate:
+        """Aggregate this epoch's rows for one metric.
+
+        Output-equivalent to :func:`repro.core.aggregation.aggregate_epoch`
+        over the same rows, except leaf combinations with no *valid*
+        session for the metric are retained with zero counts (the
+        legacy engine drops them) — which downstream detection provably
+        ignores. Two leaf-level bincounts plus two per mask, folded
+        down the lattice; no per-epoch key packing at all.
+        """
+        index = self.index
+        valid_all, problem_all = index.metric_masks(metric, thresholds)
+        valid = valid_all[self.rows]
+        if problem_flags is None:
+            problem = problem_all[self.rows]
+        else:
+            problem_flags = np.asarray(problem_flags, dtype=bool)
+            if problem_flags.shape != (self.rows.size,):
+                raise ValueError(
+                    f"problem_flags shape {problem_flags.shape} != rows "
+                    f"{(self.rows.size,)}"
+                )
+            problem = problem_flags & valid
+
+        n_leaves = self.n_leaves
+        leaf_sessions = np.bincount(
+            self.row_leaf_local[valid], minlength=n_leaves
+        ).astype(np.int64, copy=False)
+        leaf_problems = np.bincount(
+            self.row_leaf_local[problem], minlength=n_leaves
+        ).astype(np.int64, copy=False)
+
+        full = index.codec.full_mask
+        sessions: dict[int, np.ndarray] = {full: leaf_sessions}
+        problems: dict[int, np.ndarray] = {full: leaf_problems}
+        for m in index.fold_order:
+            src = index.fold_source[m]
+            idx = self.project_index(src, m)
+            n = int(self.active_ids[m].size)
+            # Counts stay int64-exact: bincount's float64 weights are
+            # exact for values < 2^53.
+            sessions[m] = np.bincount(
+                idx, weights=sessions[src], minlength=n
+            ).astype(np.int64)
+            problems[m] = np.bincount(
+                idx, weights=problems[src], minlength=n
+            ).astype(np.int64)
+
+        per_mask = {
+            m: MaskAggregate(
+                mask=m,
+                keys=self.keys(m),
+                sessions=sessions[m],
+                problems=problems[m],
+            )
+            for m in range(1, full + 1)
+        }
+        return EpochAggregate(
+            epoch=self.epoch,
+            metric_name=metric.name,
+            codec=index.codec,
+            per_mask=per_mask,
+            total_sessions=int(leaf_sessions.sum()),
+            total_problems=int(leaf_problems.sum()),
+            index=self,
+        )

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.aggregation import aggregate_epoch
 from repro.core.clusters import ClusterKey
 from repro.core.critical import find_critical_clusters
+from repro.core.index import TraceClusterIndex
 from repro.core.metrics import MetricThresholds, QualityMetric
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
@@ -98,11 +99,19 @@ class OnlineDetector:
         thresholds: MetricThresholds | None = None,
         confirm_after: int = 2,
         clear_after: int = 1,
+        use_cluster_index: bool = True,
     ) -> None:
         """``clear_after`` adds hysteresis: an alert clears only after
         its cluster has been absent for that many consecutive epochs.
         Structural causes hover around the significance threshold and
-        would otherwise flap raise/clear every other hour."""
+        would otherwise flap raise/clear every other hour.
+
+        ``use_cluster_index`` enables an adaptive fast path: when the
+        detector sees the *same* table object on consecutive epochs
+        (the common replay pattern — one table, per-epoch row slices),
+        it builds a :class:`TraceClusterIndex` once and reduces every
+        later epoch through it. Detection output is identical either
+        way."""
         if confirm_after < 1:
             raise ValueError("confirm_after must be >= 1")
         if clear_after < 1:
@@ -112,21 +121,57 @@ class OnlineDetector:
         self.thresholds = thresholds or MetricThresholds()
         self.confirm_after = confirm_after
         self.clear_after = clear_after
+        self.use_cluster_index = use_cluster_index
         self.epochs_observed = 0
         self.open_alerts: dict[ClusterKey, ClusterAlert] = {}
         self.closed_alerts: list[ClusterAlert] = []
         self.history: list[EpochObservation] = []
+        self._last_table: SessionTable | None = None
+        self._index: TraceClusterIndex | None = None
+
+    def _resolve_index(
+        self, table: SessionTable, cluster_index: TraceClusterIndex | None
+    ) -> TraceClusterIndex | None:
+        """Pick the index for this epoch (explicit wins; adaptive else).
+
+        The adaptive path builds the index on the *second* consecutive
+        observation of one table object — a single build amortised over
+        the remaining epochs — and drops it when the table changes
+        (slices from different collectors have different vocabularies).
+        """
+        if cluster_index is not None:
+            return cluster_index
+        if not self.use_cluster_index:
+            return None
+        if self._last_table is not table:
+            self._last_table = table
+            self._index = None
+            return None
+        if self._index is None:
+            self._index = TraceClusterIndex.build(table)
+            self._index.warm_metric_masks([self.metric], self.thresholds)
+        return self._index
 
     def observe_epoch(
-        self, table: SessionTable, rows: np.ndarray | None = None
+        self,
+        table: SessionTable,
+        rows: np.ndarray | None = None,
+        cluster_index: TraceClusterIndex | None = None,
     ) -> EpochObservation:
         """Consume one epoch of sessions; returns the epoch summary
-        with any alert transitions."""
+        with any alert transitions. ``cluster_index`` (optional) is a
+        prebuilt index over ``table`` to reduce through."""
         epoch = self.epochs_observed
         if rows is None:
             rows = np.arange(len(table))
+        idx = self._resolve_index(table, cluster_index)
         agg = aggregate_epoch(
-            table, rows, self.metric, epoch=epoch, thresholds=self.thresholds
+            table,
+            rows,
+            self.metric,
+            epoch=epoch,
+            thresholds=self.thresholds,
+            cluster_index=idx,
         )
         problems = find_problem_clusters(agg, self.problem_config)
         critical = find_critical_clusters(problems)

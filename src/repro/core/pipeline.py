@@ -10,13 +10,24 @@
 3. summarise each epoch compactly (decoded cluster identities with
    stats/attribution) so week-scale traces stay memory-friendly.
 
-The methodology is embarrassingly parallel — every (epoch, metric)
-pair is independent — so the engine can fan epochs out over a process
-pool (``workers``): ``0``/``1`` run serially in-process, ``"auto"``
-uses every CPU, and any worker count produces results identical to the
-serial path (same cluster identities, same stats, same attribution).
-Per-phase wall-time counters (pack/aggregate/problems/critical) are
-accumulated on :class:`PipelineTimings` and surfaced via
+Two orthogonal execution knobs shape how step 2 runs:
+
+* ``engine`` selects the per-epoch reduction strategy. ``"epoch"`` is
+  the legacy path (rebuild a leaf index per epoch); ``"indexed"``
+  (what ``"auto"`` resolves to) builds one
+  :class:`~repro.core.index.TraceClusterIndex` for the whole trace and
+  reduces each (epoch, metric) unit to a handful of ``bincount``
+  calls. Both engines produce bit-identical problem and critical
+  clusters (pinned by ``tests/property/test_parallel_equivalence.py``).
+* ``workers`` fans epochs out over a process pool: ``0``/``1`` run
+  serially in-process, ``"auto"`` uses every CPU, and any worker count
+  produces results identical to the serial path (same cluster
+  identities, same stats, same attribution). With the indexed engine
+  the trace index is built once in the parent and shipped to each
+  worker through the pool initializer.
+
+Per-phase wall-time counters (pack/index-build/aggregate/problems/
+critical) are accumulated on :class:`PipelineTimings` and surfaced via
 ``TraceAnalysis.timings``.
 
 The result object exposes the per-metric timelines and series that all
@@ -43,6 +54,7 @@ from repro.core.aggregation import (
 from repro.core.clusters import ClusterKey
 from repro.core.critical import CriticalAttribution, find_critical_clusters
 from repro.core.epoching import EpochGrid, split_into_epochs
+from repro.core.index import TraceClusterIndex
 from repro.core.metrics import ALL_METRICS, MetricThresholds, QualityMetric
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
@@ -69,14 +81,39 @@ def resolve_worker_count(workers: int | str | None) -> int:
     return workers
 
 
+#: Valid values of the ``engine`` knob.
+ENGINES = ("auto", "epoch", "indexed")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve the ``engine`` knob to a concrete engine name.
+
+    ``None``/``"auto"`` pick the trace-global indexed engine (the fast
+    default); ``"epoch"`` forces the legacy per-epoch leaf-index path;
+    ``"indexed"`` is explicit. Engine choice never changes results,
+    only wall time and memory.
+    """
+    if engine is None or engine == "auto":
+        return "indexed"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
     """Knobs for the full pipeline (paper defaults).
 
     ``workers`` selects the epoch-parallel executor: ``0`` (default)
     and ``1`` run serially in-process, ``"auto"`` uses every CPU, any
-    other int that many worker processes. Results are identical at any
-    worker count.
+    other int that many worker processes. ``engine`` selects the
+    reduction strategy: ``"auto"`` (default, resolves to
+    ``"indexed"``), ``"indexed"`` (one trace-global
+    :class:`~repro.core.index.TraceClusterIndex`, per-epoch bincounts)
+    or ``"epoch"`` (legacy per-epoch leaf index). Results are identical
+    for every combination of the two knobs.
     """
 
     metrics: tuple[QualityMetric, ...] = ALL_METRICS
@@ -84,16 +121,21 @@ class AnalysisConfig:
     problem_config: ProblemClusterConfig = field(default_factory=ProblemClusterConfig)
     epoch_seconds: float = 3600.0
     workers: int | str = 0
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         resolve_worker_count(self.workers)  # validate eagerly
+        resolve_engine(self.engine)
 
 
 @dataclass
 class PipelineTimings:
     """Per-phase wall-time counters for one ``analyze_trace`` run.
 
-    ``pack_s`` counts shared leaf-index construction (once per epoch);
+    ``pack_s`` counts per-epoch shared-structure construction — the
+    legacy engine's leaf index or the indexed engine's epoch view —
+    once per epoch; ``index_build_s`` counts trace-global index
+    construction (once per run, indexed engine only);
     ``aggregate_s``/``problems_s``/``critical_s`` accumulate per
     (epoch, metric) unit. In parallel runs the phase counters sum time
     spent inside worker processes while ``wall_s`` is the parent's
@@ -102,6 +144,7 @@ class PipelineTimings:
     """
 
     pack_s: float = 0.0
+    index_build_s: float = 0.0
     aggregate_s: float = 0.0
     problems_s: float = 0.0
     critical_s: float = 0.0
@@ -111,12 +154,19 @@ class PipelineTimings:
 
     @property
     def phase_seconds(self) -> float:
-        """Total time attributed to the four instrumented phases."""
-        return self.pack_s + self.aggregate_s + self.problems_s + self.critical_s
+        """Total time attributed to the instrumented phases."""
+        return (
+            self.pack_s
+            + self.index_build_s
+            + self.aggregate_s
+            + self.problems_s
+            + self.critical_s
+        )
 
     def merge(self, other: "PipelineTimings") -> None:
         """Accumulate another run's (or epoch's) counters into this one."""
         self.pack_s += other.pack_s
+        self.index_build_s += other.index_build_s
         self.aggregate_s += other.aggregate_s
         self.problems_s += other.problems_s
         self.critical_s += other.critical_s
@@ -126,6 +176,7 @@ class PipelineTimings:
     def as_dict(self) -> dict[str, float]:
         return {
             "pack_s": self.pack_s,
+            "index_build_s": self.index_build_s,
             "aggregate_s": self.aggregate_s,
             "problems_s": self.problems_s,
             "critical_s": self.critical_s,
@@ -140,7 +191,8 @@ class PipelineTimings:
         lines = [
             "Pipeline timings "
             f"({self.n_epochs} epochs, {self.n_units} epoch-metric units):",
-            f"  pack (shared leaf index) : {self.pack_s:9.4f} s",
+            f"  pack (per-epoch shared)  : {self.pack_s:9.4f} s",
+            f"  index build (trace)      : {self.index_build_s:9.4f} s",
             f"  aggregate (per metric)   : {self.aggregate_s:9.4f} s",
             f"  problem clusters         : {self.problems_s:9.4f} s",
             f"  critical clusters        : {self.critical_s:9.4f} s",
@@ -342,28 +394,41 @@ def _analyze_epoch_metrics(
     epoch: int,
     config: AnalysisConfig,
     codec: KeyCodec,
+    cluster_index: TraceClusterIndex | None = None,
 ) -> tuple[list[EpochAnalysis], PipelineTimings]:
-    """All metrics of one epoch, sharing a single leaf index.
+    """All metrics of one epoch, sharing a single per-epoch structure.
 
     This is the unit of work both the serial loop and the process pool
-    execute, which is what guarantees serial/parallel equality.
+    execute, which is what guarantees serial/parallel equality. The
+    legacy engine shares an :class:`EpochLeafIndex` (pack + unique once
+    per epoch); the indexed engine shares an epoch view of the
+    trace-global ``cluster_index`` instead — both are timed as
+    ``pack_s``, the per-epoch shared-structure phase.
     """
     timings = PipelineTimings(n_epochs=1)
+    leaf_index = None
+    view = None
     t0 = time.perf_counter()
-    leaf_index = EpochLeafIndex.build(table, rows, codec=codec)
+    if cluster_index is None:
+        leaf_index = EpochLeafIndex.build(table, rows, codec=codec)
+    else:
+        view = cluster_index.epoch_view(rows, epoch=epoch)
     timings.pack_s += time.perf_counter() - t0
 
     summaries: list[EpochAnalysis] = []
     for metric in config.metrics:
         t1 = time.perf_counter()
-        agg = aggregate_epoch(
-            table,
-            rows,
-            metric,
-            epoch=epoch,
-            thresholds=config.thresholds,
-            leaf_index=leaf_index,
-        )
+        if view is not None:
+            agg = view.aggregate(metric, thresholds=config.thresholds)
+        else:
+            agg = aggregate_epoch(
+                table,
+                rows,
+                metric,
+                epoch=epoch,
+                thresholds=config.thresholds,
+                leaf_index=leaf_index,
+            )
         t2 = time.perf_counter()
         problems = find_problem_clusters(agg, config.problem_config)
         t3 = time.perf_counter()
@@ -382,12 +447,20 @@ def _analyze_epoch_metrics(
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(table: SessionTable, config: AnalysisConfig) -> None:
-    codec = KeyCodec.from_table(table)
+def _worker_init(
+    table: SessionTable,
+    config: AnalysisConfig,
+    cluster_index: TraceClusterIndex | None = None,
+) -> None:
+    # With the indexed engine the parent ships the prebuilt trace index
+    # alongside the table; pickle memoises shared references within one
+    # initargs tuple, so the table inside the index is not duplicated.
+    codec = cluster_index.codec if cluster_index is not None else KeyCodec.from_table(table)
     codec.field_masks()  # warm the per-codec cache once per worker
     _WORKER_STATE["table"] = table
     _WORKER_STATE["config"] = config
     _WORKER_STATE["codec"] = codec
+    _WORKER_STATE["cluster_index"] = cluster_index
 
 
 def _worker_run_batch(
@@ -396,8 +469,14 @@ def _worker_run_batch(
     table = _WORKER_STATE["table"]
     config = _WORKER_STATE["config"]
     codec = _WORKER_STATE["codec"]
+    cluster_index = _WORKER_STATE.get("cluster_index")
     return [
-        (epoch, _analyze_epoch_metrics(table, rows, epoch, config, codec))
+        (
+            epoch,
+            _analyze_epoch_metrics(
+                table, rows, epoch, config, codec, cluster_index=cluster_index
+            ),
+        )
         for epoch, rows in batch
     ]
 
@@ -418,13 +497,17 @@ def analyze_trace(
     grid: EpochGrid | None = None,
     progress: Callable[[int, int], None] | None = None,
     workers: int | str | None = None,
+    engine: str | None = None,
 ) -> TraceAnalysis:
     """Analyse a whole trace for every configured metric.
 
     ``workers`` overrides ``config.workers`` when given: ``0``/``1``
     run serially in-process, ``"auto"`` uses every CPU, ``n`` uses
-    ``n`` worker processes. Any worker count returns results identical
-    to the serial path. ``progress`` (optional) is called with
+    ``n`` worker processes. ``engine`` overrides ``config.engine``:
+    ``"indexed"`` (what ``"auto"`` resolves to) builds one trace-global
+    cluster index and reduces every epoch through it, ``"epoch"`` is
+    the legacy per-epoch path. Every combination of the two knobs
+    returns identical results. ``progress`` (optional) is called with
     ``(done_units, total_units)`` — units are (epoch, metric) pairs —
     after each epoch completes across all its metrics.
     """
@@ -432,10 +515,12 @@ def analyze_trace(
     n_workers = resolve_worker_count(
         config.workers if workers is None else workers
     )
+    engine_name = resolve_engine(
+        config.engine if engine is None else engine
+    )
     if grid is None:
         grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
     grid, per_epoch_rows = split_into_epochs(table, grid)
-    codec = KeyCodec.from_table(table)
 
     n_metrics = len(config.metrics)
     total_units = grid.n_epochs * n_metrics
@@ -444,10 +529,20 @@ def analyze_trace(
     done = 0
     wall_start = time.perf_counter()
 
+    cluster_index = None
+    if engine_name == "indexed" and grid.n_epochs > 0:
+        t0 = time.perf_counter()
+        cluster_index = TraceClusterIndex.build(table)
+        cluster_index.warm_metric_masks(config.metrics, config.thresholds)
+        timings.index_build_s += time.perf_counter() - t0
+        codec = cluster_index.codec
+    else:
+        codec = KeyCodec.from_table(table)
+
     if n_workers <= 1 or grid.n_epochs <= 1:
         for epoch, rows in enumerate(per_epoch_rows):
             summaries, epoch_timings = _analyze_epoch_metrics(
-                table, rows, epoch, config, codec
+                table, rows, epoch, config, codec, cluster_index=cluster_index
             )
             per_epoch[epoch] = summaries
             timings.merge(epoch_timings)
@@ -459,7 +554,7 @@ def analyze_trace(
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(batches)),
             initializer=_worker_init,
-            initargs=(table, config),
+            initargs=(table, config, cluster_index),
         ) as pool:
             futures = [pool.submit(_worker_run_batch, batch) for batch in batches]
             for future in as_completed(futures):

@@ -27,6 +27,42 @@ from repro.core.clusters import ClusterKey
 PAPER_MIN_SESSION_FRACTION = 1000.0 / 900_000.0
 
 
+def cluster_problem_flags(
+    sessions: np.ndarray,
+    problems: np.ndarray,
+    *,
+    global_ratio: float,
+    ratio_threshold: float,
+    min_sessions: int,
+    min_problems: int,
+    significance_sigmas: float,
+) -> np.ndarray:
+    """The problem-cluster predicate on raw count arrays (vectorised).
+
+    This is the single authority both detection
+    (:func:`find_problem_clusters`) and the critical-cluster
+    ancestor-removal test (:meth:`ProblemClusters.counts_are_problem`)
+    evaluate, so the two can never disagree through float rounding —
+    the ratio condition is ``problems / sessions >= ratio_threshold``
+    in both, never the algebraically-equal-but-not-float-equal
+    ``problems >= ratio_threshold * sessions``.
+    """
+    sessions = np.asarray(sessions)
+    problems = np.asarray(problems)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(sessions > 0, problems / sessions, 0.0)
+    expected = global_ratio * sessions
+    sigma = np.sqrt(
+        np.maximum(global_ratio * (1.0 - global_ratio) * sessions, 0.0)
+    )
+    return (
+        (sessions >= min_sessions)
+        & (problems >= min_problems)
+        & (ratio >= ratio_threshold)
+        & (problems >= expected + significance_sigmas * sigma)
+    )
+
+
 @dataclass(frozen=True)
 class ProblemClusterConfig:
     """Thresholds for statistical significance of problem clusters.
@@ -92,6 +128,8 @@ class ProblemClusters:
         "ratio_threshold",
         "is_problem",
         "leaf_proj_index",
+        "_covered_leaves",
+        "_leaf_problem_matrix",
     )
 
     def __init__(
@@ -109,6 +147,8 @@ class ProblemClusters:
         self.ratio_threshold = ratio_threshold
         self.is_problem = is_problem
         self.leaf_proj_index = leaf_proj_index
+        self._covered_leaves: np.ndarray | None = None
+        self._leaf_problem_matrix: np.ndarray | None = None
 
     @property
     def n_clusters(self) -> int:
@@ -124,18 +164,14 @@ class ProblemClusters:
         re-evaluate clusters after subtracting a candidate's sessions
         under exactly the same significance rules.
         """
-        sessions = np.asarray(sessions)
-        problems = np.asarray(problems)
-        global_ratio = self.agg.global_ratio
-        expected = global_ratio * sessions
-        sigma = np.sqrt(
-            np.maximum(global_ratio * (1.0 - global_ratio) * sessions, 0.0)
-        )
-        return (
-            (sessions >= self.min_sessions)
-            & (problems >= self.config.min_problems)
-            & (problems >= self.ratio_threshold * sessions)
-            & (problems >= expected + self.config.significance_sigmas * sigma)
+        return cluster_problem_flags(
+            sessions,
+            problems,
+            global_ratio=self.agg.global_ratio,
+            ratio_threshold=self.ratio_threshold,
+            min_sessions=self.min_sessions,
+            min_problems=self.config.min_problems,
+            significance_sigmas=self.config.significance_sigmas,
         )
 
     def iter_clusters(self) -> Iterator[tuple[int, int, ClusterStats]]:
@@ -169,25 +205,38 @@ class ProblemClusters:
         Column ``m`` (for non-empty masks) tells, for each distinct leaf
         combination, whether its projection onto mask ``m`` is a problem
         cluster. Column 0 (the root) is always False — the root's ratio
-        *is* the global ratio.
+        *is* the global ratio. Computed once and cached; masks with no
+        problem cluster are skipped (their columns stay False).
         """
-        full = self.agg.codec.full_mask
-        n_leaves = len(self.agg.leaf)
-        matrix = np.zeros((n_leaves, full + 1), dtype=bool)
-        for m in range(1, full + 1):
-            idx = self.leaf_proj_index[m]
-            matrix[:, m] = self.is_problem[m][idx]
-        return matrix
+        if self._leaf_problem_matrix is None:
+            full = self.agg.codec.full_mask
+            n_leaves = len(self.agg.leaf)
+            matrix = np.zeros((n_leaves, full + 1), dtype=bool)
+            for m in range(1, full + 1):
+                flags = self.is_problem[m]
+                if not flags.any():
+                    continue
+                matrix[:, m] = flags[self.leaf_proj_index[m]]
+            self._leaf_problem_matrix = matrix
+        return self._leaf_problem_matrix
 
     @property
     def covered_leaves(self) -> np.ndarray:
-        """Boolean per leaf: belongs to at least one problem cluster."""
-        full = self.agg.codec.full_mask
-        n_leaves = len(self.agg.leaf)
-        covered = np.zeros(n_leaves, dtype=bool)
-        for m in range(1, full + 1):
-            covered |= self.is_problem[m][self.leaf_proj_index[m]]
-        return covered
+        """Boolean per leaf: belongs to at least one problem cluster.
+
+        Computed once and cached (``coverage`` and the critical-cluster
+        summary both read it); masks with no problem cluster contribute
+        nothing and are skipped.
+        """
+        if self._covered_leaves is None:
+            n_leaves = len(self.agg.leaf)
+            covered = np.zeros(n_leaves, dtype=bool)
+            for m in range(1, self.agg.codec.full_mask + 1):
+                flags = self.is_problem[m]
+                if flags.any():
+                    covered |= flags[self.leaf_proj_index[m]]
+            self._covered_leaves = covered
+        return self._covered_leaves
 
     @property
     def covered_problem_sessions(self) -> int:
@@ -206,44 +255,53 @@ class ProblemClusters:
 def find_problem_clusters(
     agg: EpochAggregate, config: ProblemClusterConfig | None = None
 ) -> ProblemClusters:
-    """Flag the problem clusters of one epoch aggregate."""
+    """Flag the problem clusters of one epoch aggregate.
+
+    The predicate is evaluated once over all masks' clusters
+    concatenated flat (one vectorised pass instead of one per mask);
+    per-mask flags are views into the flat result. When the aggregate
+    came from a :class:`~repro.core.index.TraceClusterIndex`, the
+    leaf-projection index matrix is the index's precomputed global one
+    — no per-epoch ``searchsorted`` at all.
+    """
     config = config or ProblemClusterConfig()
     min_sessions = config.resolve_min_sessions(agg.total_sessions)
     ratio_threshold = config.ratio_multiplier * agg.global_ratio
-
-    is_problem: dict[int, np.ndarray] = {}
-    leaf_proj_index: dict[int, np.ndarray] = {}
-    field_masks = agg.codec.field_masks()
-    leaf_keys = agg.leaf.keys
     full = agg.codec.full_mask
+    masks = range(1, full + 1)
 
-    for m in range(1, full + 1):
-        mask_agg = agg.per_mask[m]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(
-                mask_agg.sessions > 0, mask_agg.problems / mask_agg.sessions, 0.0
-            )
-        global_ratio = agg.global_ratio
-        expected = global_ratio * mask_agg.sessions
-        sigma = np.sqrt(
-            np.maximum(global_ratio * (1.0 - global_ratio) * mask_agg.sessions, 0.0)
-        )
-        flags = (
-            (mask_agg.sessions >= min_sessions)
-            & (mask_agg.problems >= config.min_problems)
-            & (ratio >= ratio_threshold)
-            & (
-                mask_agg.problems
-                >= expected + config.significance_sigmas * sigma
-            )
-        )
-        is_problem[m] = flags
-        if m == full:
-            leaf_proj_index[m] = np.arange(leaf_keys.size)
-        else:
-            proj = leaf_keys & field_masks[m]
-            idx = np.searchsorted(mask_agg.keys, proj)
-            leaf_proj_index[m] = idx  # projections always exist by construction
+    flags_flat = cluster_problem_flags(
+        np.concatenate([agg.per_mask[m].sessions for m in masks]),
+        np.concatenate([agg.per_mask[m].problems for m in masks]),
+        global_ratio=agg.global_ratio,
+        ratio_threshold=ratio_threshold,
+        min_sessions=min_sessions,
+        min_problems=config.min_problems,
+        significance_sigmas=config.significance_sigmas,
+    )
+    is_problem: dict[int, np.ndarray] = {}
+    start = 0
+    for m in masks:
+        n = agg.per_mask[m].keys.size
+        is_problem[m] = flags_flat[start : start + n]
+        start += n
+
+    if agg.index is not None:
+        # Indexed aggregate: the leaf -> cluster inverses were computed
+        # once per epoch (shared by every metric) through the
+        # trace-global index.
+        leaf_proj_index = agg.index.leaf_to_cluster
+    else:
+        leaf_proj_index = {}
+        field_masks = agg.codec.field_masks()
+        leaf_keys = agg.leaf.keys
+        for m in masks:
+            if m == full:
+                leaf_proj_index[m] = np.arange(leaf_keys.size)
+            else:
+                proj = leaf_keys & field_masks[m]
+                # projections always exist by construction
+                leaf_proj_index[m] = np.searchsorted(agg.per_mask[m].keys, proj)
 
     return ProblemClusters(
         agg=agg,

@@ -36,16 +36,19 @@ class ExperimentContext:
         seed: int = 42,
         config: AnalysisConfig | None = None,
         workers: int | str | None = None,
+        engine: str | None = None,
     ) -> "ExperimentContext":
         """Generate a workload and analyze it.
 
-        ``workers`` selects the epoch-parallel executor (see
-        :func:`repro.core.pipeline.analyze_trace`); it changes wall
+        ``workers`` selects the epoch-parallel executor and ``engine``
+        the reduction strategy (see
+        :func:`repro.core.pipeline.analyze_trace`); both change wall
         time only, never results.
         """
         trace = generate_trace(StandardWorkloads.by_name(workload, seed=seed))
         analysis = analyze_trace(
-            trace.table, config=config, grid=trace.grid, workers=workers
+            trace.table, config=config, grid=trace.grid, workers=workers,
+            engine=engine,
         )
         return cls(trace=trace, analysis=analysis)
 

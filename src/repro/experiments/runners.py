@@ -754,13 +754,15 @@ def run_ablation_scale(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def run_ablation_parallel(ctx: ExperimentContext) -> ExperimentResult:
-    """Serial vs epoch-parallel pipeline throughput and phase timings.
+    """Engine ablation: legacy serial vs epoch-parallel vs trace-indexed.
 
-    Re-analyzes a slice of the context's trace with ``workers=0`` and
-    ``workers="auto"`` and reports wall time, sessions/second and the
-    per-phase counters (pack / aggregate / problems / critical) the
-    instrumented pipeline collects. Results of the two runs are
-    verified identical before reporting.
+    Re-analyzes a slice of the context's trace three ways — the legacy
+    per-epoch engine serially (``workers=0, engine="epoch"``), the same
+    engine fanned over a process pool (``workers="auto"``), and the
+    trace-global indexed engine serially (``engine="indexed"``) — and
+    reports wall time, sessions/second and the per-phase counters the
+    instrumented pipeline collects. Results of all runs are verified
+    identical before reporting.
     """
     import os
     import time
@@ -773,39 +775,57 @@ def run_ablation_parallel(ctx: ExperimentContext) -> ExperimentResult:
     rows = []
     data: dict = {"cpus": n_cpus, "sessions": len(table)}
     analyses = {}
-    for label, workers in (("serial", 0), (f"parallel(auto={n_cpus})", "auto")):
+    variants = (
+        ("serial", 0, "epoch"),
+        (f"parallel(auto={n_cpus})", "auto", "epoch"),
+        ("indexed", 0, "indexed"),
+    )
+    for label, workers, engine in variants:
         start = time.perf_counter()
-        analysis = analyze_trace(table, workers=workers)
+        analysis = analyze_trace(table, workers=workers, engine=engine)
         elapsed = time.perf_counter() - start
         analyses[label] = analysis
         t = analysis.timings
         rows.append([
             label, elapsed, len(table) / elapsed,
-            t.pack_s, t.aggregate_s, t.problems_s, t.critical_s,
+            t.pack_s + t.index_build_s, t.aggregate_s, t.problems_s,
+            t.critical_s,
         ])
         data[label] = {
             "seconds": elapsed,
             "sessions_per_second": len(table) / elapsed,
             **t.as_dict(),
         }
-    serial, parallel = analyses.values()
+    serial = analyses["serial"]
     identical = all(
-        serial[name].epochs == parallel[name].epochs
+        serial[name].epochs == other[name].epochs
+        for label, other in analyses.items()
+        if label != "serial"
         for name in serial.metric_names
     )
-    speedup = data["serial"]["seconds"] / data[f"parallel(auto={n_cpus})"]["seconds"]
-    data["speedup"] = speedup
+    parallel_speedup = (
+        data["serial"]["seconds"] / data[f"parallel(auto={n_cpus})"]["seconds"]
+    )
+    indexed_speedup = data["serial"]["seconds"] / data["indexed"]["seconds"]
+    data["speedup"] = parallel_speedup
+    data["indexed_speedup"] = indexed_speedup
     data["identical_results"] = identical
+    parallel_note = (
+        f"{parallel_speedup:.2f}x"
+        if n_cpus > 1
+        else f"{parallel_speedup:.2f}x (1 CPU: overhead only, not a speedup)"
+    )
     text = render_table(
-        ["Engine", "Seconds", "Sessions/s", "Pack s", "Aggregate s",
+        ["Engine", "Seconds", "Sessions/s", "Pack/index s", "Aggregate s",
          "Problems s", "Critical s"],
         rows,
-        title=f"Ablation — serial vs epoch-parallel engine ({n_cpus} CPUs, "
+        title=f"Ablation — pipeline engines ({n_cpus} CPUs, "
         f"first {sub_hours} h)",
     )
     text += "\n\n" + render_kv(
-        {"speedup (serial/parallel)": speedup,
+        {"speedup (serial/parallel)": parallel_note,
+         "speedup (serial/indexed)": f"{indexed_speedup:.2f}x",
          "results identical": str(identical)},
-        title="Parallel engine (identical output is a hard invariant)",
+        title="Engine ablation (identical output is a hard invariant)",
     )
-    return ExperimentResult("abl-parallel", "Parallel engine ablation", text, data)
+    return ExperimentResult("abl-parallel", "Pipeline engine ablation", text, data)

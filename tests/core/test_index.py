@@ -1,0 +1,225 @@
+"""Unit tests for the trace-global cluster index and its epoch views."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import KeyCodec, aggregate_epoch
+from repro.core.critical import find_critical_clusters
+from repro.core.index import EpochClusterView, TraceClusterIndex
+from repro.core.metrics import (
+    ALL_METRICS,
+    BUFFERING_RATIO,
+    JOIN_FAILURE,
+    MetricThresholds,
+)
+from repro.core.problems import ProblemClusterConfig, find_problem_clusters
+from repro.core.sessions import SessionTable
+from tests.conftest import make_session, planted_failure_table
+
+
+@pytest.fixture(scope="module")
+def table() -> SessionTable:
+    return planted_failure_table(n=2000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(table) -> TraceClusterIndex:
+    return TraceClusterIndex.build(table)
+
+
+class TestBuild:
+    def test_leaf_universe_matches_direct_pack(self, table, index):
+        codec = KeyCodec.from_table(table)
+        packed = codec.pack(table.codes)
+        expected = np.unique(packed)
+        np.testing.assert_array_equal(index.leaf_keys, expected)
+        np.testing.assert_array_equal(
+            index.leaf_keys[index.row_to_leaf], packed
+        )
+
+    def test_mask_keys_are_sorted_projections(self, index):
+        field_masks = index.codec.field_masks()
+        for m in range(1, index.codec.full_mask + 1):
+            expected = np.unique(index.leaf_keys & field_masks[m])
+            np.testing.assert_array_equal(index.mask_keys[m], expected)
+
+    def test_leaf_to_cluster_inverts_projection(self, index):
+        field_masks = index.codec.field_masks()
+        for m in range(1, index.codec.full_mask + 1):
+            np.testing.assert_array_equal(
+                index.mask_keys[m][index.leaf_to_cluster[m]],
+                index.leaf_keys & field_masks[m],
+            )
+
+    def test_fold_source_is_one_attribute_finer(self, index):
+        for m, src in index.fold_source.items():
+            extra = src ^ m
+            assert src & m == m and extra and (extra & (extra - 1)) == 0
+
+    def test_counts(self, index, table):
+        assert index.n_leaves == index.leaf_keys.size
+        assert index.n_clusters_total == sum(
+            k.size for k in index.mask_keys.values()
+        )
+        assert index.memory_bytes() > 0
+
+
+class TestProjectIndex:
+    def test_matches_searchsorted(self, index):
+        field_masks = index.codec.field_masks()
+        full = index.codec.full_mask
+        for fine, coarse in [(full, 1), (3, 1), (7, 5), (full, full >> 1)]:
+            got = index.project_index(fine, coarse)
+            expected = np.searchsorted(
+                index.mask_keys[coarse],
+                index.mask_keys[fine] & field_masks[coarse],
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_cached_identity(self, index):
+        assert index.project_index(7, 1) is index.project_index(7, 1)
+
+    def test_rejects_non_submask(self, index):
+        with pytest.raises(ValueError):
+            index.project_index(3, 3)
+        with pytest.raises(ValueError):
+            index.project_index(1, 2)
+
+
+class TestMetricMasks:
+    def test_cached_per_metric_and_thresholds(self, index, table):
+        a = index.metric_masks(JOIN_FAILURE)
+        assert index.metric_masks(JOIN_FAILURE)[0] is a[0]
+        other = index.metric_masks(
+            BUFFERING_RATIO, MetricThresholds(buffering_ratio=0.5)
+        )
+        assert other[0] is not a[0]
+
+    def test_values_match_metric(self, index, table):
+        valid, problem = index.metric_masks(JOIN_FAILURE)
+        np.testing.assert_array_equal(valid, JOIN_FAILURE.valid_mask(table))
+        np.testing.assert_array_equal(
+            problem, JOIN_FAILURE.problem_mask(table, MetricThresholds())
+        )
+
+    def test_warm_prefills(self, table):
+        idx = TraceClusterIndex.build(table)
+        idx.warm_metric_masks(ALL_METRICS)
+        before = idx.memory_bytes()
+        for metric in ALL_METRICS:
+            idx.metric_masks(metric)
+        assert idx.memory_bytes() == before
+
+
+def assert_equal_aggregates(a, b):
+    """`b` must contain exactly `a`'s clusters plus (possibly) clusters
+    whose counts are all zero, with identical counts on the shared ones."""
+    assert a.total_sessions == b.total_sessions
+    assert a.total_problems == b.total_problems
+    for m in a.per_mask:
+        ma, mb = a.per_mask[m], b.per_mask[m]
+        pos = np.searchsorted(mb.keys, ma.keys)
+        np.testing.assert_array_equal(mb.keys[pos], ma.keys)
+        np.testing.assert_array_equal(mb.sessions[pos], ma.sessions)
+        np.testing.assert_array_equal(mb.problems[pos], ma.problems)
+        extra = np.ones(mb.keys.size, dtype=bool)
+        extra[pos] = False
+        assert not mb.sessions[extra].any()
+        assert not mb.problems[extra].any()
+
+
+class TestEpochViewAggregate:
+    def test_matches_legacy_aggregate(self, table, index):
+        rows = np.arange(0, len(table), 2)
+        for metric in ALL_METRICS:
+            legacy = aggregate_epoch(table, rows, metric, epoch=4)
+            indexed = index.aggregate(rows, metric, epoch=4)
+            assert indexed.epoch == 4
+            assert indexed.metric_name == metric.name
+            assert_equal_aggregates(legacy, indexed)
+
+    def test_view_shared_across_metrics(self, table, index):
+        rows = np.arange(100)
+        view = index.epoch_view(rows, epoch=1)
+        for metric in ALL_METRICS:
+            agg = view.aggregate(metric)
+            assert agg.index is view
+            assert_equal_aggregates(
+                aggregate_epoch(table, rows, metric, epoch=1), agg
+            )
+
+    def test_problem_flags_override(self, table, index):
+        rows = np.arange(200)
+        flags = np.zeros(rows.size, dtype=bool)
+        flags[::3] = True
+        legacy = aggregate_epoch(
+            table, rows, JOIN_FAILURE, problem_flags=flags
+        )
+        indexed = index.aggregate(rows, JOIN_FAILURE, problem_flags=flags)
+        assert_equal_aggregates(legacy, indexed)
+
+    def test_problem_flags_shape_validated(self, index):
+        with pytest.raises(ValueError):
+            index.aggregate(
+                np.arange(10), JOIN_FAILURE, problem_flags=np.zeros(3, bool)
+            )
+
+    def test_empty_rows(self, index):
+        agg = index.aggregate(np.arange(0), JOIN_FAILURE)
+        assert agg.total_sessions == 0
+        assert agg.leaf.keys.size == 0
+
+    def test_view_project_index_local(self, index, table):
+        view = index.epoch_view(np.arange(0, len(table), 3))
+        full = index.codec.full_mask
+        for fine, coarse in [(full, 1), (7, 5)]:
+            local = view.project_index(fine, coarse)
+            fine_keys = view.keys(fine)
+            coarse_keys = view.keys(coarse)
+            field = index.codec.field_masks()[coarse]
+            np.testing.assert_array_equal(
+                coarse_keys[local], fine_keys & field
+            )
+
+    def test_downstream_detection_matches_legacy(self, table, index):
+        rows = np.arange(len(table))
+        config = ProblemClusterConfig(
+            min_sessions=20, min_problems=2, significance_sigmas=0.0
+        )
+        legacy_agg = aggregate_epoch(table, rows, JOIN_FAILURE)
+        indexed_agg = index.aggregate(rows, JOIN_FAILURE)
+        legacy = find_critical_clusters(find_problem_clusters(legacy_agg, config))
+        indexed = find_critical_clusters(
+            find_problem_clusters(indexed_agg, config)
+        )
+        assert legacy.problems.cluster_keys() == indexed.problems.cluster_keys()
+        assert legacy.decoded() == indexed.decoded()
+        assert legacy.unattributed_problem_sessions == pytest.approx(
+            indexed.unattributed_problem_sessions
+        )
+        # the planted CDN produces structure, so equality is not vacuous
+        assert indexed.problems.n_clusters > 0
+
+    def test_index_survives_pickling(self, index, table):
+        clone = pickle.loads(pickle.dumps(index))
+        rows = np.arange(0, len(table), 5)
+        a = index.aggregate(rows, JOIN_FAILURE)
+        b = clone.aggregate(rows, JOIN_FAILURE)
+        assert_equal_aggregates(a, b)
+        assert_equal_aggregates(b, a)
+
+
+class TestViewConstruction:
+    def test_active_ids_sorted_subsets(self, index, table):
+        view = index.epoch_view(np.arange(0, 300))
+        for m, ids in view.active_ids.items():
+            assert np.all(np.diff(ids) > 0)
+            assert ids.size <= index.mask_keys[m].size
+
+    def test_single_row(self, index):
+        view = index.epoch_view(np.array([7]))
+        assert view.n_leaves == 1
+        for m in view.active_ids:
+            assert view.active_ids[m].size == 1

@@ -182,6 +182,7 @@ class TestPipelineTimings:
         assert t.n_epochs == 2
         assert t.n_units == 2  # 2 epochs x 1 metric
         assert t.pack_s > 0
+        assert t.index_build_s > 0  # default engine is the indexed one
         assert t.aggregate_s > 0
         assert t.problems_s > 0
         assert t.critical_s > 0
@@ -195,5 +196,5 @@ class TestPipelineTimings:
     def test_as_dict_roundtrips_fields(self, two_epoch_analysis):
         d = two_epoch_analysis.timings.as_dict()
         assert d["n_epochs"] == 2
-        assert set(d) >= {"pack_s", "aggregate_s", "problems_s",
-                          "critical_s", "wall_s"}
+        assert set(d) >= {"pack_s", "index_build_s", "aggregate_s",
+                          "problems_s", "critical_s", "wall_s"}

@@ -1,21 +1,25 @@
-"""Serial/parallel equivalence of the epoch-parallel analysis engine.
+"""Engine-equivalence properties of the analysis pipeline.
 
-``analyze_trace(workers=N)`` must be indistinguishable from the serial
-path: identical per-epoch problem-cluster dicts (same
-:class:`ClusterKey` -> same stats) and identical critical-cluster
-attribution, for every metric. These tests pin that invariant on
-generated traces and on the edge cases the executor special-cases
-(empty epochs, single epoch, empty trace).
+``analyze_trace`` must return indistinguishable results across every
+execution strategy: serial vs epoch-parallel (``workers``) and legacy
+per-epoch vs trace-indexed reduction (``engine``) — identical per-epoch
+problem-cluster dicts (same :class:`ClusterKey` -> same stats) and
+identical critical-cluster attribution, for every metric. These tests
+pin that invariant on generated traces and on the edge cases the
+executors special-case (empty epochs, single epoch, empty trace).
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.metrics import JOIN_FAILURE
+from repro.core.metrics import ALL_METRICS, JOIN_FAILURE
 from repro.core.pipeline import (
     AnalysisConfig,
     analyze_trace,
+    resolve_engine,
     resolve_worker_count,
 )
 from repro.core.problems import ProblemClusterConfig
@@ -29,6 +33,10 @@ SMALL_CONFIG = AnalysisConfig(
         min_sessions=5, min_problems=2, significance_sigmas=0.0
     ),
 )
+
+#: Same knobs over all four paper metrics (indexed-engine equivalence
+#: must hold for every metric's validity pattern, not just join failure).
+ALL_METRICS_CONFIG = dataclasses.replace(SMALL_CONFIG, metrics=ALL_METRICS)
 
 
 def assert_equal_analyses(a, b):
@@ -126,12 +134,126 @@ def test_empty_trace():
 def test_config_workers_used_when_argument_omitted():
     table = build_table([(e, a % 3, a % 2, a % 3 == 0) for e in range(2)
                          for a in range(30)])
-    import dataclasses
-
     parallel_config = dataclasses.replace(SMALL_CONFIG, workers=2)
     serial = analyze_trace(table, config=SMALL_CONFIG)
     parallel = analyze_trace(table, config=parallel_config)
     assert_equal_analyses(serial, parallel)
+
+
+class TestIndexedEngineEquivalence:
+    """The trace-indexed engine must be output-identical to the legacy
+    per-epoch engine — bit-identical problem and critical clusters."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(session_rows)
+    def test_indexed_equals_legacy_on_random_traces(self, rows):
+        table = build_table(rows)
+        legacy = analyze_trace(table, config=SMALL_CONFIG, engine="epoch")
+        indexed = analyze_trace(table, config=SMALL_CONFIG, engine="indexed")
+        assert_equal_analyses(legacy, indexed)
+
+    def test_indexed_equals_legacy_on_generated_trace(self, tiny_trace):
+        """Full four-metric equality on a trace with planted events."""
+        legacy = analyze_trace(
+            tiny_trace.table, grid=tiny_trace.grid, engine="epoch"
+        )
+        indexed = analyze_trace(
+            tiny_trace.table, grid=tiny_trace.grid, engine="indexed"
+        )
+        assert_equal_analyses(legacy, indexed)
+        assert any(
+            e.n_critical_clusters
+            for ma in indexed.metrics.values()
+            for e in ma.epochs
+        )
+
+    def test_all_metrics_validity_patterns(self):
+        """Every metric's valid-session subset reduces identically —
+        the indexed engine keeps zero-valid leaves the legacy engine
+        drops, which must never show in the output."""
+        rows = [
+            (e, a % 3, a % 2, (a + e) % 4 == 0)
+            for e in range(3)
+            for a in range(40)
+        ]
+        table = build_table(rows)
+        legacy = analyze_trace(table, config=ALL_METRICS_CONFIG, engine="epoch")
+        indexed = analyze_trace(
+            table, config=ALL_METRICS_CONFIG, engine="indexed"
+        )
+        assert legacy.metric_names == [m.name for m in ALL_METRICS]
+        assert_equal_analyses(legacy, indexed)
+
+    def test_empty_middle_epoch(self):
+        rows = [(0, 0, 0, True)] * 20 + [(2, 1, 1, False)] * 20
+        table = build_table(rows)
+        legacy = analyze_trace(table, config=SMALL_CONFIG, engine="epoch")
+        indexed = analyze_trace(table, config=SMALL_CONFIG, engine="indexed")
+        assert indexed["join_failure"].epochs[1].total_sessions == 0
+        assert_equal_analyses(legacy, indexed)
+
+    def test_single_epoch_trace(self):
+        table = build_table([(0, a % 3, a % 2, a % 4 == 0) for a in range(40)])
+        legacy = analyze_trace(table, config=SMALL_CONFIG, engine="epoch")
+        indexed = analyze_trace(table, config=SMALL_CONFIG, engine="indexed")
+        assert legacy.grid.n_epochs == 1
+        assert_equal_analyses(legacy, indexed)
+
+    def test_empty_trace(self):
+        table = SessionTable.empty()
+        legacy = analyze_trace(table, config=SMALL_CONFIG, engine="epoch")
+        indexed = analyze_trace(table, config=SMALL_CONFIG, engine="indexed")
+        assert legacy.grid.n_epochs == 0
+        assert_equal_analyses(legacy, indexed)
+
+    def test_indexed_parallel_equals_legacy_serial(self):
+        """Both knobs at once: indexed engine over a process pool."""
+        rows = [
+            (e, a % 3, a % 2, (a * 7 + e) % 5 == 0)
+            for e in range(3)
+            for a in range(35)
+        ]
+        table = build_table(rows)
+        legacy = analyze_trace(
+            table, config=ALL_METRICS_CONFIG, engine="epoch", workers=0
+        )
+        indexed = analyze_trace(
+            table, config=ALL_METRICS_CONFIG, engine="indexed", workers=2
+        )
+        assert_equal_analyses(legacy, indexed)
+
+    def test_config_engine_used_when_argument_omitted(self):
+        table = build_table([(e, a % 3, a % 2, a % 3 == 0) for e in range(2)
+                             for a in range(30)])
+        legacy_config = dataclasses.replace(SMALL_CONFIG, engine="epoch")
+        indexed_config = dataclasses.replace(SMALL_CONFIG, engine="indexed")
+        assert_equal_analyses(
+            analyze_trace(table, config=legacy_config),
+            analyze_trace(table, config=indexed_config),
+        )
+
+
+class TestResolveEngine:
+    def test_auto_resolves_to_indexed(self):
+        assert resolve_engine(None) == "indexed"
+        assert resolve_engine("auto") == "indexed"
+
+    def test_explicit_values(self):
+        assert resolve_engine("epoch") == "epoch"
+        assert resolve_engine("indexed") == "indexed"
+
+    @pytest.mark.parametrize("bad", ["fast", "", "EPOCH", 3])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_engine(bad)
+
+    def test_config_validates_engine(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(engine="bogus")
 
 
 class TestResolveWorkerCount:
