@@ -10,6 +10,7 @@ prints the reproduced rows/series (also written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,10 +20,20 @@ from repro.experiments.context import default_context
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def bench_workload() -> str:
+    """Workload the benches run on (CI smoke overrides it to ``tiny``)."""
+    return os.environ.get("REPRO_BENCH_WORKLOAD", "week")
+
+
 @pytest.fixture(scope="session")
 def week_context():
-    """One week, 168 hourly epochs, ~440k sessions (most figures)."""
-    return default_context("week", seed=42)
+    """One week, 168 hourly epochs, ~440k sessions (most figures).
+
+    ``REPRO_BENCH_WORKLOAD`` substitutes a different standard workload
+    (the CI smoke run uses ``tiny``); recorded results are only
+    comparable across runs of the same workload.
+    """
+    return default_context(bench_workload(), seed=42)
 
 
 @pytest.fixture(scope="session")

@@ -48,6 +48,73 @@ def cluster_alleviation(epoch: EpochAnalysis, key: ClusterKey) -> float:
     return max(attribution.attributed_problems - baseline, 0.0)
 
 
+@dataclass(frozen=True)
+class AlleviationIndex:
+    """Per-(critical identity, epoch) alleviation, computed once.
+
+    Every what-if strategy in this module reduces to sums over the
+    same quantity — the alleviation of cluster ``k`` in epoch ``e`` —
+    so one pass over the critical-cluster dicts builds a dense
+    (identities x epochs) matrix and all strategies become array
+    reductions: the oracle and top-k curves consume the per-key row
+    sums (:attr:`totals`), the reactive simulation runs a run-length
+    recurrence over :attr:`flagged` columns. Cached per
+    :class:`MetricAnalysis` via :func:`alleviation_index`.
+    """
+
+    keys: tuple[ClusterKey, ...]
+    key_index: dict[ClusterKey, int]
+    #: (n_keys, n_epochs) alleviation; 0 where the key is not critical.
+    value: np.ndarray
+    #: (n_keys, n_epochs) True where the key is critical in the epoch.
+    flagged: np.ndarray
+
+    @property
+    def totals(self) -> dict[ClusterKey, float]:
+        """Total alleviation per identity across all epochs."""
+        sums = self.value.sum(axis=1)
+        return {key: float(sums[i]) for i, key in enumerate(self.keys)}
+
+
+def alleviation_index(ma: MetricAnalysis) -> AlleviationIndex:
+    """The metric's :class:`AlleviationIndex` (built once, cached).
+
+    The cache lives on the ``MetricAnalysis`` instance itself (like its
+    timeline caches), so train/test views from ``restrict_epochs`` get
+    independent indexes.
+    """
+    cached = getattr(ma, "_whatif_alleviation", None)
+    if cached is not None:
+        return cached
+    n_epochs = len(ma.epochs)
+    key_index: dict[ClusterKey, int] = {}
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for e, epoch in enumerate(ma.epochs):
+        g = epoch.global_ratio
+        for key, att in epoch.critical_clusters.items():
+            k = key_index.setdefault(key, len(key_index))
+            rows.append(k)
+            cols.append(e)
+            vals.append(
+                max(att.attributed_problems - g * att.attributed_sessions, 0.0)
+            )
+    value = np.zeros((len(key_index), n_epochs))
+    flagged = np.zeros((len(key_index), n_epochs), dtype=bool)
+    if rows:
+        value[rows, cols] = vals
+        flagged[rows, cols] = True
+    index = AlleviationIndex(
+        keys=tuple(key_index),
+        key_index=key_index,
+        value=value,
+        flagged=flagged,
+    )
+    ma._whatif_alleviation = index
+    return index
+
+
 def rank_critical_clusters(ma: MetricAnalysis, by: str = "coverage") -> list[ClusterKey]:
     """Critical identities ranked by the chosen criterion (best first).
 
@@ -74,15 +141,14 @@ def oracle_improvement(
 ) -> float:
     """Fraction of all problem sessions alleviated by fixing ``chosen``
     in every epoch where they appear as critical clusters."""
-    chosen = set(chosen)
     total = ma.total_problem_sessions
     if total == 0:
         return 0.0
-    alleviated = 0.0
-    for epoch in ma.epochs:
-        for key in chosen & set(epoch.critical_clusters):
-            alleviated += cluster_alleviation(epoch, key)
-    return alleviated / total
+    index = alleviation_index(ma)
+    rows = [index.key_index[k] for k in set(chosen) if k in index.key_index]
+    if not rows:
+        return 0.0
+    return float(index.value[rows].sum()) / total
 
 
 @dataclass
@@ -118,12 +184,8 @@ def topk_improvement_curve(
     n = len(ranked)
     total = ma.total_problem_sessions
 
-    # Cumulative alleviation per rank, computed once.
-    per_key = {key: 0.0 for key in ranked}
-    for epoch in ma.epochs:
-        for key in epoch.critical_clusters:
-            if key in per_key:
-                per_key[key] += cluster_alleviation(epoch, key)
+    # Cumulative alleviation per rank, from the shared accumulator.
+    per_key = alleviation_index(ma).totals
     cumulative = np.cumsum([per_key[key] for key in ranked]) if n else np.array([])
 
     improvement = np.zeros(fracs.size)
@@ -155,11 +217,7 @@ def attribute_restricted_curves(
     n_total = len(ranked)
     total = ma.total_problem_sessions
 
-    per_key = {key: 0.0 for key in ranked}
-    for epoch in ma.epochs:
-        for key in epoch.critical_clusters:
-            if key in per_key:
-                per_key[key] += cluster_alleviation(epoch, key)
+    per_key = alleviation_index(ma).totals
 
     union_attrs = ("site", "cdn", "asn", "connection_type")
     families: dict[str, Callable[[ClusterKey], bool]] = {
@@ -275,12 +333,25 @@ class ReactiveResult:
 def _streak_alleviation(
     ma: MetricAnalysis, detection_delay: int
 ) -> np.ndarray:
-    """Per-epoch alleviated problem mass under a detection delay."""
-    alleviated = np.zeros(len(ma.epochs))
-    for key, timeline in ma.critical_timelines().items():
-        for streak in timeline.streaks():
-            for epoch in range(streak.start + detection_delay, streak.end):
-                alleviated[epoch] += cluster_alleviation(ma.epochs[epoch], key)
+    """Per-epoch alleviated problem mass under a detection delay.
+
+    A cluster's alleviation counts in epoch ``e`` iff its current
+    critical streak has run for more than ``detection_delay`` epochs at
+    ``e`` — i.e. the run length of consecutive flagged epochs ending at
+    ``e`` is at least ``delay + 1``. Instead of enumerating streaks per
+    key (the old triple loop), carry the run lengths of *all* keys
+    forward with one vector recurrence per epoch and sum the
+    alleviation of eligible keys columnwise.
+    """
+    index = alleviation_index(ma)
+    n_keys, n_epochs = index.flagged.shape
+    alleviated = np.zeros(n_epochs)
+    if n_keys == 0:
+        return alleviated
+    run = np.zeros(n_keys, dtype=np.int64)
+    for e in range(n_epochs):
+        run = (run + 1) * index.flagged[:, e]
+        alleviated[e] = index.value[run > detection_delay, e].sum()
     return alleviated
 
 

@@ -14,10 +14,14 @@ Subcommands:
 * ``remedies`` — suggest remedial actions for the detected critical
   clusters and optionally evaluate them by re-generation.
 
+* ``sweep`` — analyze a trace under several config variants at once,
+  building the shared substrate (pack + cluster index) only once.
+
 Examples::
 
     repro-video-quality generate --workload tiny --seed 7 -o trace.npz
     repro-video-quality analyze trace.npz
+    repro-video-quality sweep trace.npz --threshold-scales 0.5,1.0,2.0
     repro-video-quality experiment tab1 --workload small
     repro-video-quality validate --workload tiny
     repro-video-quality report --workload small -o report.md
@@ -89,6 +93,25 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_transport_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport", choices=("auto", "shm", "pickle"), default="auto",
+        help="how parallel runs hand the table/index to workers: 'shm' "
+        "publishes one shared-memory segment (zero-copy attach), "
+        "'pickle' serializes per worker, 'auto' prefers shm; results "
+        "are identical either way",
+    )
+
+
+def _parse_float_list(value: str) -> list[float]:
+    try:
+        return [float(v) for v in value.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of numbers, got {value!r}"
+        ) from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-video-quality",
@@ -107,8 +130,35 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("trace", help="trace path (.jsonl or .csv)")
     _add_workers_arg(ana)
     _add_engine_arg(ana)
+    _add_transport_arg(ana)
     ana.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
+
+    swp = sub.add_parser(
+        "sweep",
+        help="analyze a trace under several config variants, sharing one "
+        "substrate build",
+    )
+    swp.add_argument("trace", help="trace path (.jsonl, .csv or .npz)")
+    swp.add_argument(
+        "--ratio-multipliers", type=_parse_float_list, default=None,
+        metavar="X,Y,...",
+        help="problem-ratio multipliers to sweep (e.g. 1.25,1.5,2.0)",
+    )
+    swp.add_argument(
+        "--threshold-scales", type=_parse_float_list, default=None,
+        metavar="X,Y,...",
+        help="metric-threshold scale factors to sweep (e.g. 0.5,1.0,2.0)",
+    )
+    swp.add_argument(
+        "--epoch-seconds", type=_parse_float_list, default=None,
+        metavar="S,T,...",
+        help="epoch lengths in seconds to sweep (e.g. 1800,3600,7200)",
+    )
+    _add_workers_arg(swp)
+    _add_transport_arg(swp)
+    swp.add_argument("--timings", action="store_true",
+                     help="print per-variant pipeline timings")
 
     exp = sub.add_parser("experiment", help="run a registered experiment")
     exp.add_argument(
@@ -177,7 +227,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     table = _read_trace(args.trace)
-    analysis = analyze_trace(table, workers=args.workers, engine=args.engine)
+    analysis = analyze_trace(
+        table, workers=args.workers, engine=args.engine,
+        transport=args.transport,
+    )
     rows = []
     for name, ma in analysis.metrics.items():
         rows.append(
@@ -201,6 +254,76 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.timings:
         print()
         print(analysis.timings.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.core.metrics import MetricThresholds
+    from repro.core.pipeline import AnalysisConfig
+    from repro.core.problems import ProblemClusterConfig
+    from repro.core.substrate import analyze_sweep
+
+    table = _read_trace(args.trace)
+    base = AnalysisConfig()
+    variants: list[tuple[str, AnalysisConfig]] = []
+    for mult in args.ratio_multipliers or ():
+        variants.append((
+            f"ratio x{mult:g}",
+            dataclasses.replace(
+                base,
+                problem_config=ProblemClusterConfig(ratio_multiplier=mult),
+            ),
+        ))
+    for scale in args.threshold_scales or ():
+        variants.append((
+            f"thresholds x{scale:g}",
+            dataclasses.replace(
+                base, thresholds=MetricThresholds().scaled(scale)
+            ),
+        ))
+    for seconds in args.epoch_seconds or ():
+        variants.append((
+            f"epoch {seconds:g}s",
+            dataclasses.replace(base, epoch_seconds=seconds),
+        ))
+    if not variants:
+        variants = [("baseline", base)]
+
+    analyses = analyze_sweep(
+        table,
+        [config for _, config in variants],
+        workers=args.workers,
+        transport=args.transport,
+    )
+    rows = []
+    for (label, _), analysis in zip(variants, analyses):
+        for name, ma in analysis.metrics.items():
+            rows.append(
+                [
+                    label,
+                    name,
+                    analysis.grid.n_epochs,
+                    ma.mean_problem_clusters,
+                    ma.mean_critical_clusters,
+                    ma.mean_critical_cluster_coverage,
+                ]
+            )
+    print(
+        render_table(
+            ["Variant", "Metric", "Epochs", "Problem clusters",
+             "Critical clusters", "Critical coverage"],
+            rows,
+            title=f"Config sweep over {args.trace} ({len(table)} sessions, "
+            f"{len(variants)} variants, one substrate build)",
+        )
+    )
+    if args.timings:
+        for (label, _), analysis in zip(variants, analyses):
+            print()
+            print(f"-- {label} --")
+            print(analysis.timings.render())
     return 0
 
 
@@ -291,6 +414,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "report": _cmd_report,

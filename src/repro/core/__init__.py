@@ -23,6 +23,8 @@ from repro.core.metrics import (
     JOIN_FAILURE,
     ALL_METRICS,
     metric_by_name,
+    register_metric,
+    unregister_metric,
 )
 from repro.core.clusters import ClusterKey, ClusterLattice
 from repro.core.epoching import EpochGrid, split_into_epochs
@@ -58,6 +60,13 @@ from repro.core.pipeline import (
     resolve_engine,
     resolve_worker_count,
 )
+from repro.core.shm import (
+    SharedArrayPack,
+    make_worker_payload,
+    resolve_transport,
+    shared_memory_available,
+)
+from repro.core.substrate import AnalysisSubstrate, analyze_sweep
 from repro.core.online import AlertEvent, ClusterAlert, OnlineDetector
 from repro.core.overlap import jaccard_similarity, top_k_critical_overlap
 from repro.core.hhh import HHHConfig, find_hierarchical_heavy_hitters
@@ -76,6 +85,8 @@ __all__ = [
     "JOIN_FAILURE",
     "ALL_METRICS",
     "metric_by_name",
+    "register_metric",
+    "unregister_metric",
     "ClusterKey",
     "ClusterLattice",
     "EpochGrid",
@@ -105,6 +116,12 @@ __all__ = [
     "analyze_trace",
     "resolve_engine",
     "resolve_worker_count",
+    "AnalysisSubstrate",
+    "analyze_sweep",
+    "SharedArrayPack",
+    "make_worker_payload",
+    "resolve_transport",
+    "shared_memory_available",
     "AlertEvent",
     "ClusterAlert",
     "OnlineDetector",

@@ -129,62 +129,85 @@ def _project_index(agg, fine: int, coarse: int) -> np.ndarray:
     return np.searchsorted(agg.per_mask[coarse].keys, proj)
 
 
-def _descendants_ok(problems: ProblemClusters) -> dict[int, np.ndarray]:
-    """Per cluster: itself and every significant descendant is a
-    problem cluster (insignificant clusters are vacuously fine)."""
+def _tainted_clusters(problems: ProblemClusters) -> dict[int, np.ndarray]:
+    """Per mask: sorted indices of clusters with a *bad* descendant.
+
+    A cluster is bad when it is significant (at/above the session
+    floor) but not a problem cluster; a candidate critical cluster must
+    have no bad descendant (and not be bad itself — it is a problem
+    cluster by construction). Equivalent to the old full-table
+    descendants DP (``desc_ok[m] == cluster not in tainted[m]``), but
+    runs entirely on the sparse bad set: seeds are the significant
+    non-problem clusters of each mask, folded up the lattice one
+    attribute at a time through the cached projection indices. Cost
+    scales with the number of significant clusters — typically a small
+    fraction of the distinct-cluster universe — instead of with the
+    universe itself.
+    """
     agg = problems.agg
     codec = agg.codec
     full = codec.full_mask
-    min_sessions = problems.min_sessions
 
-    desc_ok: dict[int, np.ndarray] = {}
+    tainted: dict[int, np.ndarray] = {}
     for m in sorted(range(1, full + 1), key=popcount, reverse=True):
-        mask_agg = agg.per_mask[m]
-        acc = problems.is_problem[m] | (mask_agg.sessions < min_sessions)
+        sig = problems.significant_rows[m]
+        parts = []
+        if sig.size:
+            bad = sig[~problems.is_problem[m][sig]]
+            if bad.size:
+                parts.append(bad)
         for i in range(codec.n_attrs):
             bit = 1 << i
             child_mask = m | bit
             if child_mask == m or child_mask > full:
                 continue
-            bad = ~desc_ok[child_mask]
-            if not bad.any():
-                continue
-            # Fold failing children onto their parent clusters: a
-            # parent is disqualified iff at least one of its children
-            # is (equivalent to logical_and.at, but one bincount).
-            idx = _project_index(agg, child_mask, m)
-            hits = np.bincount(idx[bad], minlength=mask_agg.keys.size)
-            acc &= hits == 0
-        desc_ok[m] = acc
-    return desc_ok
+            child_tainted = tainted[child_mask]
+            if child_tainted.size:
+                parts.append(_project_index(agg, child_mask, m)[child_tainted])
+        if parts:
+            tainted[m] = np.unique(np.concatenate(parts))
+        else:
+            tainted[m] = np.empty(0, dtype=np.int64)
+    return tainted
+
+
+def _sorted_exclude(rows: np.ndarray, exclude: np.ndarray) -> np.ndarray:
+    """``rows`` minus ``exclude`` (both sorted ascending)."""
+    if rows.size == 0 or exclude.size == 0:
+        return rows
+    pos = np.minimum(np.searchsorted(exclude, rows), exclude.size - 1)
+    return rows[exclude[pos] != rows]
 
 
 def _removal_ok(
     problems: ProblemClusters, needed: dict[int, np.ndarray]
 ) -> dict[int, np.ndarray]:
-    """Ancestor-removal test for clusters flagged in ``needed``.
+    """Ancestor-removal test for the candidate rows in ``needed``.
 
     For each candidate cluster ``C`` and each problem-cluster ancestor
     ``A`` of ``C``: after subtracting ``C``'s counts, ``A`` must no
-    longer satisfy the problem-cluster predicate.
+    longer satisfy the problem-cluster predicate. Candidates are a
+    handful of rows per mask, so everything is gathered down to them
+    before the predicate runs.
     """
     agg = problems.agg
     out: dict[int, np.ndarray] = {}
-    for m, need in needed.items():
+    for m, rows in needed.items():
         mask_agg = agg.per_mask[m]
-        ok = need.copy()
+        ok = np.ones(rows.size, dtype=bool)
         for a in iter_submasks(m):
-            if not ok.any():
+            live = np.nonzero(ok)[0]
+            if live.size == 0:
                 break
             anc_agg = agg.per_mask[a]
-            idx = _project_index(agg, m, a)
-            rem_sessions = anc_agg.sessions[idx] - mask_agg.sessions
-            rem_problems = anc_agg.problems[idx] - mask_agg.problems
+            idx = _project_index(agg, m, a)[rows[live]]
+            rem_sessions = anc_agg.sessions[idx] - mask_agg.sessions[rows[live]]
+            rem_problems = anc_agg.problems[idx] - mask_agg.problems[rows[live]]
             still_problem = problems.is_problem[a][idx] & problems.counts_are_problem(
                 rem_sessions, rem_problems
             )
-            ok &= ~still_problem
-        out[m] = ok
+            ok[live[still_problem]] = False
+        out[m] = rows[ok]
     return out
 
 
@@ -206,38 +229,51 @@ def find_critical_clusters(problems: ProblemClusters) -> CriticalClusters:
         return CriticalClusters(problems, {}, float(agg.total_problems))
 
     # Cluster-level candidacy: problem cluster + all descendants fine.
-    desc_ok = _descendants_ok(problems)
+    tainted = _tainted_clusters(problems)
     pre: dict[int, np.ndarray] = {}
     for m in range(1, n_masks):
-        flags = problems.is_problem[m] & desc_ok[m]
-        if flags.any():
-            pre[m] = flags
+        rows = _sorted_exclude(problems.problem_rows[m], tainted[m])
+        if rows.size:
+            pre[m] = rows
     removal = _removal_ok(problems, pre)
 
-    candidate_at_leaf = np.zeros((n_leaves, n_masks), dtype=bool)
-    for m, flags in removal.items():
-        candidate_at_leaf[:, m] = flags[problems.leaf_proj_index[m]]
-
-    # Minimality under set inclusion ("closest to the root") per leaf.
-    minimal = candidate_at_leaf.copy()
-    for m in range(1, n_masks):
-        if not minimal[:, m].any():
+    # Per candidate mask, a boolean over leaves: "this leaf's projection
+    # onto the mask is a candidate". Only candidate masks get a column —
+    # all other masks would be all-False.
+    candidate_at_leaf: dict[int, np.ndarray] = {}
+    for m, rows in removal.items():
+        if rows.size == 0:
             continue
+        flags = np.zeros(agg.per_mask[m].keys.size, dtype=bool)
+        flags[rows] = True
+        candidate_at_leaf[m] = flags[problems.leaf_proj_index[m]]
+
+    # Minimality under set inclusion ("closest to the root") per leaf;
+    # only candidate masks can disqualify.
+    minimal: dict[int, np.ndarray] = {}
+    for m, at_leaf in candidate_at_leaf.items():
+        keep = at_leaf.copy()
         for a in iter_submasks(m):
-            minimal[:, m] &= ~candidate_at_leaf[:, a]
-            if not minimal[:, m].any():
+            anc = candidate_at_leaf.get(a)
+            if anc is None:
+                continue
+            keep &= ~anc
+            if not keep.any():
                 break
+        minimal[m] = keep
 
     # Attribute each leaf's problem sessions to its minimal candidates,
     # splitting equally on ties.
-    n_min = minimal[:, 1:].sum(axis=1)
+    n_min = np.zeros(n_leaves, dtype=np.int64)
+    for keep in minimal.values():
+        n_min += keep
     leaf_problems = leaf.problems.astype(np.float64)
     leaf_sessions = leaf.sessions.astype(np.float64)
     clusters: dict[tuple[int, int], CriticalAttribution] = {}
     share = np.where(n_min > 0, 1.0 / np.maximum(n_min, 1), 0.0)
 
-    for m in range(1, n_masks):
-        rows = np.nonzero(minimal[:, m])[0]
+    for m in sorted(minimal):
+        rows = np.nonzero(minimal[m])[0]
         if rows.size == 0:
             continue
         mask_agg = agg.per_mask[m]

@@ -80,7 +80,8 @@ def split_into_epochs(
     epoch order. Sessions outside the grid are dropped (only possible
     with an explicitly narrower grid).
     """
-    grid = grid or EpochGrid.covering(table)
+    if grid is None:  # NOT `or`: a zero-epoch grid is falsy but valid
+        grid = EpochGrid.covering(table)
     epoch_ids = grid.epoch_of(table.start_time)
     in_range = (epoch_ids >= 0) & (epoch_ids < grid.n_epochs)
     rows = np.nonzero(in_range)[0]

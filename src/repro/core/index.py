@@ -78,7 +78,8 @@ class TraceClusterIndex:
         "fold_source",
         "fold_order",
         "_project_index",
-        "_metric_masks",
+        "_valid_masks",
+        "_problem_masks",
     )
 
     def __init__(
@@ -101,8 +102,9 @@ class TraceClusterIndex:
         self.fold_source = fold_source
         self.fold_order = fold_order
         self._project_index: dict[tuple[int, int], np.ndarray] = {}
-        self._metric_masks: dict[
-            tuple[str, MetricThresholds], tuple[np.ndarray, np.ndarray]
+        self._valid_masks: dict[str, np.ndarray] = {}
+        self._problem_masks: dict[
+            tuple[str, MetricThresholds], np.ndarray
         ] = {}
 
     # ------------------------------------------------------------------
@@ -203,25 +205,42 @@ class TraceClusterIndex:
             self._project_index[key] = idx
         return idx
 
+    def valid_mask(self, metric: QualityMetric) -> np.ndarray:
+        """Whole-table validity mask for one metric (threshold-free).
+
+        Validity depends only on the metric's definition (e.g. "joined
+        sessions only"), never on thresholds, so config sweeps reuse one
+        cached mask per metric across every thresholds variant.
+        """
+        cached = self._valid_masks.get(metric.name)
+        if cached is None:
+            cached = metric.valid_mask(self.table)
+            self._valid_masks[metric.name] = cached
+        return cached
+
+    def problem_mask(
+        self, metric: QualityMetric, thresholds: MetricThresholds | None = None
+    ) -> np.ndarray:
+        """Whole-table problem mask, cached per (metric, thresholds)."""
+        thresholds = thresholds or MetricThresholds()
+        key = (metric.name, thresholds)
+        cached = self._problem_masks.get(key)
+        if cached is None:
+            cached = metric.problem_mask(self.table, thresholds)
+            self._problem_masks[key] = cached
+        return cached
+
     def metric_masks(
         self, metric: QualityMetric, thresholds: MetricThresholds | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Whole-table ``(valid, problem)`` boolean masks for one metric.
 
-        Computed once per (metric name, thresholds) pair and cached;
-        per-epoch aggregation slices these instead of re-deriving
-        full-table masks for every epoch.
+        Computed once per metric (validity) and per (metric name,
+        thresholds) pair (problem flags) and cached; per-epoch
+        aggregation slices these instead of re-deriving full-table
+        masks for every epoch.
         """
-        thresholds = thresholds or MetricThresholds()
-        key = (metric.name, thresholds)
-        cached = self._metric_masks.get(key)
-        if cached is None:
-            cached = (
-                metric.valid_mask(self.table),
-                metric.problem_mask(self.table, thresholds),
-            )
-            self._metric_masks[key] = cached
-        return cached
+        return self.valid_mask(metric), self.problem_mask(metric, thresholds)
 
     def warm_metric_masks(
         self,
@@ -238,8 +257,8 @@ class TraceClusterIndex:
         arrays += list(self.mask_keys.values())
         arrays += list(self.leaf_to_cluster.values())
         arrays += list(self._project_index.values())
-        for valid, problem in self._metric_masks.values():
-            arrays += [valid, problem]
+        arrays += list(self._valid_masks.values())
+        arrays += list(self._problem_masks.values())
         return int(sum(a.nbytes for a in arrays))
 
     # ------------------------------------------------------------------
@@ -294,6 +313,8 @@ class EpochClusterView:
         "leaf_to_cluster",
         "_keys",
         "_project_local",
+        "_metric_sessions",
+        "_significant",
     )
 
     def __init__(
@@ -323,6 +344,10 @@ class EpochClusterView:
         self.leaf_to_cluster = leaf_to_cluster
         self._keys: dict[int, np.ndarray] = {}
         self._project_local: dict[tuple[int, int], np.ndarray] = {}
+        self._metric_sessions: dict[
+            str, tuple[np.ndarray, np.ndarray, dict[int, np.ndarray]]
+        ] = {}
+        self._significant: dict[tuple[str, int], dict[int, np.ndarray]] = {}
 
     @property
     def n_leaves(self) -> int:
@@ -356,6 +381,65 @@ class EpochClusterView:
             self._project_local[key] = idx
         return idx
 
+    def _metric_session_folds(
+        self, metric: QualityMetric
+    ) -> tuple[np.ndarray, np.ndarray, dict[int, np.ndarray]]:
+        """``(valid_rows, leaf_sessions, sessions_per_mask)`` for one metric.
+
+        Session counts depend only on the metric's *validity* pattern,
+        never on thresholds, so one computation per (epoch, metric) is
+        shared by every thresholds variant of a config sweep (and by
+        ``problem_flags`` overrides). Cached on the view.
+        """
+        cached = self._metric_sessions.get(metric.name)
+        if cached is None:
+            index = self.index
+            valid = index.valid_mask(metric)[self.rows]
+            leaf_sessions = np.bincount(
+                self.row_leaf_local[valid], minlength=self.n_leaves
+            ).astype(np.int64, copy=False)
+            full = index.codec.full_mask
+            sessions: dict[int, np.ndarray] = {full: leaf_sessions}
+            for m in index.fold_order:
+                src = index.fold_source[m]
+                idx = self.project_index(src, m)
+                n = int(self.active_ids[m].size)
+                # Counts stay int64-exact: bincount's float64 weights
+                # are exact for values < 2^53.
+                sessions[m] = np.bincount(
+                    idx, weights=sessions[src], minlength=n
+                ).astype(np.int64)
+            cached = (valid, leaf_sessions, sessions)
+            self._metric_sessions[metric.name] = cached
+        return cached
+
+    def significant_clusters(
+        self, metric_name: str, min_sessions: int
+    ) -> dict[int, np.ndarray] | None:
+        """Per mask: indices of active clusters at or above the session floor.
+
+        Session counts are threshold-independent, so this subset — the
+        only clusters the problem predicate can ever flag and the only
+        seeds the critical-cluster descendants test needs — is computed
+        once per (epoch, metric, floor) and shared by every thresholds
+        variant of a config sweep. Returns ``None`` when the metric's
+        session folds have not been computed yet (callers then fall
+        back to scanning the aggregate's own arrays).
+        """
+        key = (metric_name, int(min_sessions))
+        cached = self._significant.get(key)
+        if cached is None:
+            folds = self._metric_sessions.get(metric_name)
+            if folds is None:
+                return None
+            _, _, sessions = folds
+            cached = {
+                m: np.nonzero(counts >= min_sessions)[0]
+                for m, counts in sessions.items()
+            }
+            self._significant[key] = cached
+        return cached
+
     def aggregate(
         self,
         metric: QualityMetric,
@@ -369,13 +453,15 @@ class EpochClusterView:
         session for the metric are retained with zero counts (the
         legacy engine drops them) — which downstream detection provably
         ignores. Two leaf-level bincounts plus two per mask, folded
-        down the lattice; no per-epoch key packing at all.
+        down the lattice; no per-epoch key packing at all. The
+        threshold-independent half (validity and session counts) is
+        cached per metric, so re-aggregating the same epoch under new
+        thresholds pays only the problem-count bincounts.
         """
         index = self.index
-        valid_all, problem_all = index.metric_masks(metric, thresholds)
-        valid = valid_all[self.rows]
+        valid, leaf_sessions, sessions = self._metric_session_folds(metric)
         if problem_flags is None:
-            problem = problem_all[self.rows]
+            problem = index.problem_mask(metric, thresholds)[self.rows]
         else:
             problem_flags = np.asarray(problem_flags, dtype=bool)
             if problem_flags.shape != (self.rows.size,):
@@ -385,26 +471,16 @@ class EpochClusterView:
                 )
             problem = problem_flags & valid
 
-        n_leaves = self.n_leaves
-        leaf_sessions = np.bincount(
-            self.row_leaf_local[valid], minlength=n_leaves
-        ).astype(np.int64, copy=False)
         leaf_problems = np.bincount(
-            self.row_leaf_local[problem], minlength=n_leaves
+            self.row_leaf_local[problem], minlength=self.n_leaves
         ).astype(np.int64, copy=False)
 
         full = index.codec.full_mask
-        sessions: dict[int, np.ndarray] = {full: leaf_sessions}
         problems: dict[int, np.ndarray] = {full: leaf_problems}
         for m in index.fold_order:
             src = index.fold_source[m]
             idx = self.project_index(src, m)
             n = int(self.active_ids[m].size)
-            # Counts stay int64-exact: bincount's float64 weights are
-            # exact for values < 2^53.
-            sessions[m] = np.bincount(
-                idx, weights=sessions[src], minlength=n
-            ).astype(np.int64)
             problems[m] = np.bincount(
                 idx, weights=problems[src], minlength=n
             ).astype(np.int64)

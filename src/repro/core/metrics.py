@@ -89,15 +89,19 @@ class QualityMetric:
 
     def __reduce__(self):
         # The callables are lambdas, which pickle cannot serialize;
-        # registered metrics reconstruct from the registry instead so
-        # analysis configs can ship to worker processes
-        # (``analyze_trace(workers=N)``). Unregistered custom metrics
-        # are not picklable and must run with ``workers=0``.
+        # registered metrics reconstruct from the registry instead —
+        # pickling ships only the name and the worker process
+        # re-hydrates through ``metric_by_name`` — so analysis configs
+        # ship to worker processes (``analyze_trace(workers=N)``).
+        # Custom metrics become picklable by calling
+        # ``register_metric`` first; truly unregistered metrics must
+        # run with ``workers=0``.
         if _BY_NAME.get(self.name) is self:
             return (metric_by_name, (self.name,))
         raise TypeError(
             f"metric {self.name!r} is not registered and cannot be "
-            "pickled; run with workers=0"
+            "pickled; call register_metric() on it to enable "
+            "workers=N, or run with workers=0"
         )
 
 
@@ -165,3 +169,49 @@ def metric_by_name(name: str) -> QualityMetric:
         raise KeyError(
             f"unknown metric {name!r}; known: {sorted(_BY_NAME)}"
         ) from None
+
+
+def register_metric(metric: QualityMetric, overwrite: bool = False) -> QualityMetric:
+    """Register a custom metric under its ``name`` and ``paper_name``.
+
+    Registration makes the metric picklable (``__reduce__`` ships only
+    the name; worker processes re-hydrate it through
+    :func:`metric_by_name`), so configs using it work with
+    ``analyze_trace(workers=N)``. Worker pools fork from (or are
+    spawned by) the registering process, so the registry entry is
+    present on the worker side by the time re-hydration runs.
+
+    Refuses to shadow an existing registration unless ``overwrite``;
+    the four paper metrics can never be overwritten. Returns the
+    metric, so it can be used as a decorator-style one-liner.
+    """
+    reserved = {m.name for m in ALL_METRICS} | {m.paper_name for m in ALL_METRICS}
+    names = [metric.name]
+    if metric.paper_name and metric.paper_name != metric.name:
+        names.append(metric.paper_name)
+    for name in names:
+        if name in reserved and _BY_NAME[name] is not metric:
+            raise ValueError(f"cannot overwrite built-in metric {name!r}")
+        if not overwrite and _BY_NAME.get(name) not in (None, metric):
+            raise ValueError(
+                f"metric name {name!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
+    for name in names:
+        _BY_NAME[name] = metric
+    return metric
+
+
+def unregister_metric(name: str) -> None:
+    """Remove a custom metric's registration (both of its names).
+
+    The four paper metrics cannot be unregistered.
+    """
+    metric = _BY_NAME.get(name)
+    if metric is None:
+        return
+    if metric in ALL_METRICS:
+        raise ValueError(f"cannot unregister built-in metric {name!r}")
+    for alias in (metric.name, metric.paper_name):
+        if _BY_NAME.get(alias) is metric:
+            del _BY_NAME[alias]

@@ -58,6 +58,7 @@ from repro.core.index import TraceClusterIndex
 from repro.core.metrics import ALL_METRICS, MetricThresholds, QualityMetric
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
+from repro.core.shm import TRANSPORTS, make_worker_payload, resolve_transport
 from repro.core.streaks import ClusterTimeline, build_timelines
 
 
@@ -112,8 +113,12 @@ class AnalysisConfig:
     reduction strategy: ``"auto"`` (default, resolves to
     ``"indexed"``), ``"indexed"`` (one trace-global
     :class:`~repro.core.index.TraceClusterIndex`, per-epoch bincounts)
-    or ``"epoch"`` (legacy per-epoch leaf index). Results are identical
-    for every combination of the two knobs.
+    or ``"epoch"`` (legacy per-epoch leaf index). ``transport``
+    selects how parallel runs ship the table/index to workers:
+    ``"auto"`` (default) uses POSIX shared memory when available,
+    ``"shm"`` insists on it, ``"pickle"`` forces per-worker
+    serialization. Results are identical for every combination of the
+    three knobs.
     """
 
     metrics: tuple[QualityMetric, ...] = ALL_METRICS
@@ -122,10 +127,15 @@ class AnalysisConfig:
     epoch_seconds: float = 3600.0
     workers: int | str = 0
     engine: str = "auto"
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         resolve_worker_count(self.workers)  # validate eagerly
         resolve_engine(self.engine)
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
 
 
 @dataclass
@@ -447,16 +457,17 @@ def _analyze_epoch_metrics(
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(
-    table: SessionTable,
-    config: AnalysisConfig,
-    cluster_index: TraceClusterIndex | None = None,
-) -> None:
-    # With the indexed engine the parent ships the prebuilt trace index
-    # alongside the table; pickle memoises shared references within one
-    # initargs tuple, so the table inside the index is not duplicated.
+def _worker_init(payload, config: AnalysisConfig) -> None:
+    # The payload carries the table (+ prebuilt trace index with the
+    # indexed engine) across the process boundary. On the shm transport
+    # only segment names/dtypes/shapes pickle and ``restore`` attaches
+    # zero-copy views; on the pickle transport restore is the identity.
+    # The payload stays in worker state so the attached mapping (and
+    # thus every view) lives for the worker's lifetime.
+    table, cluster_index = payload.restore()
     codec = cluster_index.codec if cluster_index is not None else KeyCodec.from_table(table)
     codec.field_masks()  # warm the per-codec cache once per worker
+    _WORKER_STATE["payload"] = payload
     _WORKER_STATE["table"] = table
     _WORKER_STATE["config"] = config
     _WORKER_STATE["codec"] = codec
@@ -498,6 +509,8 @@ def analyze_trace(
     progress: Callable[[int, int], None] | None = None,
     workers: int | str | None = None,
     engine: str | None = None,
+    transport: str | None = None,
+    substrate=None,
 ) -> TraceAnalysis:
     """Analyse a whole trace for every configured metric.
 
@@ -506,8 +519,15 @@ def analyze_trace(
     ``n`` worker processes. ``engine`` overrides ``config.engine``:
     ``"indexed"`` (what ``"auto"`` resolves to) builds one trace-global
     cluster index and reduces every epoch through it, ``"epoch"`` is
-    the legacy per-epoch path. Every combination of the two knobs
-    returns identical results. ``progress`` (optional) is called with
+    the legacy per-epoch path. ``transport`` overrides
+    ``config.transport`` for parallel runs: ``"shm"`` publishes the
+    table/index arrays through one shared-memory segment (workers
+    attach zero-copy), ``"pickle"`` serializes them per worker,
+    ``"auto"`` prefers shm when available. Every combination of the
+    three knobs returns identical results. ``substrate`` (optional) is
+    a prebuilt :class:`~repro.core.substrate.AnalysisSubstrate` over
+    the same table; the indexed engine then reuses its trace index
+    instead of building one. ``progress`` (optional) is called with
     ``(done_units, total_units)`` — units are (epoch, metric) pairs —
     after each epoch completes across all its metrics.
     """
@@ -517,6 +537,9 @@ def analyze_trace(
     )
     engine_name = resolve_engine(
         config.engine if engine is None else engine
+    )
+    transport_name = resolve_transport(
+        config.transport if transport is None else transport
     )
     if grid is None:
         grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
@@ -532,7 +555,10 @@ def analyze_trace(
     cluster_index = None
     if engine_name == "indexed" and grid.n_epochs > 0:
         t0 = time.perf_counter()
-        cluster_index = TraceClusterIndex.build(table)
+        if substrate is not None:
+            cluster_index = substrate.index
+        else:
+            cluster_index = TraceClusterIndex.build(table)
         cluster_index.warm_metric_masks(config.metrics, config.thresholds)
         timings.index_build_s += time.perf_counter() - t0
         codec = cluster_index.codec
@@ -551,19 +577,29 @@ def analyze_trace(
                 progress(done, total_units)
     else:
         batches = _chunk_epochs(per_epoch_rows, n_workers)
-        with ProcessPoolExecutor(
-            max_workers=min(n_workers, len(batches)),
-            initializer=_worker_init,
-            initargs=(table, config, cluster_index),
-        ) as pool:
-            futures = [pool.submit(_worker_run_batch, batch) for batch in batches]
-            for future in as_completed(futures):
-                for epoch, (summaries, epoch_timings) in future.result():
-                    per_epoch[epoch] = summaries
-                    timings.merge(epoch_timings)
-                    done += n_metrics
-                    if progress is not None:
-                        progress(done, total_units)
+        payload = make_worker_payload(
+            table, cluster_index, transport=transport_name
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(batches)),
+                initializer=_worker_init,
+                initargs=(payload, config),
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_run_batch, batch) for batch in batches
+                ]
+                for future in as_completed(futures):
+                    for epoch, (summaries, epoch_timings) in future.result():
+                        per_epoch[epoch] = summaries
+                        timings.merge(epoch_timings)
+                        done += n_metrics
+                        if progress is not None:
+                            progress(done, total_units)
+        finally:
+            # Owner-side shared-memory teardown; the pool has shut down
+            # (context exit joins workers), so no mapping survives this.
+            payload.release()
     timings.wall_s = time.perf_counter() - wall_start
 
     metric_analyses: dict[str, MetricAnalysis] = {}

@@ -130,6 +130,9 @@ class ProblemClusters:
         "leaf_proj_index",
         "_covered_leaves",
         "_leaf_problem_matrix",
+        "_significant_rows",
+        "_problem_rows",
+        "_n_clusters",
     )
 
     def __init__(
@@ -149,11 +152,43 @@ class ProblemClusters:
         self.leaf_proj_index = leaf_proj_index
         self._covered_leaves: np.ndarray | None = None
         self._leaf_problem_matrix: np.ndarray | None = None
+        self._significant_rows: dict[int, np.ndarray] | None = None
+        self._problem_rows: dict[int, np.ndarray] | None = None
+        self._n_clusters: int | None = None
+
+    @property
+    def significant_rows(self) -> dict[int, np.ndarray]:
+        """Per mask: sorted indices of clusters at/above the session floor.
+
+        The only clusters the predicate can flag; the critical-cluster
+        descendants test seeds from them. Populated for free by
+        :func:`find_problem_clusters` (shared across a config sweep via
+        the epoch view); recomputed here only for hand-built instances.
+        """
+        if self._significant_rows is None:
+            self._significant_rows = {
+                m: np.nonzero(mask_agg.sessions >= self.min_sessions)[0]
+                for m, mask_agg in self.agg.per_mask.items()
+            }
+        return self._significant_rows
+
+    @property
+    def problem_rows(self) -> dict[int, np.ndarray]:
+        """Per mask: sorted indices of the problem clusters."""
+        if self._problem_rows is None:
+            self._problem_rows = {
+                m: np.nonzero(flags)[0] for m, flags in self.is_problem.items()
+            }
+        return self._problem_rows
 
     @property
     def n_clusters(self) -> int:
         """Total number of problem clusters in the epoch."""
-        return int(sum(int(flags.sum()) for flags in self.is_problem.values()))
+        if self._n_clusters is None:
+            self._n_clusters = int(
+                sum(int(flags.sum()) for flags in self.is_problem.values())
+            )
+        return self._n_clusters
 
     def counts_are_problem(
         self, sessions: np.ndarray, problems: np.ndarray
@@ -176,9 +211,9 @@ class ProblemClusters:
 
     def iter_clusters(self) -> Iterator[tuple[int, int, ClusterStats]]:
         """Yield ``(mask, packed_key, stats)`` for every problem cluster."""
-        for mask, flags in self.is_problem.items():
+        for mask, rows in self.problem_rows.items():
             agg = self.agg.per_mask[mask]
-            for i in np.nonzero(flags)[0]:
+            for i in rows:
                 yield (
                     mask,
                     int(agg.keys[i]),
@@ -213,10 +248,9 @@ class ProblemClusters:
             n_leaves = len(self.agg.leaf)
             matrix = np.zeros((n_leaves, full + 1), dtype=bool)
             for m in range(1, full + 1):
-                flags = self.is_problem[m]
-                if not flags.any():
+                if self.problem_rows[m].size == 0:
                     continue
-                matrix[:, m] = flags[self.leaf_proj_index[m]]
+                matrix[:, m] = self.is_problem[m][self.leaf_proj_index[m]]
             self._leaf_problem_matrix = matrix
         return self._leaf_problem_matrix
 
@@ -232,9 +266,8 @@ class ProblemClusters:
             n_leaves = len(self.agg.leaf)
             covered = np.zeros(n_leaves, dtype=bool)
             for m in range(1, self.agg.codec.full_mask + 1):
-                flags = self.is_problem[m]
-                if flags.any():
-                    covered |= flags[self.leaf_proj_index[m]]
+                if self.problem_rows[m].size:
+                    covered |= self.is_problem[m][self.leaf_proj_index[m]]
             self._covered_leaves = covered
         return self._covered_leaves
 
@@ -257,12 +290,16 @@ def find_problem_clusters(
 ) -> ProblemClusters:
     """Flag the problem clusters of one epoch aggregate.
 
-    The predicate is evaluated once over all masks' clusters
-    concatenated flat (one vectorised pass instead of one per mask);
-    per-mask flags are views into the flat result. When the aggregate
-    came from a :class:`~repro.core.index.TraceClusterIndex`, the
-    leaf-projection index matrix is the index's precomputed global one
-    — no per-epoch ``searchsorted`` at all.
+    Only clusters at or above the session floor can pass the predicate,
+    and they are typically a small fraction of the epoch's distinct
+    clusters — so the predicate is evaluated once over the *significant*
+    clusters of all masks concatenated flat, and the results scattered
+    back into full-size per-mask flag arrays. Session counts are
+    threshold-independent, so when the aggregate came from a
+    :class:`~repro.core.index.TraceClusterIndex` the significant subset
+    is cached on the epoch view and shared by every thresholds variant
+    of a config sweep (the leaf-projection index matrix likewise comes
+    precomputed from the view — no per-epoch ``searchsorted`` at all).
     """
     config = config or ProblemClusterConfig()
     min_sessions = config.resolve_min_sessions(agg.total_sessions)
@@ -270,9 +307,18 @@ def find_problem_clusters(
     full = agg.codec.full_mask
     masks = range(1, full + 1)
 
-    flags_flat = cluster_problem_flags(
-        np.concatenate([agg.per_mask[m].sessions for m in masks]),
-        np.concatenate([agg.per_mask[m].problems for m in masks]),
+    significant = None
+    if agg.index is not None:
+        significant = agg.index.significant_clusters(agg.metric_name, min_sessions)
+    if significant is None:
+        significant = {
+            m: np.nonzero(agg.per_mask[m].sessions >= min_sessions)[0]
+            for m in masks
+        }
+
+    ok_flat = cluster_problem_flags(
+        np.concatenate([agg.per_mask[m].sessions[significant[m]] for m in masks]),
+        np.concatenate([agg.per_mask[m].problems[significant[m]] for m in masks]),
         global_ratio=agg.global_ratio,
         ratio_threshold=ratio_threshold,
         min_sessions=min_sessions,
@@ -280,11 +326,16 @@ def find_problem_clusters(
         significance_sigmas=config.significance_sigmas,
     )
     is_problem: dict[int, np.ndarray] = {}
+    problem_rows: dict[int, np.ndarray] = {}
     start = 0
     for m in masks:
-        n = agg.per_mask[m].keys.size
-        is_problem[m] = flags_flat[start : start + n]
-        start += n
+        sig = significant[m]
+        ok = ok_flat[start : start + sig.size]
+        start += sig.size
+        flags = np.zeros(agg.per_mask[m].keys.size, dtype=bool)
+        flags[sig] = ok
+        is_problem[m] = flags
+        problem_rows[m] = sig[ok]
 
     if agg.index is not None:
         # Indexed aggregate: the leaf -> cluster inverses were computed
@@ -303,7 +354,7 @@ def find_problem_clusters(
                 # projections always exist by construction
                 leaf_proj_index[m] = np.searchsorted(agg.per_mask[m].keys, proj)
 
-    return ProblemClusters(
+    out = ProblemClusters(
         agg=agg,
         config=config,
         min_sessions=min_sessions,
@@ -311,3 +362,7 @@ def find_problem_clusters(
         is_problem=is_problem,
         leaf_proj_index=leaf_proj_index,
     )
+    out._significant_rows = significant
+    out._problem_rows = problem_rows
+    out._n_clusters = int(ok_flat.sum())
+    return out

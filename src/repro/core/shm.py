@@ -1,0 +1,471 @@
+"""Zero-copy shared-memory transport for analysis worker fan-out.
+
+``analyze_trace(workers=N)`` ships the packed :class:`SessionTable` and
+the prebuilt :class:`~repro.core.index.TraceClusterIndex` to every
+worker process. Serializing them through the pool initializer costs one
+full pickle round-trip of every numpy array per worker — hundreds of MB
+of copying on week-scale traces, which is exactly the overhead
+BENCH_pipeline.json exposed (parallel "speedup" below 1x once the
+compute itself got fast).
+
+This module replaces that copy with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+* :class:`SharedArrayPack` packs any number of named numpy arrays into
+  **one** shared-memory segment (64-byte aligned) and hands out a
+  picklable :class:`ArrayManifest` — segment name plus per-array
+  ``(key, dtype, shape, offset)`` records, a few hundred bytes total.
+* :meth:`ArrayManifest.attach` maps the segment in a worker and
+  reconstructs every array as a zero-copy, read-only view.
+* :func:`make_worker_payload` wraps a table (+ optional index) in a
+  transport payload: the shared-memory payload when the platform
+  supports it, or a plain pickle payload as fallback. Both restore to
+  objects that behave identically — transport never changes results.
+
+Lifecycle contract: the *parent* owns the segment. It creates the pack
+before starting the pool, ships only the manifest through the
+initializer, and must call :meth:`WorkerPayload.release` (close +
+unlink) after the pool has shut down — ``analyze_trace`` does this in a
+``finally`` block. Workers attach in the pool initializer and keep the
+mapping open for their lifetime; their handles close when the process
+exits. Pool workers share the parent's ``resource_tracker``, so
+attach-side registrations collapse into the owner's single entry and
+the owner's unlink cleans the segment up exactly once.
+
+Memory footprint: the segment holds exactly one copy of every array
+(``SharedArrayPack.nbytes`` reports the total); each worker maps the
+same physical pages, so N workers cost one table+index, not N.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.aggregation import KeyCodec
+from repro.core.index import TraceClusterIndex
+from repro.core.sessions import SessionTable
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - all supported platforms have it
+    _shared_memory = None
+
+
+#: Valid values of the ``transport`` knob.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+#: Byte alignment of each array within a shared segment.
+_ALIGN = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory can actually be allocated here."""
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=_ALIGN)
+    except (OSError, ValueError):  # pragma: no cover - platform specific
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def resolve_transport(transport: str | None) -> str:
+    """Resolve the ``transport`` knob to ``"shm"`` or ``"pickle"``.
+
+    ``None``/``"auto"`` pick shared memory when the platform supports
+    it and fall back to pickle otherwise; ``"shm"`` insists (raising if
+    unsupported); ``"pickle"`` forces the serialization path. Transport
+    never changes results, only worker-startup cost.
+    """
+    if transport is None or transport == "auto":
+        return "shm" if shared_memory_available() else "pickle"
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if transport == "shm" and not shared_memory_available():
+        raise ValueError(
+            "transport='shm' requested but multiprocessing.shared_memory "
+            "is unavailable on this platform"
+        )
+    return transport
+
+
+# Note on the resource tracker: attaching re-registers the segment
+# name, but pool workers (forked or spawned by this process) share the
+# parent's tracker, whose cache is a per-name set — the re-register is
+# a no-op and the owner's ``unlink`` clears the single entry. Workers
+# must NOT explicitly unregister on attach: with the shared tracker
+# that would remove the owner's registration and make the final unlink
+# report a spurious KeyError.
+
+
+@dataclass(frozen=True)
+class ArrayEntry:
+    """Location of one array inside a shared segment."""
+
+    key: Hashable
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+@dataclass(frozen=True)
+class ArrayManifest:
+    """Picklable description of a :class:`SharedArrayPack`.
+
+    This — not the arrays — is what crosses the process boundary:
+    segment name, total size, and one :class:`ArrayEntry` per array.
+    """
+
+    segment: str
+    nbytes: int
+    entries: tuple[ArrayEntry, ...]
+
+    def attach(self) -> "AttachedArrays":
+        """Map the segment and rebuild every array as a zero-copy view."""
+        if _shared_memory is None:  # pragma: no cover - guarded upstream
+            raise RuntimeError("shared memory unavailable")
+        shm = _shared_memory.SharedMemory(name=self.segment)
+        arrays: dict[Hashable, np.ndarray] = {}
+        for entry in self.entries:
+            arr = np.ndarray(
+                entry.shape,
+                dtype=np.dtype(entry.dtype),
+                buffer=shm.buf,
+                offset=entry.offset,
+            )
+            arr.flags.writeable = False
+            arrays[entry.key] = arr
+        return AttachedArrays(shm=shm, arrays=arrays)
+
+
+class AttachedArrays:
+    """A worker-side view of a pack: arrays + the mapping keeping them alive."""
+
+    __slots__ = ("shm", "arrays")
+
+    def __init__(self, shm, arrays: dict[Hashable, np.ndarray]) -> None:
+        self.shm = shm
+        self.arrays = arrays
+
+    def __getitem__(self, key: Hashable) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        """Drop the array views and unmap the segment (no unlink)."""
+        self.arrays = {}
+        self.shm.close()
+
+
+class SharedArrayPack:
+    """Owner-side handle: one shared segment holding many named arrays."""
+
+    __slots__ = ("shm", "manifest", "_unlinked")
+
+    def __init__(self, shm, manifest: ArrayManifest) -> None:
+        self.shm = shm
+        self.manifest = manifest
+        self._unlinked = False
+
+    @classmethod
+    def create(cls, arrays: Mapping[Hashable, np.ndarray]) -> "SharedArrayPack":
+        """Copy ``arrays`` into one fresh shared segment (the only copy)."""
+        if _shared_memory is None:
+            raise RuntimeError("shared memory unavailable")
+        normalized: dict[Hashable, np.ndarray] = {
+            key: np.ascontiguousarray(arr) for key, arr in arrays.items()
+        }
+        entries: list[ArrayEntry] = []
+        offset = 0
+        for key, arr in normalized.items():
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            entries.append(
+                ArrayEntry(
+                    key=key,
+                    dtype=arr.dtype.str,
+                    shape=tuple(arr.shape),
+                    offset=offset,
+                )
+            )
+            offset += arr.nbytes
+        total = max(offset, 1)  # zero-size segments are invalid
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+        for entry, arr in zip(entries, normalized.values()):
+            dest = np.ndarray(
+                entry.shape, dtype=arr.dtype, buffer=shm.buf, offset=entry.offset
+            )
+            dest[...] = arr
+        manifest = ArrayManifest(
+            segment=shm.name, nbytes=total, entries=tuple(entries)
+        )
+        return cls(shm=shm, manifest=manifest)
+
+    @property
+    def nbytes(self) -> int:
+        return self.manifest.nbytes
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent). Close first if still mapped."""
+        if not self._unlinked:
+            self._unlinked = True
+            self.shm.unlink()
+
+    def release(self) -> None:
+        """Close and unlink — the owner's end-of-pool teardown."""
+        self.close()
+        self.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Table / index array flattening
+# ---------------------------------------------------------------------------
+#: Structured array keys: ("table", column) and ("index", kind, *detail).
+_TABLE_COLUMNS = (
+    "codes",
+    "start_time",
+    "duration_s",
+    "buffering_s",
+    "join_time_s",
+    "bitrate_kbps",
+    "join_failed",
+)
+
+
+def _export_arrays(
+    table: SessionTable, index: TraceClusterIndex | None
+) -> dict[Hashable, np.ndarray]:
+    """Flatten every numpy array of a table (+ index) under stable keys."""
+    arrays: dict[Hashable, np.ndarray] = {
+        ("table", col): getattr(table, col) for col in _TABLE_COLUMNS
+    }
+    if index is not None:
+        arrays[("index", "leaf_keys")] = index.leaf_keys
+        arrays[("index", "row_to_leaf")] = index.row_to_leaf
+        for m, keys in index.mask_keys.items():
+            arrays[("index", "mask_keys", m)] = keys
+        for m, inverse in index.leaf_to_cluster.items():
+            arrays[("index", "leaf_to_cluster", m)] = inverse
+        for (fine, coarse), idx in index._project_index.items():
+            arrays[("index", "project", fine, coarse)] = idx
+        for name, valid in index._valid_masks.items():
+            arrays[("index", "valid", name)] = valid
+        for (name, thresholds), problem in index._problem_masks.items():
+            arrays[("index", "problem", name, thresholds)] = problem
+    return arrays
+
+
+def _table_from_arrays(
+    schema, vocabs, arrays: Mapping[Hashable, np.ndarray]
+) -> SessionTable:
+    """Rebuild a :class:`SessionTable` around attached arrays.
+
+    Bypasses ``__init__`` deliberately: the arrays were validated when
+    the parent built the original table, and re-running the O(n·attrs)
+    code-range scans per worker would defeat the zero-copy attach.
+    """
+    table = SessionTable.__new__(SessionTable)
+    table.schema = schema
+    table.vocabs = [list(v) for v in vocabs]
+    for col in _TABLE_COLUMNS:
+        setattr(table, col, arrays[("table", col)])
+    table._decoders = None
+    table._encoders = None
+    return table
+
+
+def _index_from_arrays(
+    table: SessionTable,
+    codec: KeyCodec,
+    fold_source: dict[int, int],
+    fold_order: list[int],
+    arrays: Mapping[Hashable, np.ndarray],
+) -> TraceClusterIndex:
+    """Rebuild a :class:`TraceClusterIndex` around attached arrays,
+    including the prewarmed projection and metric-mask caches."""
+    mask_keys: dict[int, np.ndarray] = {}
+    leaf_to_cluster: dict[int, np.ndarray] = {}
+    project: dict[tuple[int, int], np.ndarray] = {}
+    valid: dict[str, np.ndarray] = {}
+    problem: dict[tuple, np.ndarray] = {}
+    for key, arr in arrays.items():
+        if key[0] != "index":
+            continue
+        kind = key[1]
+        if kind == "mask_keys":
+            mask_keys[key[2]] = arr
+        elif kind == "leaf_to_cluster":
+            leaf_to_cluster[key[2]] = arr
+        elif kind == "project":
+            project[(key[2], key[3])] = arr
+        elif kind == "valid":
+            valid[key[2]] = arr
+        elif kind == "problem":
+            problem[(key[2], key[3])] = arr
+    index = TraceClusterIndex(
+        table=table,
+        codec=codec,
+        leaf_keys=arrays[("index", "leaf_keys")],
+        row_to_leaf=arrays[("index", "row_to_leaf")],
+        mask_keys=mask_keys,
+        leaf_to_cluster=leaf_to_cluster,
+        fold_source=fold_source,
+        fold_order=fold_order,
+    )
+    index._project_index.update(project)
+    index._valid_masks.update(valid)
+    index._problem_masks.update(problem)
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Worker payloads
+# ---------------------------------------------------------------------------
+class PickleWorkerPayload:
+    """Fallback transport: the table and index pickle with the payload.
+
+    ``restore`` is the identity — every worker deserializes (and
+    therefore copies) the full arrays, which is exactly the cost the
+    shm transport avoids.
+    """
+
+    __slots__ = ("table", "index")
+
+    transport = "pickle"
+
+    def __init__(
+        self, table: SessionTable, index: TraceClusterIndex | None
+    ) -> None:
+        self.table = table
+        self.index = index
+
+    def restore(self) -> tuple[SessionTable, TraceClusterIndex | None]:
+        return self.table, self.index
+
+    def release(self) -> None:  # symmetry with the shm payload
+        pass
+
+
+class ShmWorkerPayload:
+    """Shared-memory transport: pickles metadata, attaches arrays.
+
+    What actually pickles: the manifest (segment name + dtypes/shapes/
+    offsets), the schema and vocabularies, the codec's small arrays and
+    the index's fold tables — no session or cluster arrays. ``restore``
+    maps the segment and rebuilds zero-copy table/index objects.
+    """
+
+    __slots__ = (
+        "manifest",
+        "schema",
+        "vocabs",
+        "widths",
+        "offsets",
+        "fold_source",
+        "fold_order",
+        "has_index",
+        "_pack",
+        "_attached",
+    )
+
+    def __init__(self, table: SessionTable, index: TraceClusterIndex | None) -> None:
+        pack = SharedArrayPack.create(_export_arrays(table, index))
+        codec = index.codec if index is not None else KeyCodec.from_table(table)
+        self.manifest = pack.manifest
+        self.schema = table.schema
+        self.vocabs = [list(v) for v in table.vocabs]
+        self.widths = codec.widths
+        self.offsets = codec.offsets
+        self.fold_source = dict(index.fold_source) if index is not None else None
+        self.fold_order = list(index.fold_order) if index is not None else None
+        self.has_index = index is not None
+        self._pack = pack
+        self._attached = None
+
+    transport = "shm"
+
+    def __getstate__(self):
+        # The owner-side pack handle must not cross the process
+        # boundary: workers re-attach from the manifest alone.
+        return {
+            "manifest": self.manifest,
+            "schema": self.schema,
+            "vocabs": self.vocabs,
+            "widths": self.widths,
+            "offsets": self.offsets,
+            "fold_source": self.fold_source,
+            "fold_order": self.fold_order,
+            "has_index": self.has_index,
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._pack = None
+        self._attached = None
+
+    def restore(self) -> tuple[SessionTable, TraceClusterIndex | None]:
+        """Attach the segment and rebuild table (+ index) around it.
+
+        The attached mapping is kept on the payload (which worker state
+        retains) so the views stay valid for the worker's lifetime.
+        """
+        if self._attached is None:
+            self._attached = self.manifest.attach()
+        arrays = self._attached.arrays
+        table = _table_from_arrays(self.schema, self.vocabs, arrays)
+        codec = KeyCodec(
+            schema=self.schema,
+            vocabs=table.vocabs,
+            widths=self.widths,
+            offsets=self.offsets,
+        )
+        if not self.has_index:
+            return table, None
+        index = _index_from_arrays(
+            table, codec, self.fold_source, self.fold_order, arrays
+        )
+        return table, index
+
+    def release(self) -> None:
+        """Owner-side teardown: unmap and destroy the segment.
+
+        Call only after the worker pool has shut down (workers keep
+        their own mappings; the segment vanishes once the last mapping
+        closes). Harmless no-op on the worker side.
+        """
+        if self._attached is not None:
+            self._attached.close()
+            self._attached = None
+        if self._pack is not None:
+            self._pack.release()
+            self._pack = None
+
+
+def make_worker_payload(
+    table: SessionTable,
+    index: TraceClusterIndex | None = None,
+    transport: str | None = None,
+):
+    """Build the transport payload for a worker pool's initializer."""
+    if resolve_transport(transport) == "shm":
+        return ShmWorkerPayload(table, index)
+    return PickleWorkerPayload(table, index)
+
+
+def payload_pickled_bytes(payload) -> int:
+    """Size of what actually crosses the process boundary per worker."""
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))

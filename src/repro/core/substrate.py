@@ -1,0 +1,381 @@
+"""Config-independent analysis substrate and amortized config sweeps.
+
+The paper's robustness story re-runs the whole pipeline under varied
+knobs — the 1.5x ratio multiplier, metric thresholds, epoch lengths
+(Section 2, Section 3.1 footnote 2). Almost everything ``analyze_trace``
+computes is the *same* across those variants:
+
+**Config-independent** (the substrate — built once per trace):
+
+* the packed :class:`~repro.core.sessions.SessionTable` and its
+  :class:`~repro.core.aggregation.KeyCodec`,
+* the :class:`~repro.core.index.TraceClusterIndex` — leaf universe,
+  per-mask cluster tables, lattice projections,
+* per-epoch :class:`~repro.core.index.EpochClusterView`\\ s (active
+  cluster subsets; depend on the epoch grid, not on thresholds),
+* raw per-leaf validity/session folds (cached per metric on each view).
+
+**Config-dependent** (cheap, re-run per variant):
+
+* whole-table problem masks per (metric, thresholds) — cached on the
+  index,
+* the problem-cluster predicate (``min_sessions`` resolution, ratio
+  multiplier, significance test),
+* the critical-cluster phase-transition DP.
+
+:class:`AnalysisSubstrate` materializes the first list once;
+:func:`analyze_sweep` runs N :class:`~repro.core.pipeline.AnalysisConfig`
+variants over it, sharing one epoch view (and one session-count fold
+per metric, and one aggregate per distinct (metric, thresholds)) across
+all configs of each epoch. Outputs are bit-identical to N independent
+``analyze_trace`` calls (pinned by
+``tests/property/test_sweep_equivalence.py``); only the wall time
+changes.
+
+Parallel sweeps fan epochs out over a process pool exactly like
+``analyze_trace`` does, shipping the substrate through the same
+shared-memory transport (:mod:`repro.core.shm`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import KeyCodec
+from repro.core.critical import find_critical_clusters
+from repro.core.epoching import EpochGrid, split_into_epochs
+from repro.core.index import TraceClusterIndex
+from repro.core.pipeline import (
+    AnalysisConfig,
+    EpochAnalysis,
+    MetricAnalysis,
+    PipelineTimings,
+    TraceAnalysis,
+    _epoch_summary,
+    analyze_trace,
+    resolve_transport,
+    resolve_worker_count,
+)
+from repro.core.problems import find_problem_clusters
+from repro.core.sessions import SessionTable
+from repro.core.shm import make_worker_payload
+
+
+class AnalysisSubstrate:
+    """Everything about a trace that no :class:`AnalysisConfig` changes.
+
+    Build once with :meth:`build`, then run any number of configs over
+    it — :meth:`analyze` for one, :meth:`sweep` for many — without
+    re-packing sessions or rebuilding the cluster lattice. Epoch splits
+    are cached per grid, so sweeping thresholds variants at the same
+    epoch length re-uses the row partition too.
+    """
+
+    __slots__ = ("table", "index", "build_seconds", "_splits")
+
+    def __init__(
+        self, table: SessionTable, index: TraceClusterIndex, build_seconds: float = 0.0
+    ) -> None:
+        self.table = table
+        self.index = index
+        self.build_seconds = build_seconds
+        self._splits: dict[EpochGrid, list[np.ndarray]] = {}
+
+    @classmethod
+    def build(
+        cls, table: SessionTable, codec: KeyCodec | None = None
+    ) -> "AnalysisSubstrate":
+        """Pack the table and build the trace-global cluster index."""
+        t0 = time.perf_counter()
+        index = TraceClusterIndex.build(table, codec=codec)
+        return cls(
+            table=table, index=index, build_seconds=time.perf_counter() - t0
+        )
+
+    @property
+    def codec(self) -> KeyCodec:
+        return self.index.codec
+
+    def grid_covering(self, epoch_seconds: float) -> EpochGrid:
+        """The grid ``analyze_trace`` would derive at this epoch length."""
+        return EpochGrid.covering(self.table, epoch_seconds=epoch_seconds)
+
+    def epoch_rows(self, grid: EpochGrid) -> list[np.ndarray]:
+        """Per-epoch row index arrays for ``grid`` (cached per grid)."""
+        rows = self._splits.get(grid)
+        if rows is None:
+            _, rows = split_into_epochs(self.table, grid)
+            self._splits[grid] = rows
+        return rows
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the substrate's index arrays (incl. caches)."""
+        return self.index.memory_bytes()
+
+    def analyze(
+        self,
+        config: AnalysisConfig | None = None,
+        grid: EpochGrid | None = None,
+        workers: int | str | None = None,
+        transport: str | None = None,
+    ) -> TraceAnalysis:
+        """Run one config through :func:`analyze_trace`, reusing the index."""
+        return analyze_trace(
+            self.table,
+            config=config,
+            grid=grid,
+            workers=workers,
+            transport=transport,
+            substrate=self,
+        )
+
+    def sweep(
+        self,
+        configs: Sequence[AnalysisConfig],
+        grid: EpochGrid | None = None,
+        workers: int | str | None = None,
+        transport: str | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list[TraceAnalysis]:
+        """Run many configs, amortizing this substrate across all of them."""
+        return analyze_sweep(
+            self.table,
+            configs,
+            grid=grid,
+            substrate=self,
+            workers=workers,
+            transport=transport,
+            progress=progress,
+        )
+
+
+def _sweep_epoch(
+    index: TraceClusterIndex,
+    configs: Sequence[AnalysisConfig],
+    rows: np.ndarray,
+    epoch: int,
+) -> list[tuple[list[EpochAnalysis], PipelineTimings]]:
+    """All configs x metrics of one epoch, sharing one epoch view.
+
+    The unit of work both the serial sweep loop and the process pool
+    execute — the single code path is what guarantees serial/parallel
+    equality. One :class:`EpochClusterView` serves every config; the
+    view caches session folds per metric, and distinct (metric,
+    thresholds) pairs share one aggregate through ``agg_cache``, so a
+    thresholds variant pays only its problem-count bincounts and the
+    problem/critical detectors.
+    """
+    t0 = time.perf_counter()
+    view = index.epoch_view(rows, epoch=epoch)
+    view_share = (time.perf_counter() - t0) / len(configs)
+
+    agg_cache: dict = {}
+    out: list[tuple[list[EpochAnalysis], PipelineTimings]] = []
+    for config in configs:
+        timings = PipelineTimings(pack_s=view_share, n_epochs=1)
+        summaries: list[EpochAnalysis] = []
+        for metric in config.metrics:
+            key = (metric.name, config.thresholds)
+            t1 = time.perf_counter()
+            agg = agg_cache.get(key)
+            if agg is None:
+                agg = view.aggregate(metric, thresholds=config.thresholds)
+                agg_cache[key] = agg
+            t2 = time.perf_counter()
+            problems = find_problem_clusters(agg, config.problem_config)
+            t3 = time.perf_counter()
+            critical = find_critical_clusters(problems)
+            t4 = time.perf_counter()
+            timings.aggregate_s += t2 - t1
+            timings.problems_s += t3 - t2
+            timings.critical_s += t4 - t3
+            timings.n_units += 1
+            summaries.append(_epoch_summary(agg, problems, critical, epoch))
+        out.append((summaries, timings))
+    return out
+
+
+# Worker-process state for parallel sweeps, installed once per worker
+# by the pool initializer (mirrors pipeline._WORKER_STATE).
+_SWEEP_STATE: dict = {}
+
+
+def _sweep_worker_init(payload, groups: list[list[AnalysisConfig]]) -> None:
+    table, index = payload.restore()
+    if index is None:  # pragma: no cover - sweeps always ship the index
+        index = TraceClusterIndex.build(table)
+    _SWEEP_STATE["payload"] = payload
+    _SWEEP_STATE["index"] = index
+    _SWEEP_STATE["groups"] = groups
+
+
+def _sweep_worker_run_batch(
+    batch: list[tuple[int, int, np.ndarray]],
+) -> list[tuple[int, int, list[tuple[list[EpochAnalysis], PipelineTimings]]]]:
+    index = _SWEEP_STATE["index"]
+    groups = _SWEEP_STATE["groups"]
+    return [
+        (gi, epoch, _sweep_epoch(index, groups[gi], rows, epoch))
+        for gi, epoch, rows in batch
+    ]
+
+
+def analyze_sweep(
+    table: SessionTable,
+    configs: Iterable[AnalysisConfig],
+    grid: EpochGrid | None = None,
+    substrate: AnalysisSubstrate | None = None,
+    workers: int | str | None = None,
+    transport: str | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[TraceAnalysis]:
+    """Analyse one trace under many configs, building the substrate once.
+
+    Returns one :class:`TraceAnalysis` per config, in input order, each
+    bit-identical to ``analyze_trace(table, config=c)`` — same problem
+    clusters, same critical attribution, same grid. The sweep groups
+    configs by epoch grid (``grid`` applies to all when given,
+    otherwise each config's ``epoch_seconds`` derives its covering
+    grid) and, per epoch, shares one cluster view across every config:
+    session-count folds are computed once per metric, aggregates once
+    per distinct (metric, thresholds), and only the problem predicate
+    and the critical DP run per config.
+
+    ``workers`` fans epochs out over a process pool (default serial);
+    ``transport`` picks how the substrate reaches workers (see
+    :func:`~repro.core.pipeline.analyze_trace`). The per-config
+    ``workers``/``engine``/``transport`` fields are ignored by the
+    sweep executor — the sweep always reduces through the trace index,
+    which is output-identical to every engine. ``progress`` is called
+    with ``(done_units, total_units)`` where units are (config, epoch,
+    metric) triples, after each epoch completes across all configs.
+
+    Timing attribution: phases measured per config where possible
+    (aggregate/problems/critical); shared costs — substrate build,
+    epoch-view construction, the parent's wall clock — are divided
+    evenly across configs, so summing ``timings`` over the returned
+    analyses reproduces the sweep's true totals.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    n_workers = resolve_worker_count(0 if workers is None else workers)
+    transport_name = resolve_transport(transport)
+    wall_start = time.perf_counter()
+
+    # Group configs by epoch grid; one epoch split (and one set of
+    # views) serves every config of a group.
+    grouped: dict[EpochGrid, list[tuple[int, AnalysisConfig]]] = {}
+    for i, config in enumerate(configs):
+        g = (
+            grid
+            if grid is not None
+            else EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
+        )
+        grouped.setdefault(g, []).append((i, config))
+
+    group_grids = list(grouped)
+    group_members = [grouped[g] for g in group_grids]
+    group_rows: list[list[np.ndarray]] = []
+    need_index = False
+    for g in group_grids:
+        if substrate is not None:
+            rows_list = substrate.epoch_rows(g)
+        else:
+            _, rows_list = split_into_epochs(table, g)
+        group_rows.append(rows_list)
+        if g.n_epochs > 0:
+            need_index = True
+
+    build_share = 0.0
+    if need_index:
+        if substrate is None:
+            substrate = AnalysisSubstrate.build(table)
+        build_share = substrate.build_seconds / len(configs)
+        for config in configs:
+            substrate.index.warm_metric_masks(config.metrics, config.thresholds)
+
+    units_per_epoch = [
+        sum(len(c.metrics) for _, c in members) for members in group_members
+    ]
+    total_units = sum(
+        n * g.n_epochs for n, g in zip(units_per_epoch, group_grids)
+    )
+    done = 0
+
+    # results[gi][epoch] -> per-config-in-group (summaries, timings)
+    results: list[list] = [
+        [None] * g.n_epochs for g in group_grids
+    ]
+    flat_units = [
+        (gi, epoch, rows)
+        for gi, rows_list in enumerate(group_rows)
+        for epoch, rows in enumerate(rows_list)
+    ]
+
+    if n_workers <= 1 or len(flat_units) <= 1:
+        index = substrate.index if substrate is not None else None
+        for gi, epoch, rows in flat_units:
+            results[gi][epoch] = _sweep_epoch(
+                index, [c for _, c in group_members[gi]], rows, epoch
+            )
+            done += units_per_epoch[gi]
+            if progress is not None:
+                progress(done, total_units)
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        payload = make_worker_payload(
+            table, substrate.index, transport=transport_name
+        )
+        chunk = max(1, math.ceil(len(flat_units) / (n_workers * 4)))
+        batches = [
+            flat_units[i : i + chunk] for i in range(0, len(flat_units), chunk)
+        ]
+        groups_cfg = [[c for _, c in members] for members in group_members]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(batches)),
+                initializer=_sweep_worker_init,
+                initargs=(payload, groups_cfg),
+            ) as pool:
+                futures = [
+                    pool.submit(_sweep_worker_run_batch, batch)
+                    for batch in batches
+                ]
+                for future in as_completed(futures):
+                    for gi, epoch, epoch_out in future.result():
+                        results[gi][epoch] = epoch_out
+                        done += units_per_epoch[gi]
+                        if progress is not None:
+                            progress(done, total_units)
+        finally:
+            payload.release()
+
+    wall_share = (time.perf_counter() - wall_start) / len(configs)
+    analyses: list[TraceAnalysis | None] = [None] * len(configs)
+    for gi, (g, members) in enumerate(zip(group_grids, group_members)):
+        for ci, (orig_i, config) in enumerate(members):
+            timings = PipelineTimings(index_build_s=build_share)
+            per_epoch: list[list[EpochAnalysis]] = []
+            for epoch in range(g.n_epochs):
+                summaries, epoch_timings = results[gi][epoch][ci]
+                per_epoch.append(summaries)
+                timings.merge(epoch_timings)
+            timings.wall_s = wall_share
+            metric_analyses = {
+                metric.name: MetricAnalysis(
+                    metric=metric,
+                    grid=g,
+                    epochs=[per_epoch[e][j] for e in range(g.n_epochs)],
+                )
+                for j, metric in enumerate(config.metrics)
+            }
+            analyses[orig_i] = TraceAnalysis(
+                grid=g, config=config, metrics=metric_analyses, timings=timings
+            )
+    return analyses

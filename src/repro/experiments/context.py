@@ -8,26 +8,36 @@ times only its own computation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Sequence
 
 from repro.core.pipeline import (
     AnalysisConfig,
     MetricAnalysis,
     TraceAnalysis,
     analyze_trace,
+    resolve_engine,
     restrict_epochs,
 )
+from repro.core.substrate import AnalysisSubstrate, analyze_sweep
 from repro.trace.generator import GeneratedTrace, generate_trace
 from repro.trace.workloads import StandardWorkloads
 
 
 @dataclass
 class ExperimentContext:
-    """A trace, its ground truth, and the full pipeline analysis."""
+    """A trace, its ground truth, and the full pipeline analysis.
+
+    When the analysis ran through the indexed engine the context also
+    keeps the :class:`AnalysisSubstrate`, so follow-up config variants
+    (:meth:`sweep`, :meth:`reanalyze`) reuse the packed table and
+    cluster index instead of rebuilding them.
+    """
 
     trace: GeneratedTrace
     analysis: TraceAnalysis
+    substrate: AnalysisSubstrate | None = field(default=None, repr=False)
 
     @classmethod
     def generate(
@@ -37,20 +47,53 @@ class ExperimentContext:
         config: AnalysisConfig | None = None,
         workers: int | str | None = None,
         engine: str | None = None,
+        transport: str | None = None,
     ) -> "ExperimentContext":
         """Generate a workload and analyze it.
 
-        ``workers`` selects the epoch-parallel executor and ``engine``
-        the reduction strategy (see
-        :func:`repro.core.pipeline.analyze_trace`); both change wall
-        time only, never results.
+        ``workers`` selects the epoch-parallel executor, ``engine`` the
+        reduction strategy and ``transport`` the worker hand-off (see
+        :func:`repro.core.pipeline.analyze_trace`); all three change
+        wall time only, never results.
         """
         trace = generate_trace(StandardWorkloads.by_name(workload, seed=seed))
+        config = config or AnalysisConfig()
+        substrate = None
+        if resolve_engine(engine if engine is not None else config.engine) == "indexed":
+            substrate = AnalysisSubstrate.build(trace.table)
         analysis = analyze_trace(
             trace.table, config=config, grid=trace.grid, workers=workers,
-            engine=engine,
+            engine=engine, transport=transport, substrate=substrate,
         )
-        return cls(trace=trace, analysis=analysis)
+        return cls(trace=trace, analysis=analysis, substrate=substrate)
+
+    def sweep(
+        self,
+        configs: Sequence[AnalysisConfig],
+        workers: int | str | None = None,
+        transport: str | None = None,
+    ) -> list[TraceAnalysis]:
+        """Analyze config variants, reusing this context's substrate.
+
+        Results are bit-identical to independent ``analyze_trace``
+        calls per config (each at its own ``epoch_seconds``).
+        """
+        return analyze_sweep(
+            self.trace.table,
+            configs,
+            substrate=self.substrate,
+            workers=workers,
+            transport=transport,
+        )
+
+    def reanalyze(
+        self,
+        config: AnalysisConfig,
+        workers: int | str | None = None,
+        transport: str | None = None,
+    ) -> TraceAnalysis:
+        """One config variant over the cached substrate."""
+        return self.sweep([config], workers=workers, transport=transport)[0]
 
     @property
     def n_epochs(self) -> int:

@@ -136,6 +136,16 @@ class TestTopkCurve:
         curve = topk_improvement_curve(simple_ma, by="coverage")
         assert curve.at_fraction(1.0) == pytest.approx(curve.improvement[-1])
 
+    def test_at_fraction_above_tabulated_grid(self, simple_ma):
+        """Fractions beyond the grid clamp to the last tabulated point."""
+        curve = topk_improvement_curve(
+            simple_ma, by="coverage", fractions=[0.25, 0.5, 0.75]
+        )
+        for fraction in (0.8, 1.0, 2.5):
+            assert curve.at_fraction(fraction) == pytest.approx(
+                curve.improvement[-1]
+            )
+
     def test_custom_fractions(self, simple_ma):
         curve = topk_improvement_curve(
             simple_ma, by="coverage", fractions=[0.5, 1.0]

@@ -1,5 +1,7 @@
 """Tests for the four quality metrics and their thresholds."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -10,7 +12,10 @@ from repro.core.metrics import (
     JOIN_FAILURE,
     JOIN_TIME,
     MetricThresholds,
+    QualityMetric,
     metric_by_name,
+    register_metric,
+    unregister_metric,
 )
 from repro.core.sessions import SessionTable
 from tests.conftest import make_session
@@ -135,3 +140,86 @@ class TestLookup:
     def test_all_metrics_order(self):
         names = [m.name for m in ALL_METRICS]
         assert names == ["buffering_ratio", "bitrate", "join_time", "join_failure"]
+
+
+def make_custom_metric(name: str = "long_buffering") -> QualityMetric:
+    return QualityMetric(
+        name=name,
+        paper_name=f"{name}_paper",
+        higher_is_worse=True,
+        _values=lambda t: t.buffering_s,
+        _valid=lambda t: ~t.join_failed,
+        _problem=lambda t, th: t.buffering_s > 5.0,
+    )
+
+
+class TestRegistry:
+    def test_builtin_metrics_pickle_by_name(self):
+        for metric in ALL_METRICS:
+            clone = pickle.loads(pickle.dumps(metric))
+            assert clone is metric
+
+    def test_unregistered_metric_refuses_to_pickle(self):
+        metric = make_custom_metric("unregistered_metric")
+        with pytest.raises(TypeError, match="register_metric"):
+            pickle.dumps(metric)
+
+    def test_registered_metric_pickles_and_rehydrates(self):
+        metric = register_metric(make_custom_metric())
+        try:
+            clone = pickle.loads(pickle.dumps(metric))
+            assert clone is metric
+            assert metric_by_name("long_buffering") is metric
+            assert metric_by_name("long_buffering_paper") is metric
+        finally:
+            unregister_metric("long_buffering")
+
+    def test_register_refuses_duplicate_without_overwrite(self):
+        first = register_metric(make_custom_metric())
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_metric(make_custom_metric())
+            replacement = register_metric(make_custom_metric(), overwrite=True)
+            assert metric_by_name("long_buffering") is replacement
+            assert replacement is not first
+        finally:
+            unregister_metric("long_buffering")
+
+    def test_register_never_shadows_builtins(self):
+        clash = make_custom_metric("buffering_ratio")
+        with pytest.raises(ValueError, match="built-in"):
+            register_metric(clash, overwrite=True)
+
+    def test_unregister_builtin_rejected(self):
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_metric("join_failure")
+
+    def test_unregister_absent_is_noop(self):
+        unregister_metric("never_registered")
+
+    def test_unregister_removes_both_aliases(self):
+        register_metric(make_custom_metric())
+        unregister_metric("long_buffering")
+        with pytest.raises(KeyError):
+            metric_by_name("long_buffering")
+        with pytest.raises(KeyError):
+            metric_by_name("long_buffering_paper")
+
+    def test_registered_metric_runs_with_workers(self, mixed_table):
+        """The whole point: custom metrics survive the worker fan-out."""
+        from repro.core.pipeline import AnalysisConfig, analyze_trace
+
+        metric = register_metric(make_custom_metric())
+        try:
+            config = AnalysisConfig(metrics=(metric,))
+            serial = analyze_trace(mixed_table, config=config)
+            parallel = analyze_trace(mixed_table, config=config, workers=2)
+            assert serial.metric_names == parallel.metric_names
+            want = serial[metric.name]
+            got = parallel[metric.name]
+            assert len(want.epochs) == len(got.epochs)
+            for a, b in zip(want.epochs, got.epochs):
+                assert a.problem_clusters == b.problem_clusters
+                assert a.critical_clusters == b.critical_clusters
+        finally:
+            unregister_metric("long_buffering")
