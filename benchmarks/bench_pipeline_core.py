@@ -29,12 +29,14 @@ from repro.core.index import TraceClusterIndex
 from repro.core.metrics import ALL_METRICS, JOIN_FAILURE, MetricThresholds
 from repro.core.pipeline import AnalysisConfig, analyze_trace
 from repro.core.problems import find_problem_clusters
+from repro.core.sessions import SessionTable
 from repro.core.shm import (
     make_worker_payload,
     payload_pickled_bytes,
     shared_memory_available,
 )
-from repro.core.substrate import analyze_sweep
+from repro.core.substrate import AnalysisSubstrate, StreamingSubstrate, analyze_sweep
+from repro.io.snapshot import load_substrate, save_substrate
 
 
 @pytest.fixture(scope="module")
@@ -145,6 +147,12 @@ def bench_pipeline_engine_json(week_context, results_dir):
     * ``worker_transport`` — what one worker's hand-off costs under
       each transport: pickled payload bytes and creation/attach times
       for the pickle path vs the shared-memory path.
+    * ``streaming`` — the online-detection cost model: per-epoch
+      append+detect through one incrementally maintained
+      ``StreamingSubstrate`` vs rebuilding the cluster index from
+      scratch every epoch (identical per-epoch problem clusters
+      asserted), and mmap-loading a substrate snapshot vs a cold
+      pack+index build.
 
     The parallel comparison is only meaningful with more than one CPU;
     on a 1-CPU box the recorded "speedup" measures pure process-pool
@@ -246,6 +254,73 @@ def bench_pipeline_engine_json(week_context, results_dir):
             }
         )
 
+    # --- streaming: amortized append+detect vs per-epoch rebuild ------
+    # Full trace, not just the first day: the rebuild strawman's cost
+    # grows with the prefix length, which is exactly the effect the
+    # incremental index removes for a long-running online detector.
+    _, per_epoch_rows = split_into_epochs(table, week_context.analysis.grid)
+    epoch_chunks = [table.select(rows) for rows in per_epoch_rows]
+    thresholds = MetricThresholds()
+
+    def detect(view):
+        agg = view.aggregate(JOIN_FAILURE, thresholds=thresholds)
+        problems = find_problem_clusters(agg)
+        find_critical_clusters(problems)
+        return {m: rows.tolist() for m, rows in problems.problem_rows.items()}
+
+    stream = StreamingSubstrate(
+        schema=table.schema,
+        epoch_seconds=week_context.analysis.grid.epoch_seconds,
+    )
+    stream.index.warm_metric_masks((JOIN_FAILURE,), thresholds)
+    start = time.perf_counter()
+    streamed_problems = []
+    for epoch, chunk in enumerate(epoch_chunks):
+        new_rows = stream.append(chunk)
+        streamed_problems.append(
+            detect(stream.epoch_view(new_rows, epoch=epoch))
+        )
+    streaming_s = time.perf_counter() - start
+
+    prefix = SessionTable.empty(table.schema)
+    start = time.perf_counter()
+    rebuilt_problems = []
+    for epoch, chunk in enumerate(epoch_chunks):
+        new_rows = prefix.extend(chunk)
+        rebuilt = TraceClusterIndex.build(prefix)
+        rebuilt_problems.append(
+            detect(rebuilt.epoch_view(new_rows, epoch=epoch))
+        )
+    rebuild_s = time.perf_counter() - start
+
+    for epoch, (a, b) in enumerate(zip(streamed_problems, rebuilt_problems)):
+        assert a == b, epoch
+    append_detect_speedup = rebuild_s / streaming_s
+    if workload == "week":
+        assert append_detect_speedup >= 3.0, append_detect_speedup
+
+    # --- streaming: snapshot load vs cold pack+index build ------------
+    cold_build_s = math.inf
+    for _ in range(2):
+        start = time.perf_counter()
+        substrate = AnalysisSubstrate.build(table)
+        cold_build_s = min(cold_build_s, time.perf_counter() - start)
+    snapshot_path = results_dir / "BENCH_substrate.sub.tmp"
+    try:
+        save_substrate(substrate, snapshot_path)
+        snapshot_bytes = snapshot_path.stat().st_size
+        load_s = math.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            loaded = load_substrate(snapshot_path)
+            load_s = min(load_s, time.perf_counter() - start)
+        assert len(loaded.table) == len(table)
+    finally:
+        snapshot_path.unlink(missing_ok=True)
+    snapshot_speedup = cold_build_s / load_s
+    if workload == "week":
+        assert snapshot_speedup >= 5.0, snapshot_speedup
+
     payload = {
         "workload": f"{workload} (first 24 h)",
         "sessions": len(day),
@@ -287,6 +362,19 @@ def bench_pipeline_engine_json(week_context, results_dir):
             "identical_outputs": True,
         },
         "worker_transport": worker_transport,
+        "streaming": {
+            "workload": f"{workload} (full trace)",
+            "sessions": len(table),
+            "epochs": len(epoch_chunks),
+            "per_epoch_rebuild_seconds": rebuild_s,
+            "streaming_append_detect_seconds": streaming_s,
+            "append_detect_speedup": append_detect_speedup,
+            "cold_build_seconds": cold_build_s,
+            "snapshot_load_seconds": load_s,
+            "snapshot_load_speedup": snapshot_speedup,
+            "snapshot_bytes": snapshot_bytes,
+            "identical_outputs": True,
+        },
     }
     path = results_dir / "BENCH_pipeline.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -296,4 +384,6 @@ def bench_pipeline_engine_json(week_context, results_dir):
           f"({payload['speedup']:.2f}x on {n_cpus} CPUs), "
           f"{payload['indexed_sessions_per_sec']:.0f} sess/s indexed "
           f"({payload['indexed_speedup_vs_serial']:.2f}x vs legacy serial), "
-          f"{len(configs)}-config sweep {sweep_speedup:.2f}x vs independent runs")
+          f"{len(configs)}-config sweep {sweep_speedup:.2f}x vs independent runs, "
+          f"streamed append+detect {append_detect_speedup:.1f}x vs per-epoch "
+          f"rebuild, snapshot load {snapshot_speedup:.1f}x vs cold build")

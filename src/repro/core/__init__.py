@@ -66,7 +66,11 @@ from repro.core.shm import (
     resolve_transport,
     shared_memory_available,
 )
-from repro.core.substrate import AnalysisSubstrate, analyze_sweep
+from repro.core.substrate import (
+    AnalysisSubstrate,
+    StreamingSubstrate,
+    analyze_sweep,
+)
 from repro.core.online import AlertEvent, ClusterAlert, OnlineDetector
 from repro.core.overlap import jaccard_similarity, top_k_critical_overlap
 from repro.core.hhh import HHHConfig, find_hierarchical_heavy_hitters
@@ -117,6 +121,7 @@ __all__ = [
     "resolve_engine",
     "resolve_worker_count",
     "AnalysisSubstrate",
+    "StreamingSubstrate",
     "analyze_sweep",
     "SharedArrayPack",
     "make_worker_payload",

@@ -135,6 +135,17 @@ class KeyCodec:
             ]
         return self._code_maps
 
+    def note_vocab_growth(self) -> None:
+        """Invalidate label caches after the shared vocabularies grew.
+
+        ``vocabs`` is shared by reference with the source table, so a
+        :meth:`SessionTable.extend` that introduces new labels is
+        visible here automatically — but the cached reverse maps must
+        be rebuilt. Field masks depend only on bit widths; a width
+        change invalidates the codec entirely (the index rebuilds).
+        """
+        self._code_maps = None
+
     def encode_key(self, key: ClusterKey) -> tuple[int, int] | None:
         """Encode a :class:`ClusterKey` to its ``(mask, packed)`` pair.
 

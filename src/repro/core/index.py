@@ -55,7 +55,49 @@ import numpy as np
 from repro.core.aggregation import EpochAggregate, KeyCodec, MaskAggregate
 from repro.core.attributes import popcount
 from repro.core.metrics import MetricThresholds, QualityMetric
-from repro.core.sessions import SessionTable
+from repro.core.sessions import Session, SessionTable, grow_append
+
+
+def _fold_sources(
+    mask_keys: dict[int, np.ndarray], n_attrs: int, full: int
+) -> dict[int, int]:
+    """Each non-leaf mask folds its counts down from one finer mask
+    (one extra attribute); pick the finer mask with the fewest clusters
+    so every fold touches as little data as possible."""
+    fold_source: dict[int, int] = {}
+    for m in range(1, full):
+        best = -1
+        for i in range(n_attrs):
+            finer = m | (1 << i)
+            if finer == m:
+                continue
+            if best < 0 or mask_keys[finer].size < mask_keys[best].size:
+                best = finer
+        fold_source[m] = best
+    return fold_source
+
+
+def _merge_sorted_unique(
+    old: np.ndarray, fresh: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge two disjoint sorted unique key arrays.
+
+    Returns ``(merged, old_to_new, fresh_to_new)`` where the position
+    maps satisfy ``merged[old_to_new] == old`` and
+    ``merged[fresh_to_new] == fresh``. ``merged`` is exactly what
+    ``np.unique`` over the concatenation would produce, so incremental
+    maintenance stays bit-identical to a from-scratch build.
+    """
+    old_to_new = np.arange(old.size, dtype=np.int64) + np.searchsorted(
+        fresh, old
+    )
+    fresh_to_new = np.arange(fresh.size, dtype=np.int64) + np.searchsorted(
+        old, fresh
+    )
+    merged = np.empty(old.size + fresh.size, dtype=old.dtype)
+    merged[old_to_new] = old
+    merged[fresh_to_new] = fresh
+    return merged, old_to_new, fresh_to_new
 
 
 class TraceClusterIndex:
@@ -80,6 +122,8 @@ class TraceClusterIndex:
         "_project_index",
         "_valid_masks",
         "_problem_masks",
+        "_metric_objs",
+        "_grow",
     )
 
     def __init__(
@@ -106,6 +150,13 @@ class TraceClusterIndex:
         self._problem_masks: dict[
             tuple[str, MetricThresholds], np.ndarray
         ] = {}
+        # Metric objects behind the cached masks: append() needs them to
+        # extend the masks chunk-wise. Entries without a tracked object
+        # (e.g. masks restored from a snapshot) are dropped on append
+        # and lazily recomputed.
+        self._metric_objs: dict[str, QualityMetric] = {}
+        # Doubling buffers for append-grown arrays (row_to_leaf, masks).
+        self._grow: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -135,20 +186,8 @@ class TraceClusterIndex:
             mask_keys[m] = keys
             leaf_to_cluster[m] = inverse.astype(np.int32, copy=False)
 
-        # Each non-leaf mask folds its counts down from one finer mask
-        # (one extra attribute); pick the finer mask with the fewest
-        # clusters so every fold touches as little data as possible.
         n_attrs = codec.n_attrs
-        fold_source: dict[int, int] = {}
-        for m in range(1, full):
-            best = -1
-            for i in range(n_attrs):
-                finer = m | (1 << i)
-                if finer == m:
-                    continue
-                if best < 0 or mask_keys[finer].size < mask_keys[best].size:
-                    best = finer
-            fold_source[m] = best
+        fold_source = _fold_sources(mask_keys, n_attrs, full)
         fold_order = sorted(range(1, full), key=popcount, reverse=True)
 
         index = cls(
@@ -170,6 +209,203 @@ class TraceClusterIndex:
                 if finer != m:
                     index.project_index(finer, m)
         return index
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def append(self, chunk: "SessionTable | Iterable[Session]") -> np.ndarray:
+        """Fold a chunk of new sessions into the table and the index.
+
+        Extends the table in place (:meth:`SessionTable.extend`), then
+        updates the leaf universe, every per-mask cluster table and
+        leaf -> cluster inverse, the cached lattice projection indices,
+        the fold sources, and the warmed metric masks — without
+        rebuilding from scratch. The result is bit-identical to
+        ``TraceClusterIndex.build`` over the concatenated table (pinned
+        by ``tests/property/test_streaming_equivalence.py``).
+
+        Cost: O(chunk rows) in the steady state where the chunk
+        introduces no unseen attribute combination; O(cluster tables)
+        when fresh leaves must be merged in (sorted-merge position
+        maps, no re-packing of old rows); and a full key rebuild only
+        when a vocabulary crosses a power-of-two size boundary and
+        changes the packed-key bit layout — which happens O(log V)
+        times over a stream's lifetime. Array storage grows by
+        doubling, so repeated epoch-sized appends are amortized O(total
+        appended rows).
+
+        Outstanding :class:`EpochClusterView` objects reference the
+        pre-append arrays and must not be used after an append; build
+        views per epoch (as :class:`~repro.core.substrate.StreamingSubstrate`
+        and the batch engine both do).
+
+        Returns the appended row indices.
+        """
+        rows = self.table.extend(chunk)
+        if rows.size == 0:
+            return rows
+        self._extend_metric_masks(rows)
+        if not np.array_equal(self.table.bit_widths(), self.codec.widths):
+            self._rebuild_keys()
+        else:
+            self.codec.note_vocab_growth()
+            self._append_keys(rows)
+        return rows
+
+    def _extend_metric_masks(self, rows: np.ndarray) -> None:
+        """Extend cached metric masks over the appended rows.
+
+        Every registered metric's validity/problem predicate is
+        row-elementwise, so evaluating it on the chunk alone equals the
+        corresponding slice of a whole-table evaluation. Cached masks
+        whose metric object is unknown (restored from a snapshot) are
+        dropped and recomputed lazily on next use.
+        """
+        if not self._valid_masks and not self._problem_masks:
+            return
+        chunk = self.table.select(rows)
+        for name in list(self._valid_masks):
+            metric = self._metric_objs.get(name)
+            if metric is None:
+                del self._valid_masks[name]
+                continue
+            self._valid_masks[name] = grow_append(
+                self._grow,
+                ("valid", name),
+                self._valid_masks[name],
+                metric.valid_mask(chunk),
+            )
+        for key in list(self._problem_masks):
+            name, thresholds = key
+            metric = self._metric_objs.get(name)
+            if metric is None:
+                del self._problem_masks[key]
+                continue
+            self._problem_masks[key] = grow_append(
+                self._grow,
+                ("problem",) + key,
+                self._problem_masks[key],
+                metric.problem_mask(chunk, thresholds),
+            )
+
+    def _rebuild_keys(self) -> None:
+        """Rebuild the key-side structure after a bit-width change.
+
+        A vocabulary crossed a power-of-two boundary, so every packed
+        key changes layout: leaf keys, cluster tables and projections
+        must be recomputed. The (already extended) metric-mask caches
+        are key-independent and carry over unchanged.
+        """
+        fresh = TraceClusterIndex.build(self.table)
+        self.codec = fresh.codec
+        self.leaf_keys = fresh.leaf_keys
+        self.row_to_leaf = fresh.row_to_leaf
+        self.mask_keys = fresh.mask_keys
+        self.leaf_to_cluster = fresh.leaf_to_cluster
+        self.fold_source = fresh.fold_source
+        self.fold_order = fresh.fold_order
+        self._project_index = fresh._project_index
+
+    def _append_keys(self, rows: np.ndarray) -> None:
+        """Merge the appended rows' packed keys into the lattice."""
+        codec = self.codec
+        field_masks = codec.field_masks()
+        full = codec.full_mask
+        packed = codec.pack(self.table.codes[rows])
+        chunk_keys, chunk_inv = np.unique(packed, return_inverse=True)
+
+        n_old = self.leaf_keys.size
+        pos = np.searchsorted(self.leaf_keys, chunk_keys)
+        if n_old:
+            known = (pos < n_old) & (
+                self.leaf_keys[np.minimum(pos, n_old - 1)] == chunk_keys
+            )
+        else:
+            known = np.zeros(chunk_keys.size, dtype=bool)
+        fresh = chunk_keys[~known]
+
+        if fresh.size == 0:
+            # Steady state: every leaf combination has been seen before.
+            # Nothing structural changes — one gather appends the rows.
+            self.row_to_leaf = grow_append(
+                self._grow, "row_to_leaf", self.row_to_leaf, pos[chunk_inv]
+            )
+            return
+
+        merged, old_to_new, fresh_to_new = _merge_sorted_unique(
+            self.leaf_keys, fresh
+        )
+
+        remapped = old_to_new[self.row_to_leaf].astype(np.int32, copy=False)
+        chunk_leaf = np.searchsorted(merged, chunk_keys)[chunk_inv]
+        self.row_to_leaf = grow_append(
+            self._grow, "row_to_leaf", remapped, chunk_leaf
+        )
+
+        # Per-mask cluster tables: merge the fresh leaves' projections,
+        # remap old cluster ids, and extend the leaf -> cluster inverses
+        # over the merged leaf universe.
+        cluster_old_to_new: dict[int, np.ndarray | None] = {full: old_to_new}
+        cluster_fresh: dict[int, tuple[np.ndarray, np.ndarray]] = {
+            full: (fresh, fresh_to_new)
+        }
+        for m in range(1, full):
+            cand = np.unique(fresh & field_masks[m])
+            keys_m = self.mask_keys[m]
+            pos_m = np.searchsorted(keys_m, cand)
+            if keys_m.size:
+                known_m = (pos_m < keys_m.size) & (
+                    keys_m[np.minimum(pos_m, keys_m.size - 1)] == cand
+                )
+            else:
+                known_m = np.zeros(cand.size, dtype=bool)
+            fresh_m = cand[~known_m]
+            old_l2c = self.leaf_to_cluster[m]
+            if fresh_m.size:
+                merged_m, old2new_m, fresh2new_m = _merge_sorted_unique(
+                    keys_m, fresh_m
+                )
+                self.mask_keys[m] = merged_m
+                old_l2c = old2new_m[old_l2c]
+                cluster_old_to_new[m] = old2new_m
+            else:
+                merged_m = keys_m
+                cluster_old_to_new[m] = None
+                fresh2new_m = np.empty(0, dtype=np.int64)
+            cluster_fresh[m] = (fresh_m, fresh2new_m)
+            l2c = np.empty(merged.size, dtype=np.int32)
+            l2c[old_to_new] = old_l2c
+            l2c[fresh_to_new] = np.searchsorted(merged_m, fresh & field_masks[m])
+            self.leaf_to_cluster[m] = l2c
+
+        # Full mask: every leaf is its own cluster (shared array kept).
+        self.leaf_keys = merged
+        self.mask_keys[full] = merged
+        self.leaf_to_cluster[full] = np.arange(merged.size, dtype=np.int32)
+
+        # Patch the cached projection indices instead of recomputing:
+        # old fine clusters keep their (possibly renumbered) targets;
+        # only the fresh fine clusters pay a searchsorted.
+        for (fine, coarse), idx in self._project_index.items():
+            fine_o2n = cluster_old_to_new[fine]
+            coarse_o2n = cluster_old_to_new[coarse]
+            fresh_f, fresh_f_pos = cluster_fresh[fine]
+            if fine_o2n is None and coarse_o2n is None:
+                continue
+            out = np.empty(self.mask_keys[fine].size, dtype=np.int32)
+            old_vals = coarse_o2n[idx] if coarse_o2n is not None else idx
+            if fine_o2n is None:
+                out[:] = old_vals
+            else:
+                out[fine_o2n] = old_vals
+                out[fresh_f_pos] = np.searchsorted(
+                    self.mask_keys[coarse], fresh_f & field_masks[coarse]
+                )
+            self._project_index[(fine, coarse)] = out
+
+        self.fold_source = _fold_sources(
+            self.mask_keys, codec.n_attrs, full
+        )
 
     # ------------------------------------------------------------------
     # Precomputed structure
@@ -216,6 +452,7 @@ class TraceClusterIndex:
         if cached is None:
             cached = metric.valid_mask(self.table)
             self._valid_masks[metric.name] = cached
+        self._metric_objs[metric.name] = metric
         return cached
 
     def problem_mask(
@@ -228,6 +465,7 @@ class TraceClusterIndex:
         if cached is None:
             cached = metric.problem_mask(self.table, thresholds)
             self._problem_masks[key] = cached
+        self._metric_objs[metric.name] = metric
         return cached
 
     def metric_masks(

@@ -37,6 +37,7 @@ from repro.core.index import TraceClusterIndex
 from repro.core.metrics import MetricThresholds, QualityMetric
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
+from repro.core.substrate import StreamingSubstrate
 
 
 @dataclass
@@ -106,12 +107,18 @@ class OnlineDetector:
         Structural causes hover around the significance threshold and
         would otherwise flap raise/clear every other hour.
 
-        ``use_cluster_index`` enables an adaptive fast path: when the
-        detector sees the *same* table object on consecutive epochs
-        (the common replay pattern — one table, per-epoch row slices),
-        it builds a :class:`TraceClusterIndex` once and reduces every
-        later epoch through it. Detection output is identical either
-        way."""
+        ``use_cluster_index`` enables the streamed fast path: every
+        observed epoch is appended to an internal
+        :class:`~repro.core.substrate.StreamingSubstrate` — the table
+        and the :class:`TraceClusterIndex` grow incrementally — and the
+        epoch is reduced through the same
+        :class:`~repro.core.index.EpochClusterView` path the batch
+        indexed engine uses. Any schema-compatible table keeps the fast
+        path (equivalent tables from the same collector, a fresh table
+        object per epoch, per-epoch slices of one big table — all
+        stream); only a schema change falls back to the legacy
+        per-epoch path for that observation. Detection output is
+        identical either way."""
         if confirm_after < 1:
             raise ValueError("confirm_after must be >= 1")
         if clear_after < 1:
@@ -126,31 +133,35 @@ class OnlineDetector:
         self.open_alerts: dict[ClusterKey, ClusterAlert] = {}
         self.closed_alerts: list[ClusterAlert] = []
         self.history: list[EpochObservation] = []
-        self._last_table: SessionTable | None = None
-        self._index: TraceClusterIndex | None = None
+        self._stream: StreamingSubstrate | None = None
 
-    def _resolve_index(
-        self, table: SessionTable, cluster_index: TraceClusterIndex | None
-    ) -> TraceClusterIndex | None:
-        """Pick the index for this epoch (explicit wins; adaptive else).
+    @property
+    def substrate(self) -> StreamingSubstrate | None:
+        """The incrementally maintained substrate behind the fast path
+        (``None`` until the first streamed observation). Exposes the
+        full batch path — ``detector.substrate.analyze(...)`` re-runs
+        any config over everything observed so far."""
+        return self._stream
 
-        The adaptive path builds the index on the *second* consecutive
-        observation of one table object — a single build amortised over
-        the remaining epochs — and drops it when the table changes
-        (slices from different collectors have different vocabularies).
+    def _resolve_stream(self, table: SessionTable) -> StreamingSubstrate | None:
+        """Streamed fast path: schema-compatible tables feed one
+        incrementally maintained index.
+
+        Compatibility is structural — same attribute schema — not
+        object identity: a fresh but equivalent table every epoch (the
+        case a real collector produces) streams through the same index,
+        with vocabularies merged on append. A table with a different
+        schema falls back to the legacy per-epoch path (decoded
+        identities still interoperate).
         """
-        if cluster_index is not None:
-            return cluster_index
         if not self.use_cluster_index:
             return None
-        if self._last_table is not table:
-            self._last_table = table
-            self._index = None
+        if self._stream is None:
+            self._stream = StreamingSubstrate(schema=table.schema)
+            self._stream.index.warm_metric_masks([self.metric], self.thresholds)
+        elif self._stream.table.schema.names != table.schema.names:
             return None
-        if self._index is None:
-            self._index = TraceClusterIndex.build(table)
-            self._index.warm_metric_masks([self.metric], self.thresholds)
-        return self._index
+        return self._stream
 
     def observe_epoch(
         self,
@@ -164,15 +175,24 @@ class OnlineDetector:
         epoch = self.epochs_observed
         if rows is None:
             rows = np.arange(len(table))
-        idx = self._resolve_index(table, cluster_index)
-        agg = aggregate_epoch(
-            table,
-            rows,
-            self.metric,
-            epoch=epoch,
-            thresholds=self.thresholds,
-            cluster_index=idx,
-        )
+        stream = None if cluster_index is not None else self._resolve_stream(table)
+        if cluster_index is not None:
+            agg = aggregate_epoch(
+                table,
+                rows,
+                self.metric,
+                epoch=epoch,
+                thresholds=self.thresholds,
+                cluster_index=cluster_index,
+            )
+        elif stream is not None:
+            new_rows = stream.append(table.select(rows))
+            view = stream.epoch_view(new_rows, epoch=epoch)
+            agg = view.aggregate(self.metric, thresholds=self.thresholds)
+        else:
+            agg = aggregate_epoch(
+                table, rows, self.metric, epoch=epoch, thresholds=self.thresholds
+            )
         problems = find_problem_clusters(agg, self.problem_config)
         critical = find_critical_clusters(problems)
         decoded = critical.decoded()

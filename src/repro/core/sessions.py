@@ -15,7 +15,7 @@ measurements (Section 2). Two representations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -69,13 +69,72 @@ class Session:
         return self.buffering_s / self.duration_s
 
 
+#: Quality-measurement columns, in storage order (codes is separate
+#: because it is two-dimensional).
+METRIC_COLUMNS = (
+    "start_time",
+    "duration_s",
+    "buffering_s",
+    "join_time_s",
+    "bitrate_kbps",
+    "join_failed",
+)
+
+
+def _grow_capacity(needed: int) -> int:
+    """Next power-of-two capacity covering ``needed`` rows."""
+    cap = 8
+    while cap < needed:
+        cap <<= 1
+    return cap
+
+
+def grow_append(
+    buffers: dict, key: "Hashable", current: np.ndarray, part: np.ndarray
+) -> np.ndarray:
+    """Append ``part`` behind ``current`` with an amortized doubling buffer.
+
+    ``buffers[key]`` holds the over-allocated backing array; the return
+    value is the exact-length view to publish. When ``current`` already
+    fronts the buffer (the steady-state append pattern) only ``part``
+    is copied; when it does not — first append, dtype change, or the
+    caller rewrote the prefix (e.g. a leaf-id remap) — the prefix is
+    (re)copied into the buffer. Works for read-only inputs (shm or
+    mmap-backed views): the buffer is always freshly owned storage.
+    """
+    n, m = current.shape[0], part.shape[0]
+    buf = buffers.get(key)
+    if (
+        buf is None
+        or buf.shape[0] < n + m
+        or buf.dtype != current.dtype
+        or buf.shape[1:] != current.shape[1:]
+    ):
+        buf = np.empty(
+            (_grow_capacity(n + m),) + current.shape[1:], dtype=current.dtype
+        )
+        buffers[key] = buf
+        buf[:n] = current
+    elif current.base is not buf:
+        buf[:n] = current
+    buf[n : n + m] = part
+    return buf[: n + m]
+
+
 class SessionTable:
     """Columnar store of sessions.
 
     Attributes are stored as ``int32`` codes into per-attribute
     vocabularies (code -> label). Quality measurements are stored as
-    flat numpy columns. The table is append-only through the
-    constructors; analysis code treats it as immutable.
+    flat numpy columns. The table is append-only: rows arrive through
+    the constructors or :meth:`extend`; existing rows and codes never
+    change, so analysis code may treat any prefix it has seen as
+    immutable.
+
+    :meth:`extend` appends rows in place with grow-by-doubling backing
+    buffers: the public column attributes are exact-length views of
+    over-allocated arrays, so N single-chunk appends cost O(total
+    rows) copying overall, not O(N * total rows).
     """
 
     __slots__ = (
@@ -90,6 +149,7 @@ class SessionTable:
         "join_failed",
         "_decoders",
         "_encoders",
+        "_buffers",
     )
 
     def __init__(
@@ -138,6 +198,7 @@ class SessionTable:
         self.join_failed = columns["join_failed"]
         self._decoders = None
         self._encoders: list[dict[str, int]] | None = None
+        self._buffers: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -238,6 +299,78 @@ class SessionTable:
             bitrate_kbps=np.concatenate([t.bitrate_kbps for t in tables]),
             join_failed=np.concatenate([t.join_failed for t in tables]),
         )
+
+    # ------------------------------------------------------------------
+    # In-place append
+    # ------------------------------------------------------------------
+    def merge_codes(self, chunk: "SessionTable") -> np.ndarray:
+        """Recode a chunk's attribute codes into this table's vocabularies.
+
+        New labels are appended to this table's vocabularies in the
+        chunk's code order (first appearance), exactly as
+        :meth:`concat` would assign them — so ``extend`` stays
+        bit-identical to building the concatenated table from scratch.
+        Returns the chunk's ``(n, n_attrs)`` code matrix in this
+        table's code space.
+        """
+        if chunk.schema.names != self.schema.names:
+            raise ValueError(
+                f"cannot merge schema {chunk.schema.names} into "
+                f"{self.schema.names}"
+            )
+        if self._encoders is None:
+            self._encoders = [
+                {lab: code for code, lab in enumerate(vocab)}
+                for vocab in self.vocabs
+            ]
+        new_codes = chunk.codes.copy()
+        for i in range(self.n_attrs):
+            vocab, encoder = self.vocabs[i], self._encoders[i]
+            mapping = np.empty(max(len(chunk.vocabs[i]), 1), dtype=np.int32)
+            for old_code, label in enumerate(chunk.vocabs[i]):
+                code = encoder.get(label)
+                if code is None:
+                    code = len(vocab)
+                    encoder[label] = code
+                    vocab.append(label)
+                mapping[old_code] = code
+            if len(chunk.vocabs[i]):
+                new_codes[:, i] = mapping[chunk.codes[:, i]]
+        return new_codes
+
+    def _append_column(self, name: str, current: np.ndarray, part: np.ndarray) -> np.ndarray:
+        """Append ``part`` behind ``current`` using a doubling buffer."""
+        if self._buffers is None:
+            self._buffers = {}
+        return grow_append(self._buffers, name, current, part)
+
+    def extend(self, chunk: "SessionTable | Iterable[Session]") -> np.ndarray:
+        """Append a chunk of sessions in place; returns the new row indices.
+
+        Vocabularies are merged exactly as :meth:`concat` merges them,
+        so after ``t.extend(chunk)`` the table equals
+        ``SessionTable.concat([t_before, chunk])`` bit for bit (codes,
+        vocabularies and columns). Column storage grows by doubling, so
+        repeated epoch-sized appends are amortized O(appended rows).
+
+        Existing rows never move and codes never change — readers
+        holding row indices (epoch splits, a
+        :class:`~repro.core.index.TraceClusterIndex`) stay valid, but
+        column *array objects* are replaced; always re-read columns
+        through the table attribute after an extend.
+        """
+        if not isinstance(chunk, SessionTable):
+            chunk = SessionTable.from_sessions(chunk, schema=self.schema)
+        old_n = len(self)
+        new_codes = self.merge_codes(chunk)
+        self.codes = self._append_column("codes", self.codes, new_codes)
+        for name in METRIC_COLUMNS:
+            setattr(
+                self,
+                name,
+                self._append_column(name, getattr(self, name), getattr(chunk, name)),
+            )
+        return np.arange(old_n, old_n + len(chunk))
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.core.aggregation import KeyCodec
 from repro.core.index import TraceClusterIndex
-from repro.core.sessions import SessionTable
+from repro.core.sessions import METRIC_COLUMNS, SessionTable
 
 try:  # pragma: no cover - import guard exercised implicitly
     from multiprocessing import shared_memory as _shared_memory
@@ -234,18 +234,10 @@ class SharedArrayPack:
 # Table / index array flattening
 # ---------------------------------------------------------------------------
 #: Structured array keys: ("table", column) and ("index", kind, *detail).
-_TABLE_COLUMNS = (
-    "codes",
-    "start_time",
-    "duration_s",
-    "buffering_s",
-    "join_time_s",
-    "bitrate_kbps",
-    "join_failed",
-)
+_TABLE_COLUMNS = ("codes",) + METRIC_COLUMNS
 
 
-def _export_arrays(
+def export_arrays(
     table: SessionTable, index: TraceClusterIndex | None
 ) -> dict[Hashable, np.ndarray]:
     """Flatten every numpy array of a table (+ index) under stable keys."""
@@ -268,7 +260,7 @@ def _export_arrays(
     return arrays
 
 
-def _table_from_arrays(
+def table_from_arrays(
     schema, vocabs, arrays: Mapping[Hashable, np.ndarray]
 ) -> SessionTable:
     """Rebuild a :class:`SessionTable` around attached arrays.
@@ -284,10 +276,11 @@ def _table_from_arrays(
         setattr(table, col, arrays[("table", col)])
     table._decoders = None
     table._encoders = None
+    table._buffers = None
     return table
 
 
-def _index_from_arrays(
+def index_from_arrays(
     table: SessionTable,
     codec: KeyCodec,
     fold_source: dict[int, int],
@@ -382,7 +375,7 @@ class ShmWorkerPayload:
     )
 
     def __init__(self, table: SessionTable, index: TraceClusterIndex | None) -> None:
-        pack = SharedArrayPack.create(_export_arrays(table, index))
+        pack = SharedArrayPack.create(export_arrays(table, index))
         codec = index.codec if index is not None else KeyCodec.from_table(table)
         self.manifest = pack.manifest
         self.schema = table.schema
@@ -426,7 +419,7 @@ class ShmWorkerPayload:
         if self._attached is None:
             self._attached = self.manifest.attach()
         arrays = self._attached.arrays
-        table = _table_from_arrays(self.schema, self.vocabs, arrays)
+        table = table_from_arrays(self.schema, self.vocabs, arrays)
         codec = KeyCodec(
             schema=self.schema,
             vocabs=table.vocabs,
@@ -435,7 +428,7 @@ class ShmWorkerPayload:
         )
         if not self.has_index:
             return table, None
-        index = _index_from_arrays(
+        index = index_from_arrays(
             table, codec, self.fold_source, self.fold_order, arrays
         )
         return table, index

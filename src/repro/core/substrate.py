@@ -47,7 +47,11 @@ import numpy as np
 
 from repro.core.aggregation import KeyCodec
 from repro.core.critical import find_critical_clusters
-from repro.core.epoching import EpochGrid, split_into_epochs
+from repro.core.epoching import (
+    DEFAULT_EPOCH_SECONDS,
+    EpochGrid,
+    split_into_epochs,
+)
 from repro.core.index import TraceClusterIndex
 from repro.core.pipeline import (
     AnalysisConfig,
@@ -60,8 +64,9 @@ from repro.core.pipeline import (
     resolve_transport,
     resolve_worker_count,
 )
+from repro.core.attributes import DEFAULT_SCHEMA, AttributeSchema
 from repro.core.problems import find_problem_clusters
-from repro.core.sessions import SessionTable
+from repro.core.sessions import Session, SessionTable, grow_append
 from repro.core.shm import make_worker_payload
 
 
@@ -151,6 +156,174 @@ class AnalysisSubstrate:
             transport=transport,
             progress=progress,
         )
+
+
+class StreamingSubstrate:
+    """An :class:`AnalysisSubstrate` maintained online over arriving data.
+
+    Feed it chunks of sessions (epoch-sized or otherwise, in any
+    arrival order) with :meth:`append`; it extends the packed table and
+    the :class:`~repro.core.index.TraceClusterIndex` incrementally and
+    keeps per-epoch row splits up to date, so at any moment the full
+    batch analysis path is available without re-packing or re-indexing:
+    :meth:`analyze`/:meth:`sweep` run over exactly the state a batch
+    ``analyze_trace`` would build from the concatenated chunks, with
+    bit-identical output (pinned by
+    ``tests/property/test_streaming_equivalence.py``).
+
+    Epoch bookkeeping uses *absolute* epoch ids
+    (``floor(start_time / epoch_seconds)``), so the grid grows to cover
+    whatever has arrived and :attr:`grid` always equals
+    ``EpochGrid.covering`` over the accumulated table. Per-epoch row
+    arrays grow by doubling; appends are amortized O(chunk rows) once
+    the trace's leaf universe has saturated.
+
+    Per-epoch streamed detection goes through the same
+    :class:`~repro.core.index.EpochClusterView` path the batch engine
+    uses: ``substrate.epoch_view(rows)`` on the rows :meth:`append`
+    returned (this is what :class:`~repro.core.online.OnlineDetector`
+    does).
+    """
+
+    __slots__ = ("index", "epoch_seconds", "_epoch_rows", "_grow")
+
+    def __init__(
+        self,
+        schema: AttributeSchema = DEFAULT_SCHEMA,
+        epoch_seconds: float = DEFAULT_EPOCH_SECONDS,
+        index: TraceClusterIndex | None = None,
+    ) -> None:
+        """Start empty, or wrap an existing ``index`` (e.g. restored by
+        :func:`~repro.io.snapshot.load_substrate`) and keep appending."""
+        if index is None:
+            index = TraceClusterIndex.build(SessionTable.empty(schema))
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.index = index
+        self.epoch_seconds = float(epoch_seconds)
+        self._epoch_rows: dict[int, np.ndarray] = {}
+        self._grow: dict = {}
+        if len(index.table):
+            self._ingest_rows(np.arange(len(index.table), dtype=np.int64))
+
+    @property
+    def table(self) -> SessionTable:
+        return self.index.table
+
+    @property
+    def codec(self) -> KeyCodec:
+        return self.index.codec
+
+    def __len__(self) -> int:
+        return len(self.index.table)
+
+    @property
+    def n_epochs(self) -> int:
+        return self.grid.n_epochs
+
+    def append(self, chunk: "SessionTable | Iterable[Session]") -> np.ndarray:
+        """Fold a chunk into the table, index and epoch splits.
+
+        Returns the appended row indices — pass them straight to
+        :meth:`epoch_view` for streamed per-chunk detection.
+        """
+        rows = self.index.append(chunk)
+        if rows.size:
+            self._ingest_rows(rows)
+        return rows
+
+    def _ingest_rows(self, rows: np.ndarray) -> None:
+        """File new rows under their absolute epoch ids.
+
+        Row indices only ever grow, so appending each chunk's rows (in
+        ascending order) keeps every epoch's array ascending — exactly
+        the order ``split_into_epochs``'s stable sort produces, even
+        when chunks arrive out of time order.
+        """
+        keys = np.floor(
+            self.table.start_time[rows] / self.epoch_seconds
+        ).astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        rows, keys = rows[order], keys[order]
+        uniq, starts = np.unique(keys, return_index=True)
+        bounds = np.append(starts, keys.size)
+        for i, key in enumerate(uniq):
+            key = int(key)
+            part = rows[bounds[i] : bounds[i + 1]]
+            cur = self._epoch_rows.get(key)
+            if cur is None:
+                cur = np.empty(0, dtype=np.int64)
+            self._epoch_rows[key] = grow_append(self._grow, key, cur, part)
+
+    @property
+    def grid(self) -> EpochGrid:
+        """The covering grid of everything appended so far."""
+        if not self._epoch_rows:
+            return EpochGrid(
+                origin=0.0, epoch_seconds=self.epoch_seconds, n_epochs=0
+            )
+        lo, hi = min(self._epoch_rows), max(self._epoch_rows)
+        return EpochGrid(
+            origin=lo * self.epoch_seconds,
+            epoch_seconds=self.epoch_seconds,
+            n_epochs=hi - lo + 1,
+        )
+
+    def epoch_rows(self) -> list[np.ndarray]:
+        """Per-epoch row arrays for :attr:`grid` (empty epochs included)."""
+        if not self._epoch_rows:
+            return []
+        lo = min(self._epoch_rows)
+        empty = np.empty(0, dtype=np.int64)
+        return [
+            self._epoch_rows.get(lo + e, empty)
+            for e in range(self.grid.n_epochs)
+        ]
+
+    def epoch_view(self, rows: np.ndarray, epoch: int = 0):
+        """Per-epoch cluster view over ``rows`` — the same reduction
+        path the batch indexed engine uses."""
+        return self.index.epoch_view(rows, epoch=epoch)
+
+    def as_substrate(self) -> AnalysisSubstrate:
+        """Snapshot the current state as a batch substrate (shared
+        arrays, pre-seeded epoch splits — nothing is copied)."""
+        substrate = AnalysisSubstrate(table=self.table, index=self.index)
+        substrate._splits[self.grid] = self.epoch_rows()
+        return substrate
+
+    def analyze(
+        self,
+        config: AnalysisConfig | None = None,
+        workers: int | str | None = None,
+        transport: str | None = None,
+    ) -> TraceAnalysis:
+        """Batch-analyze everything appended so far (on :attr:`grid`)."""
+        return self.as_substrate().analyze(
+            config=config, grid=self.grid, workers=workers, transport=transport
+        )
+
+    def sweep(
+        self,
+        configs: Sequence[AnalysisConfig],
+        workers: int | str | None = None,
+        transport: str | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list[TraceAnalysis]:
+        """Sweep configs over everything appended so far (on :attr:`grid`)."""
+        return self.as_substrate().sweep(
+            configs,
+            grid=self.grid,
+            workers=workers,
+            transport=transport,
+            progress=progress,
+        )
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the substrate's index arrays (incl. caches)."""
+        total = self.index.memory_bytes()
+        total += sum(a.nbytes for a in self._epoch_rows.values())
+        return int(total)
 
 
 def _sweep_epoch(

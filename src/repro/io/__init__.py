@@ -8,6 +8,7 @@ from repro.io.traceio import (
 )
 from repro.io.binary import read_sessions_npz, write_sessions_npz
 from repro.io.results import write_series_csv, write_table_csv
+from repro.io.snapshot import load_substrate, save_substrate
 
 __all__ = [
     "read_sessions_csv",
@@ -16,6 +17,8 @@ __all__ = [
     "write_sessions_jsonl",
     "read_sessions_npz",
     "write_sessions_npz",
+    "load_substrate",
+    "save_substrate",
     "write_series_csv",
     "write_table_csv",
 ]

@@ -1,0 +1,213 @@
+"""Persistent substrate snapshots: load a trace's index in milliseconds.
+
+Packing a :class:`~repro.core.sessions.SessionTable` and building its
+:class:`~repro.core.index.TraceClusterIndex` is config-independent work
+that every CLI invocation over the same trace used to re-pay — roughly
+40% of indexed-engine wall time. A snapshot persists the whole substrate
+(packed columns, leaf universe, per-mask cluster tables, inverses,
+prewarmed lattice projections, validity masks) in an mmap-friendly
+single file so repeated ``analyze``/``sweep``/``report`` runs deserialize
+a few hundred bytes of JSON and map the arrays zero-copy.
+
+File layout (all integers little-endian)::
+
+    offset 0   MAGIC = b"RPROSUB1"         (8 bytes; version in magic)
+    offset 8   uint64 manifest byte length
+    offset 16  JSON manifest (utf-8)
+    ...        zero padding to a 64-byte boundary
+    data       raw array bytes, each array at a 64-byte-aligned offset
+
+The manifest reuses the :mod:`repro.core.shm` layout — one
+``(key, dtype, shape, offset)`` record per array, with the same
+structured keys ``("table", column)`` / ``("index", kind, *detail)``
+that the shared-memory transport ships — plus the small non-array state
+(schema, vocabularies, codec widths/offsets, fold tables). Array
+offsets are relative to the data section, which starts at the first
+64-byte boundary after the manifest.
+
+Cached problem masks are *not* persisted: their cache keys embed
+:class:`~repro.core.metrics.MetricThresholds` instances (config state),
+and they are cheap to recompute per run. Cached validity masks (keyed
+by metric name only) are persisted and restored.
+
+``load_substrate`` maps the file read-only; restored arrays are views
+into the mapping (like shm-attached worker views). An appended-to
+substrate allocates fresh buffers on first growth, so
+``StreamingSubstrate(index=loaded.index)`` works on a loaded snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.aggregation import KeyCodec
+from repro.core.attributes import AttributeSchema
+from repro.core.shm import (
+    _ALIGN,
+    export_arrays,
+    index_from_arrays,
+    table_from_arrays,
+)
+from repro.core.substrate import AnalysisSubstrate
+
+#: Snapshot file magic; bump the trailing digit on format changes.
+MAGIC = b"RPROSUB1"
+
+_HEADER = struct.Struct("<8sQ")  # magic + manifest length
+
+
+def _align(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+def _persistable(key) -> bool:
+    """Whether an exported array belongs in a snapshot.
+
+    Problem-mask cache keys embed ``MetricThresholds`` objects — config
+    state that neither serializes to JSON nor belongs in a
+    config-independent snapshot.
+    """
+    return not (key[0] == "index" and key[1] == "problem")
+
+
+def _little_endian(arr: np.ndarray) -> np.ndarray:
+    if arr.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        return arr.astype(arr.dtype.newbyteorder("<"))
+    return np.ascontiguousarray(arr)
+
+
+def save_substrate(substrate, path: str | Path) -> Path:
+    """Write a substrate (or anything with ``.table`` and ``.index``)
+    to ``path``. Returns the path."""
+    path = Path(path)
+    table, index = substrate.table, substrate.index
+    arrays = {
+        key: _little_endian(arr)
+        for key, arr in export_arrays(table, index).items()
+        if _persistable(key)
+    }
+
+    entries = []
+    offset = 0
+    for key, arr in arrays.items():
+        offset = _align(offset)
+        entries.append(
+            {
+                "key": list(key),
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+        )
+        offset += arr.nbytes
+
+    codec = index.codec
+    manifest = {
+        "version": 1,
+        "schema": list(table.schema.names),
+        "vocabs": [list(v) for v in table.vocabs],
+        "n_rows": len(table),
+        "widths": [int(w) for w in codec.widths],
+        "codec_offsets": [int(o) for o in codec.offsets],
+        "fold_source": [[int(m), int(s)] for m, s in index.fold_source.items()],
+        "fold_order": [int(m) for m in index.fold_order],
+        "arrays": entries,
+    }
+    payload = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+
+    data_start = _align(_HEADER.size + len(payload))
+    with open(path, "wb") as f:
+        f.write(_HEADER.pack(MAGIC, len(payload)))
+        f.write(payload)
+        f.write(b"\0" * (data_start - _HEADER.size - len(payload)))
+        pos = 0
+        for entry, arr in zip(entries, arrays.values()):
+            f.write(b"\0" * (entry["offset"] - pos))
+            f.write(arr.tobytes())
+            pos = entry["offset"] + arr.nbytes
+    return path
+
+
+def _read_manifest(path: Path, buf) -> tuple[dict, int]:
+    """Parse and validate the header; returns (manifest, data_start)."""
+    if len(buf) < _HEADER.size:
+        raise ValueError(f"{path}: not a substrate snapshot (file too short)")
+    magic, length = _HEADER.unpack(buf[: _HEADER.size])
+    if magic != MAGIC:
+        raise ValueError(
+            f"{path}: not a substrate snapshot (bad magic {magic!r}; "
+            f"expected {MAGIC!r} — version-mismatched snapshots must be "
+            "rebuilt, not migrated)"
+        )
+    if _HEADER.size + length > len(buf):
+        raise ValueError(f"{path}: truncated snapshot manifest")
+    try:
+        manifest = json.loads(bytes(buf[_HEADER.size : _HEADER.size + length]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupted snapshot manifest: {exc}") from exc
+    if manifest.get("version") != 1:
+        raise ValueError(
+            f"{path}: unsupported snapshot version {manifest.get('version')!r}"
+        )
+    return manifest, _align(_HEADER.size + length)
+
+
+def load_substrate(path: str | Path, mmap: bool = True) -> AnalysisSubstrate:
+    """Load a substrate saved by :func:`save_substrate`.
+
+    ``mmap=True`` (default) maps the file read-only and restores every
+    array as a zero-copy view — milliseconds regardless of trace size,
+    with pages faulted in on first touch. ``mmap=False`` reads the file
+    into memory instead (use when the file may be replaced while the
+    substrate is alive). Raises :class:`ValueError` on corrupted,
+    truncated, or version-mismatched snapshots.
+    """
+    path = Path(path)
+    with open(path, "rb") as f:
+        if mmap:
+            buf = _mmap.mmap(f.fileno(), 0, access=_mmap.ACCESS_READ)
+        else:
+            buf = f.read()
+    manifest, data_start = _read_manifest(path, buf)
+
+    arrays = {}
+    for entry in manifest["arrays"]:
+        key = tuple(entry["key"])
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64))
+        offset = data_start + entry["offset"]
+        if offset + count * dtype.itemsize > len(buf):
+            raise ValueError(
+                f"{path}: truncated snapshot (array {key} extends past EOF)"
+            )
+        arrays[key] = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+
+    schema = AttributeSchema(names=tuple(manifest["schema"]))
+    table = table_from_arrays(schema, manifest["vocabs"], arrays)
+    if len(table) != manifest["n_rows"]:
+        raise ValueError(
+            f"{path}: corrupted snapshot (row count mismatch: "
+            f"{len(table)} != {manifest['n_rows']})"
+        )
+    codec = KeyCodec(
+        schema=schema,
+        vocabs=table.vocabs,
+        widths=np.asarray(manifest["widths"], dtype=np.int64),
+        offsets=np.asarray(manifest["codec_offsets"], dtype=np.int64),
+    )
+    index = index_from_arrays(
+        table,
+        codec,
+        fold_source={int(m): int(s) for m, s in manifest["fold_source"]},
+        fold_order=[int(m) for m in manifest["fold_order"]],
+        arrays=arrays,
+    )
+    return AnalysisSubstrate(table=table, index=index, build_seconds=0.0)

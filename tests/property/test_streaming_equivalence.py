@@ -1,0 +1,323 @@
+"""Streaming-equivalence properties of the append engine.
+
+The streaming path must be a pure re-ordering of work, never a
+different computation:
+
+* ``SessionTable.extend`` over any chunking is bit-identical to
+  building the table from all rows at once (same vocabularies in
+  first-appearance order, same codes, same metric columns);
+* ``TraceClusterIndex.append`` leaves every index structure — leaf
+  universe, per-mask cluster tables and inverses, cached lattice
+  projections, fold tables, warmed metric masks — bit-identical to a
+  from-scratch ``build`` over the concatenated table, including across
+  vocabulary growth that changes the packed key widths;
+* ``StreamingSubstrate`` fed epoch-sized (or arbitrary) chunks yields
+  the same analysis as batch ``analyze_trace``;
+* substrate snapshots round-trip exactly, and corrupted or
+  version-mismatched files are rejected with ``ValueError``.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.index import TraceClusterIndex
+from repro.core.metrics import ALL_METRICS, JOIN_FAILURE, MetricThresholds
+from repro.core.pipeline import analyze_trace
+from repro.core.sessions import METRIC_COLUMNS, SessionTable
+from repro.core.substrate import AnalysisSubstrate, StreamingSubstrate
+from repro.io.snapshot import MAGIC, load_substrate, save_substrate
+from tests.property.test_parallel_equivalence import (
+    ALL_METRICS_CONFIG,
+    SMALL_CONFIG,
+    assert_equal_analyses,
+    build_table,
+    session_rows,
+)
+
+
+def assert_equal_tables(a: SessionTable, b: SessionTable) -> None:
+    """Bit-identical columnar content (NaN-aware float compares)."""
+    assert a.schema.names == b.schema.names
+    assert a.vocabs == b.vocabs
+    assert np.array_equal(a.codes, b.codes)
+    for name in METRIC_COLUMNS:
+        ca, cb = getattr(a, name), getattr(b, name)
+        assert ca.dtype == cb.dtype
+        assert np.array_equal(ca, cb, equal_nan=ca.dtype.kind == "f"), name
+
+
+def assert_equal_indexes(a: TraceClusterIndex, b: TraceClusterIndex) -> None:
+    """Bit-identical index structures (tables, codec, lattice caches)."""
+    assert_equal_tables(a.table, b.table)
+    assert np.array_equal(a.codec.widths, b.codec.widths)
+    assert np.array_equal(a.codec.offsets, b.codec.offsets)
+    assert np.array_equal(a.leaf_keys, b.leaf_keys)
+    assert np.array_equal(a.row_to_leaf, b.row_to_leaf)
+    assert set(a.mask_keys) == set(b.mask_keys)
+    for m in a.mask_keys:
+        assert np.array_equal(a.mask_keys[m], b.mask_keys[m]), f"mask {m}"
+        assert np.array_equal(
+            a.leaf_to_cluster[m], b.leaf_to_cluster[m]
+        ), f"inverse {m}"
+    assert a.fold_source == b.fold_source
+    assert a.fold_order == b.fold_order
+    # every projection cached on either side must agree with the other
+    # side's (possibly freshly computed) projection
+    for fine, coarse in set(a._project_index) | set(b._project_index):
+        assert np.array_equal(
+            a.project_index(fine, coarse), b.project_index(fine, coarse)
+        ), f"projection {fine}->{coarse}"
+
+
+def chunked_tables(rows, n_chunks: int) -> list[SessionTable]:
+    """The trace as ``n_chunks`` contiguous sub-tables (some may be empty)."""
+    full = build_table(rows)
+    bounds = np.linspace(0, len(full), n_chunks + 1).astype(int)
+    return [
+        full.select(np.arange(lo, hi)) for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+chunk_counts = st.integers(1, 5)
+
+
+# ---------------------------------------------------------------------------
+# SessionTable.extend == from_sessions over everything
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(session_rows, chunk_counts)
+def test_extend_equals_batch_build(rows, n_chunks):
+    batch = build_table(rows)
+    streamed = SessionTable.empty(batch.schema)
+    for chunk in chunked_tables(rows, n_chunks):
+        added = streamed.extend(chunk)
+        assert added.size == len(chunk)
+    assert_equal_tables(batch, streamed)
+
+
+def test_extend_accepts_session_iterables(tiny_trace):
+    sessions = list(tiny_trace.table.rows())[:64]
+    batch = SessionTable.from_sessions(sessions)
+    streamed = SessionTable.empty(batch.schema)
+    streamed.extend(sessions[:20])
+    streamed.extend(sessions[20:])
+    assert_equal_tables(batch, streamed)
+
+
+# ---------------------------------------------------------------------------
+# TraceClusterIndex.append == build over the concatenated table
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(session_rows, chunk_counts)
+def test_index_append_equals_fresh_build(rows, n_chunks):
+    incremental = TraceClusterIndex.build(SessionTable.empty())
+    incremental.warm_metric_masks([JOIN_FAILURE], MetricThresholds())
+    for chunk in chunked_tables(rows, n_chunks):
+        incremental.append(chunk)
+    batch = TraceClusterIndex.build(build_table(rows))
+    assert_equal_indexes(incremental, batch)
+    # warmed masks were maintained chunk-wise; they must equal a cold
+    # recomputation on the batch index
+    thresholds = MetricThresholds()
+    assert np.array_equal(
+        incremental.valid_mask(JOIN_FAILURE), batch.valid_mask(JOIN_FAILURE)
+    )
+    assert np.array_equal(
+        incremental.problem_mask(JOIN_FAILURE, thresholds),
+        batch.problem_mask(JOIN_FAILURE, thresholds),
+    )
+
+
+def test_index_append_across_width_growth():
+    """Appends that push a vocabulary past a power of two change the
+    packed key widths; append() must transparently re-key."""
+    incremental = TraceClusterIndex.build(SessionTable.empty())
+    tables = []
+    from tests.conftest import make_session
+
+    for wave in range(6):
+        # 4 new ASNs per wave: vocab sizes 4, 8, 12, ... cross the
+        # 2-bit, 3-bit and 4-bit width boundaries along the way.
+        chunk = SessionTable.from_sessions(
+            make_session(
+                start_time=wave * 3600.0 + 60.0 * i,
+                asn=f"AS{wave}-{i % 4}",
+                join_failed=(i + wave) % 3 == 0,
+            )
+            for i in range(12)
+        )
+        tables.append(chunk)
+        incremental.append(chunk)
+        assert np.array_equal(
+            incremental.codec.widths, incremental.table.bit_widths()
+        )
+    batch = TraceClusterIndex.build(SessionTable.concat(tables))
+    assert_equal_indexes(incremental, batch)
+
+
+def test_index_append_single_sessions():
+    """Degenerate chunking: one session per append."""
+    rows = [(e, a % 3, a % 2, (a + e) % 4 == 0) for e in range(2)
+            for a in range(15)]
+    full = build_table(rows)
+    incremental = TraceClusterIndex.build(SessionTable.empty())
+    for i in range(len(full)):
+        incremental.append(full.select(np.array([i])))
+    assert_equal_indexes(incremental, TraceClusterIndex.build(full))
+
+
+def test_index_append_empty_chunk_is_noop():
+    table = build_table([(0, 0, 0, True)] * 8)
+    index = TraceClusterIndex.build(table)
+    leaf_keys = index.leaf_keys.copy()
+    rows = index.append(SessionTable.empty(table.schema))
+    assert rows.size == 0
+    assert np.array_equal(index.leaf_keys, leaf_keys)
+    assert len(index.table) == 8
+
+
+# ---------------------------------------------------------------------------
+# StreamingSubstrate == batch analyze_trace
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(session_rows, chunk_counts)
+def test_streamed_analysis_equals_batch(rows, n_chunks):
+    chunks = chunked_tables(rows, n_chunks)
+    stream = StreamingSubstrate(
+        epoch_seconds=SMALL_CONFIG.epoch_seconds
+    )
+    for chunk in chunks:
+        stream.append(chunk)
+    batch_table = build_table(rows)
+    assert len(stream.table) == len(batch_table)
+    assert_equal_analyses(
+        analyze_trace(batch_table, config=SMALL_CONFIG),
+        stream.analyze(config=SMALL_CONFIG),
+    )
+
+
+def test_streamed_epoch_chunks_all_metrics(tiny_trace):
+    """Epoch-sized chunks of a generated trace, all four metrics."""
+    table, grid = tiny_trace.table, tiny_trace.grid
+    stream = StreamingSubstrate(
+        schema=table.schema, epoch_seconds=grid.epoch_seconds
+    )
+    epoch_of = np.floor(table.start_time / grid.epoch_seconds).astype(np.int64)
+    for epoch in np.unique(epoch_of):
+        stream.append(table.select(np.flatnonzero(epoch_of == epoch)))
+    assert stream.grid == grid
+    assert_equal_analyses(
+        analyze_trace(table, config=ALL_METRICS_CONFIG, grid=grid),
+        stream.analyze(config=ALL_METRICS_CONFIG),
+    )
+
+
+def test_streamed_sweep_equals_batch_sweep():
+    import dataclasses
+
+    rows = [(e, a % 3, a % 2, (a * 3 + e) % 4 == 0) for e in range(3)
+            for a in range(40)]
+    configs = [
+        SMALL_CONFIG,
+        dataclasses.replace(
+            SMALL_CONFIG, thresholds=MetricThresholds().scaled(0.5)
+        ),
+    ]
+    stream = StreamingSubstrate()
+    for chunk in chunked_tables(rows, 3):
+        stream.append(chunk)
+    for config, got in zip(configs, stream.sweep(configs)):
+        assert_equal_analyses(
+            analyze_trace(build_table(rows), config=config), got
+        )
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def small_substrate():
+    rows = [(e, a % 3, a % 2, (a + 2 * e) % 4 == 0) for e in range(3)
+            for a in range(50)]
+    substrate = AnalysisSubstrate.build(build_table(rows))
+    substrate.index.warm_metric_masks(ALL_METRICS, MetricThresholds())
+    return substrate
+
+
+@pytest.mark.parametrize("mmap", [True, False])
+def test_snapshot_round_trip(tmp_path, small_substrate, mmap):
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    loaded = load_substrate(path, mmap=mmap)
+    assert_equal_indexes(small_substrate.index, loaded.index)
+    assert_equal_analyses(
+        small_substrate.analyze(config=SMALL_CONFIG),
+        loaded.analyze(config=SMALL_CONFIG),
+    )
+
+
+def test_snapshot_is_appendable(tmp_path, small_substrate):
+    """A loaded snapshot's read-only mmap views must not block growth."""
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    loaded = load_substrate(path)
+    stream = StreamingSubstrate(index=loaded.index)
+    extra = build_table([(3, a % 3, a % 2, a % 5 == 0) for a in range(30)])
+    stream.append(extra)
+    combined = SessionTable.empty()
+    combined.extend(small_substrate.table)
+    combined.extend(extra)
+    assert_equal_indexes(stream.index, TraceClusterIndex.build(combined))
+
+
+def test_snapshot_rejects_bad_magic(tmp_path, small_substrate):
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    data = bytearray(path.read_bytes())
+    data[:8] = b"NOTASNAP"
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="bad magic"):
+        load_substrate(path)
+
+
+def test_snapshot_rejects_truncation(tmp_path, small_substrate):
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(ValueError, match="truncated"):
+        load_substrate(path, mmap=False)
+    path.write_bytes(data[:10])
+    with pytest.raises(ValueError, match="not a substrate snapshot"):
+        load_substrate(path, mmap=False)
+
+
+def test_snapshot_rejects_version_mismatch(tmp_path, small_substrate):
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    data = bytearray(path.read_bytes())
+    _, length = struct.unpack_from("<8sQ", data)
+    manifest = json.loads(bytes(data[16 : 16 + length]))
+    assert manifest["version"] == 1
+    patched = bytes(data).replace(b'"version":1', b'"version":9', 1)
+    path.write_bytes(patched)
+    with pytest.raises(ValueError, match="version"):
+        load_substrate(path)
+
+
+def test_snapshot_rejects_corrupt_manifest(tmp_path, small_substrate):
+    path = save_substrate(small_substrate, tmp_path / "trace.sub")
+    data = bytearray(path.read_bytes())
+    data[20] = 0xFF  # stomp a byte inside the JSON manifest
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="corrupted|truncated"):
+        load_substrate(path)
+
+
+def test_snapshot_magic_is_stable():
+    assert MAGIC == b"RPROSUB1"

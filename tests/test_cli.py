@@ -103,3 +103,56 @@ class TestWorkersFlag:
         out = tmp_path / "t.jsonl"
         main(["generate", "--workload", "tiny", "--seed", "3", "-o", str(out)])
         assert main(["analyze", str(out), "--workers", "auto"]) == 0
+
+
+class TestSubstrateCache:
+    def test_analyze_builds_then_loads_cache(self, tmp_path, capsys):
+        trace = tmp_path / "trace.npz"
+        cache = tmp_path / "trace.sub"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        capsys.readouterr()
+
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "built and saved" in first
+        assert cache.exists()
+
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "loaded" in second
+        # identical analysis either way (strip the one-line cache note)
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("substrate cache:")
+        )
+        assert strip(first) == strip(second)
+
+    def test_sweep_uses_cache(self, tmp_path, capsys):
+        trace = tmp_path / "trace.npz"
+        cache = tmp_path / "trace.sub"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        main(["analyze", str(trace), "--substrate-cache", str(cache)])
+        capsys.readouterr()
+        assert main(["sweep", str(trace), "--threshold-scales", "0.5,1.0",
+                     "--substrate-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        assert "Config sweep" in out
+
+    def test_report_rebuilds_stale_cache(self, tmp_path, capsys):
+        cache = tmp_path / "trace.sub"
+        report = tmp_path / "report.md"
+        assert main(["report", "--workload", "tiny", "--seed", "3",
+                     "-o", str(report), "--substrate-cache", str(cache)]) == 0
+        capsys.readouterr()
+        # different seed -> different trace -> cached substrate must not
+        # be silently reused
+        assert main(["report", "--workload", "tiny", "--seed", "4",
+                     "-o", str(report), "--substrate-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "does not match" in out
+        assert "built and saved" in out

@@ -135,3 +135,91 @@ class TestGeneratedTraceRoundTrip:
         assert [set(e.critical_clusters) for e in e1] == [
             set(e.critical_clusters) for e in e2
         ]
+
+
+class TestChunkedReaders:
+    """``chunked=True`` is a pure fast path: bit-identical tables."""
+
+    @staticmethod
+    def _assert_same(a: SessionTable, b: SessionTable) -> None:
+        assert a.vocabs == b.vocabs
+        assert np.array_equal(a.codes, b.codes)
+        for name in ("start_time", "duration_s", "buffering_s",
+                     "join_time_s", "bitrate_kbps", "join_failed"):
+            ca, cb = getattr(a, name), getattr(b, name)
+            assert np.array_equal(ca, cb, equal_nan=ca.dtype.kind == "f"), name
+
+    @pytest.fixture()
+    def varied_table(self) -> SessionTable:
+        return SessionTable.from_sessions(
+            make_session(
+                start_time=37.0 * i,
+                asn=f"AS{i % 5}",
+                cdn=f"cdn_{i % 3}",
+                join_failed=i % 4 == 0,
+            )
+            for i in range(101)
+        )
+
+    @pytest.mark.parametrize("chunk_rows", [7, 101, 4096])
+    def test_csv_chunked_equals_row_wise(self, tmp_path, varied_table,
+                                         chunk_rows):
+        path = tmp_path / "t.csv"
+        write_sessions_csv(varied_table, path)
+        self._assert_same(
+            read_sessions_csv(path),
+            read_sessions_csv(path, chunked=True, chunk_rows=chunk_rows),
+        )
+
+    @pytest.mark.parametrize("chunk_rows", [7, 101, 4096])
+    def test_jsonl_chunked_equals_row_wise(self, tmp_path, varied_table,
+                                           chunk_rows):
+        path = tmp_path / "t.jsonl"
+        write_sessions_jsonl(varied_table, path)
+        self._assert_same(
+            read_sessions_jsonl(path),
+            read_sessions_jsonl(path, chunked=True, chunk_rows=chunk_rows),
+        )
+
+    def test_chunked_preserves_nan_for_failed_joins(self, tmp_path,
+                                                    sample_table):
+        for writer, reader, name in (
+            (write_sessions_csv, read_sessions_csv, "t.csv"),
+            (write_sessions_jsonl, read_sessions_jsonl, "t.jsonl"),
+        ):
+            path = tmp_path / name
+            writer(sample_table, path)
+            restored = reader(path, chunked=True)
+            assert bool(restored.join_failed[1])
+            assert math.isnan(restored.join_time_s[1])
+            assert math.isnan(restored.bitrate_kbps[1])
+
+    def test_chunked_csv_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("asn,start_time\nAS1,0.0\n")
+        with pytest.raises(ValueError, match="missing column"):
+            read_sessions_csv(path, chunked=True)
+
+    def test_chunked_csv_ragged_row(self, tmp_path, sample_table):
+        path = tmp_path / "bad.csv"
+        write_sessions_csv(sample_table, path)
+        with path.open("a") as handle:
+            handle.write("only,three,fields\n")
+        with pytest.raises(ValueError, match="expected .* fields"):
+            read_sessions_csv(path, chunked=True)
+
+    def test_chunked_jsonl_invalid_json(self, tmp_path, sample_table):
+        path = tmp_path / "bad.jsonl"
+        write_sessions_jsonl(sample_table, path)
+        with path.open("a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_sessions_jsonl(path, chunked=True)
+
+    def test_chunked_empty_files(self, tmp_path):
+        csv_path = tmp_path / "e.csv"
+        write_sessions_csv(SessionTable.empty(), csv_path)
+        assert len(read_sessions_csv(csv_path, chunked=True)) == 0
+        jsonl_path = tmp_path / "e.jsonl"
+        jsonl_path.write_text("")
+        assert len(read_sessions_jsonl(jsonl_path, chunked=True)) == 0

@@ -85,3 +85,31 @@ class TestCliNpz:
         capsys.readouterr()
         assert main(["analyze", str(out)]) == 0
         assert "join_failure" in capsys.readouterr().out
+
+
+class TestUncompressed:
+    def test_uncompressed_round_trip(self, tmp_path):
+        table = SessionTable.from_sessions(
+            make_session(start_time=60.0 * i, asn=f"AS{i % 4}",
+                         join_failed=i % 3 == 0)
+            for i in range(200)
+        )
+        fast = tmp_path / "fast.npz"
+        small = tmp_path / "small.npz"
+        assert write_sessions_npz(table, fast, compress=False) == 200
+        assert write_sessions_npz(table, small, compress=True) == 200
+        assert fast.stat().st_size > small.stat().st_size
+        restored = read_sessions_npz(fast)
+        assert restored.vocabs == table.vocabs
+        assert np.array_equal(restored.codes, table.codes)
+        assert np.array_equal(restored.start_time, table.start_time)
+
+    def test_cli_no_compress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.npz"
+        assert main(["generate", "--workload", "tiny", "--seed", "3",
+                     "-o", str(out), "--no-compress"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        assert "join_failure" in capsys.readouterr().out
