@@ -110,8 +110,18 @@ def _add_substrate_cache_arg(parser: argparse.ArgumentParser) -> None:
         "--substrate-cache", metavar="PATH", default=None,
         help="persistent substrate snapshot: load PATH when it exists "
         "(mmap, milliseconds) instead of re-packing and re-indexing "
-        "the trace, otherwise build once and save to PATH; results "
-        "are identical either way",
+        "the trace, otherwise build once and save to PATH; stale or "
+        "corrupt snapshots are rebuilt and overwritten; results are "
+        "identical either way",
+    )
+
+
+def _add_trace_out_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None, dest="trace_out",
+        help="write the run's span tree and metrics as JSON to PATH, "
+        "plus a machine-readable run manifest next to it "
+        "(<stem>.manifest.json)",
     )
 
 
@@ -149,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(ana)
     _add_transport_arg(ana)
     _add_substrate_cache_arg(ana)
+    _add_trace_out_arg(ana)
     ana.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
 
@@ -176,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(swp)
     _add_transport_arg(swp)
     _add_substrate_cache_arg(swp)
+    _add_trace_out_arg(swp)
     swp.add_argument("--timings", action="store_true",
                      help="print per-variant pipeline timings")
 
@@ -200,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(rep)
     _add_engine_arg(rep)
     _add_substrate_cache_arg(rep)
+    _add_trace_out_arg(rep)
     rep.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
 
@@ -219,11 +232,12 @@ def _resolve_substrate(args: argparse.Namespace, table=None):
     """Load-or-build for ``--substrate-cache``: returns ``(table, substrate)``.
 
     Cache hit: the snapshot is mmapped in milliseconds and — when no
-    ``table`` was supplied — the trace file is not read at all. Cache
-    miss (or a snapshot that does not match the supplied ``table``):
-    read/keep the trace, build the substrate once, save the snapshot
-    for subsequent runs. Without ``--substrate-cache`` this reduces to
-    ``(_read_trace(args.trace), None)``.
+    ``table`` was supplied — the trace file is not read at all. Before
+    loading, the snapshot's recorded source provenance (trace path,
+    size, mtime) is checked against the trace on disk; a stale,
+    corrupt, or mismatched snapshot is rebuilt and overwritten rather
+    than trusted or fatal. Without ``--substrate-cache`` this reduces
+    to ``(_read_trace(args.trace), None)``.
     """
     import os
 
@@ -231,24 +245,40 @@ def _resolve_substrate(args: argparse.Namespace, table=None):
     if path is None:
         return (table if table is not None else _read_trace(args.trace)), None
     from repro.core.substrate import AnalysisSubstrate
-    from repro.io.snapshot import load_substrate, save_substrate
+    from repro.io.snapshot import (
+        load_substrate,
+        save_substrate,
+        snapshot_staleness,
+    )
+    from repro.obs import record_degradation
 
+    source = getattr(args, "trace", None)
     if os.path.exists(path):
-        substrate = load_substrate(path)
-        if table is None or (
-            len(substrate.table) == len(table)
-            and np.array_equal(substrate.table.start_time, table.start_time)
-        ):
-            print(
-                f"substrate cache: loaded {path} "
-                f"({len(substrate.table)} sessions; delete the file to rebuild)"
-            )
-            return substrate.table, substrate
-        print(f"substrate cache: {path} does not match this trace; rebuilding")
+        reason = snapshot_staleness(path, source)
+        substrate = None
+        if reason is None:
+            try:
+                substrate = load_substrate(path)
+            except (ValueError, OSError) as exc:
+                reason = f"snapshot failed to load ({exc})"
+        if substrate is not None:
+            if table is None or (
+                len(substrate.table) == len(table)
+                and np.array_equal(substrate.table.start_time, table.start_time)
+            ):
+                print(
+                    f"substrate cache: loaded {path} "
+                    f"({len(substrate.table)} sessions; delete the file to "
+                    "rebuild)"
+                )
+                return substrate.table, substrate
+            reason = "snapshot does not match this trace"
+        record_degradation("snapshot_rebuild", f"substrate cache {path}: {reason}")
+        print(f"substrate cache: {path}: {reason}; rebuilding")
     if table is None:
         table = _read_trace(args.trace)
     substrate = AnalysisSubstrate.build(table)
-    save_substrate(substrate, path)
+    save_substrate(substrate, path, source=source)
     print(f"substrate cache: built and saved {path}")
     return table, substrate
 
@@ -262,7 +292,7 @@ def _read_trace(path: str):
         return read_sessions_csv(path, chunked=True)
     if path.endswith(".npz"):
         return read_sessions_npz(path)
-    raise SystemExit(
+    raise ValueError(
         f"unsupported trace extension: {path} (use .jsonl, .csv or .npz)"
     )
 
@@ -279,7 +309,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             trace.table, args.output, compress=not args.no_compress
         )
     else:
-        raise SystemExit("output must end in .jsonl, .csv or .npz")
+        raise ValueError("output must end in .jsonl, .csv or .npz")
     print(
         f"wrote {n} sessions ({spec.n_epochs} epochs, "
         f"{len(trace.catalog)} planted events) to {args.output}"
@@ -474,8 +504,10 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand handler, mapping expected failures
+    (bad inputs, unreadable files) to exit code 2 with a one-line
+    stderr message. Programming errors still raise."""
     handlers = {
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
@@ -486,7 +518,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         "remedies": _cmd_remedies,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return _run_command(args)
+
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        manifest_path_for,
+        use_metrics,
+        use_tracer,
+        write_run_manifest,
+        write_trace_json,
+    )
+
+    tracer = Tracer(name=args.command)
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        code = _run_command(args)
+    tracer.finish()
+    if getattr(args, "timings", False) and code == 0:
+        print()
+        print(tracer.render())
+    write_trace_json(trace_out, tracer, metrics)
+    manifest_path = write_run_manifest(
+        manifest_path_for(trace_out),
+        command=args.command,
+        argv=list(argv) if argv is not None else None,
+        tracer=tracer,
+        metrics=metrics,
+        args={k: v for k, v in vars(args).items() if k != "command"},
+        outputs=[str(trace_out)],
+        exit_code=code,
+    )
+    print(f"wrote trace to {trace_out} (run manifest: {manifest_path})")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,7 @@ from repro.core.aggregation import EpochAggregate, KeyCodec, MaskAggregate
 from repro.core.attributes import popcount
 from repro.core.metrics import MetricThresholds, QualityMetric
 from repro.core.sessions import Session, SessionTable, grow_append
+from repro.obs import current_metrics, current_tracer
 
 
 def _fold_sources(
@@ -167,6 +168,16 @@ class TraceClusterIndex:
     ) -> "TraceClusterIndex":
         """Pack all sessions, compute the leaf universe and every
         per-mask projection, and prewarm the lattice fold indices."""
+        with current_tracer().span("index.build", sessions=len(table)) as span:
+            index = cls._build(table, codec)
+            span.set(leaves=int(index.leaf_keys.size))
+        current_metrics().inc("index.builds")
+        return index
+
+    @classmethod
+    def _build(
+        cls, table: SessionTable, codec: KeyCodec | None = None
+    ) -> "TraceClusterIndex":
         codec = codec or KeyCodec.from_table(table)
         field_masks = codec.field_masks()
         full = codec.full_mask
@@ -244,6 +255,8 @@ class TraceClusterIndex:
         rows = self.table.extend(chunk)
         if rows.size == 0:
             return rows
+        current_metrics().inc("index.appends")
+        current_metrics().inc("index.appended_rows", int(rows.size))
         self._extend_metric_masks(rows)
         if not np.array_equal(self.table.bit_widths(), self.codec.widths):
             self._rebuild_keys()

@@ -38,6 +38,7 @@ from repro.core.metrics import MetricThresholds, QualityMetric
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
 from repro.core.substrate import StreamingSubstrate
+from repro.obs import current_metrics, current_tracer
 
 
 @dataclass
@@ -175,6 +176,24 @@ class OnlineDetector:
         epoch = self.epochs_observed
         if rows is None:
             rows = np.arange(len(table))
+        with current_tracer().span(
+            "online.observe_epoch", epoch=epoch, rows=int(rows.size)
+        ) as obs_span:
+            observation = self._observe_epoch(table, rows, cluster_index, epoch)
+            obs_span.set(
+                problem_clusters=observation.n_problem_clusters,
+                critical_clusters=observation.n_critical_clusters,
+            )
+        current_metrics().inc("online.epochs")
+        return observation
+
+    def _observe_epoch(
+        self,
+        table: SessionTable,
+        rows: np.ndarray,
+        cluster_index: TraceClusterIndex | None,
+        epoch: int,
+    ) -> EpochObservation:
         stream = None if cluster_index is not None else self._resolve_stream(table)
         if cluster_index is not None:
             agg = aggregate_epoch(

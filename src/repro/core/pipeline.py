@@ -60,6 +60,7 @@ from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
 from repro.core.shm import TRANSPORTS, make_worker_payload, resolve_transport
 from repro.core.streaks import ClusterTimeline, build_timelines
+from repro.obs import current_metrics, current_tracer, record_degradation
 
 
 def resolve_worker_count(workers: int | str | None) -> int:
@@ -474,14 +475,20 @@ def _worker_init(payload, config: AnalysisConfig) -> None:
     _WORKER_STATE["cluster_index"] = cluster_index
 
 
-def _worker_run_batch(
-    batch: list[tuple[int, np.ndarray]],
-) -> list[tuple[int, tuple[list[EpochAnalysis], PipelineTimings]]]:
+def _worker_run_batch(batch: list[tuple[int, np.ndarray]]) -> dict:
+    """One batch of epochs in a worker; results plus self-timing stats.
+
+    The stats travel back with the results so the parent can attach
+    per-worker spans (busy time, queue wait, row counts) to its trace —
+    the worker's own tracer is the no-op default.
+    """
+    started_unix = time.time()
+    t0 = time.perf_counter()
     table = _WORKER_STATE["table"]
     config = _WORKER_STATE["config"]
     codec = _WORKER_STATE["codec"]
     cluster_index = _WORKER_STATE.get("cluster_index")
-    return [
+    results = [
         (
             epoch,
             _analyze_epoch_metrics(
@@ -490,6 +497,14 @@ def _worker_run_batch(
         )
         for epoch, rows in batch
     ]
+    return {
+        "results": results,
+        "pid": os.getpid(),
+        "started_unix": started_unix,
+        "busy_s": time.perf_counter() - t0,
+        "epochs": len(batch),
+        "rows": int(sum(rows.size for _, rows in batch)),
+    }
 
 
 def _chunk_epochs(
@@ -500,6 +515,38 @@ def _chunk_epochs(
     chunk = max(1, math.ceil(n / (n_workers * 4)))
     pairs = list(enumerate(per_epoch_rows))
     return [pairs[i : i + chunk] for i in range(0, n, chunk)]
+
+
+def _fold_worker_stats(
+    agg: dict[int, dict], out: dict, submitted_unix: float
+) -> None:
+    """Fold one batch's worker-side stats into a per-pid summary."""
+    stats = agg.setdefault(
+        out["pid"],
+        {"batches": 0, "epochs": 0, "rows": 0, "busy_s": 0.0,
+         "queue_wait_s": 0.0},
+    )
+    stats["batches"] += 1
+    stats["epochs"] += out["epochs"]
+    stats["rows"] += out["rows"]
+    stats["busy_s"] += out["busy_s"]
+    # Wall-clock delta between parent-side submit and worker-side start:
+    # same host, so the clocks agree to well under scheduling noise.
+    stats["queue_wait_s"] += max(0.0, out["started_unix"] - submitted_unix)
+
+
+def _record_worker_spans(tracer, worker_stats: dict[int, dict]) -> None:
+    """Attach one ``worker`` span per pool process to the current span."""
+    for pid, stats in sorted(worker_stats.items()):
+        tracer.record(
+            "worker",
+            duration_s=stats["busy_s"],
+            pid=pid,
+            batches=stats["batches"],
+            epochs=stats["epochs"],
+            rows=stats["rows"],
+            queue_wait_s=round(stats["queue_wait_s"], 6),
+        )
 
 
 def analyze_trace(
@@ -538,69 +585,139 @@ def analyze_trace(
     engine_name = resolve_engine(
         config.engine if engine is None else engine
     )
-    transport_name = resolve_transport(
-        config.transport if transport is None else transport
+    transport_requested = config.transport if transport is None else transport
+    transport_name = resolve_transport(transport_requested)
+    tracer = current_tracer()
+    run_span_cm = tracer.span(
+        "analyze_trace",
+        sessions=len(table),
+        engine=engine_name,
+        workers=n_workers,
+        transport=transport_name,
     )
-    if grid is None:
-        grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
-    grid, per_epoch_rows = split_into_epochs(table, grid)
+    with run_span_cm as run_span:
+        if grid is None:
+            grid = EpochGrid.covering(table, epoch_seconds=config.epoch_seconds)
+        grid, per_epoch_rows = split_into_epochs(table, grid)
+        run_span.set(epochs=grid.n_epochs)
 
-    n_metrics = len(config.metrics)
-    total_units = grid.n_epochs * n_metrics
-    timings = PipelineTimings()
-    per_epoch: list[list[EpochAnalysis] | None] = [None] * grid.n_epochs
-    done = 0
-    wall_start = time.perf_counter()
+        n_metrics = len(config.metrics)
+        total_units = grid.n_epochs * n_metrics
+        timings = PipelineTimings()
+        per_epoch: list[list[EpochAnalysis] | None] = [None] * grid.n_epochs
+        done = 0
+        wall_start = time.perf_counter()
 
-    cluster_index = None
-    if engine_name == "indexed" and grid.n_epochs > 0:
-        t0 = time.perf_counter()
-        if substrate is not None:
-            cluster_index = substrate.index
+        cluster_index = None
+        if engine_name == "indexed" and grid.n_epochs > 0:
+            with tracer.span("index_build", reused=substrate is not None) as span:
+                t0 = time.perf_counter()
+                if substrate is not None:
+                    cluster_index = substrate.index
+                else:
+                    cluster_index = TraceClusterIndex.build(table)
+                cluster_index.warm_metric_masks(config.metrics, config.thresholds)
+                timings.index_build_s += time.perf_counter() - t0
+                span.set(leaves=int(cluster_index.leaf_keys.size))
+            codec = cluster_index.codec
         else:
-            cluster_index = TraceClusterIndex.build(table)
-        cluster_index.warm_metric_masks(config.metrics, config.thresholds)
-        timings.index_build_s += time.perf_counter() - t0
-        codec = cluster_index.codec
-    else:
-        codec = KeyCodec.from_table(table)
+            codec = KeyCodec.from_table(table)
 
-    if n_workers <= 1 or grid.n_epochs <= 1:
-        for epoch, rows in enumerate(per_epoch_rows):
-            summaries, epoch_timings = _analyze_epoch_metrics(
-                table, rows, epoch, config, codec, cluster_index=cluster_index
-            )
-            per_epoch[epoch] = summaries
-            timings.merge(epoch_timings)
-            done += n_metrics
-            if progress is not None:
-                progress(done, total_units)
-    else:
-        batches = _chunk_epochs(per_epoch_rows, n_workers)
-        payload = make_worker_payload(
-            table, cluster_index, transport=transport_name
+        def run_serial(missing_only: bool) -> None:
+            nonlocal done
+            for epoch, rows in enumerate(per_epoch_rows):
+                if missing_only and per_epoch[epoch] is not None:
+                    continue
+                summaries, epoch_timings = _analyze_epoch_metrics(
+                    table, rows, epoch, config, codec, cluster_index=cluster_index
+                )
+                per_epoch[epoch] = summaries
+                timings.merge(epoch_timings)
+                done += n_metrics
+                if progress is not None:
+                    progress(done, total_units)
+
+        if n_workers <= 1 or grid.n_epochs <= 1:
+            with tracer.span("epochs", mode="serial", epochs=grid.n_epochs):
+                run_serial(missing_only=False)
+        else:
+            batches = _chunk_epochs(per_epoch_rows, n_workers)
+            failure: Exception | None = None
+            # Pass the *requested* transport through: make_worker_payload
+            # owns the auto-resolution and records the degradation when
+            # shm is requested implicitly but unavailable.
+            with tracer.span("worker_payload") as pspan:
+                payload = make_worker_payload(
+                    table, cluster_index, transport=transport_requested
+                )
+                pspan.set(transport=payload.transport)
+                if payload.transport == "shm":
+                    pspan.set(segment_bytes=payload.manifest.nbytes)
+            # The ``with payload`` guarantees the owner's shared-memory
+            # segment is released however the pool ends — clean shutdown,
+            # worker crash, or KeyboardInterrupt (the atexit net in
+            # core/shm covers even harder exits).
+            with payload:
+                with tracer.span(
+                    "fanout", workers=min(n_workers, len(batches)),
+                    batches=len(batches),
+                ) as fanout:
+                    worker_stats: dict[int, dict] = {}
+                    try:
+                        with ProcessPoolExecutor(
+                            max_workers=min(n_workers, len(batches)),
+                            initializer=_worker_init,
+                            initargs=(payload, config),
+                        ) as pool:
+                            submitted: dict = {}
+                            futures = []
+                            for batch in batches:
+                                future = pool.submit(_worker_run_batch, batch)
+                                submitted[future] = time.time()
+                                futures.append(future)
+                            for future in as_completed(futures):
+                                out = future.result()
+                                _fold_worker_stats(
+                                    worker_stats, out, submitted[future]
+                                )
+                                for epoch, (summaries, epoch_timings) in out[
+                                    "results"
+                                ]:
+                                    per_epoch[epoch] = summaries
+                                    timings.merge(epoch_timings)
+                                    done += n_metrics
+                                    if progress is not None:
+                                        progress(done, total_units)
+                    except Exception as exc:
+                        # A worker crash (BrokenProcessPool, a raise
+                        # inside a batch, a pickling failure) degrades
+                        # to the serial path below instead of aborting:
+                        # the serial loop is the reference
+                        # implementation, so any genuine per-epoch bug
+                        # resurfaces there with a clean traceback.
+                        failure = exc
+                    _record_worker_spans(tracer, worker_stats)
+                    fanout.set(completed_epochs=sum(
+                        1 for s in per_epoch if s is not None
+                    ))
+            if failure is not None:
+                record_degradation(
+                    "parallel_to_serial",
+                    "worker pool failed "
+                    f"({type(failure).__name__}: {failure}); completing "
+                    f"{sum(1 for s in per_epoch if s is None)} remaining "
+                    "epoch(s) serially",
+                )
+                with tracer.span("epochs", mode="serial-fallback"):
+                    run_serial(missing_only=True)
+        timings.wall_s = time.perf_counter() - wall_start
+        tracer.record(
+            "aggregate", duration_s=timings.aggregate_s, units=timings.n_units
         )
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(batches)),
-                initializer=_worker_init,
-                initargs=(payload, config),
-            ) as pool:
-                futures = [
-                    pool.submit(_worker_run_batch, batch) for batch in batches
-                ]
-                for future in as_completed(futures):
-                    for epoch, (summaries, epoch_timings) in future.result():
-                        per_epoch[epoch] = summaries
-                        timings.merge(epoch_timings)
-                        done += n_metrics
-                        if progress is not None:
-                            progress(done, total_units)
-        finally:
-            # Owner-side shared-memory teardown; the pool has shut down
-            # (context exit joins workers), so no mapping survives this.
-            payload.release()
-    timings.wall_s = time.perf_counter() - wall_start
+        tracer.record("problems", duration_s=timings.problems_s)
+        tracer.record("critical", duration_s=timings.critical_s)
+        current_metrics().inc("pipeline.runs")
+        current_metrics().inc("pipeline.epochs", grid.n_epochs)
 
     metric_analyses: dict[str, MetricAnalysis] = {}
     for j, metric in enumerate(config.metrics):

@@ -35,11 +35,24 @@ the owner's unlink cleans the segment up exactly once.
 Memory footprint: the segment holds exactly one copy of every array
 (``SharedArrayPack.nbytes`` reports the total); each worker maps the
 same physical pages, so N workers cost one table+index, not N.
+
+Failure semantics (DESIGN.md §6): every live pack is tracked in a
+process-wide registry backed by an ``atexit`` safety net — if the owner
+exits (exception before the ``finally``, ``KeyboardInterrupt`` mid-run)
+with segments still linked, the net unlinks them, logs a warning and
+counts ``degraded.shm_leak``; ``/dev/shm`` never accumulates residue.
+Payloads are also context managers, so owners can scope the segment's
+lifetime with ``with``. :func:`make_worker_payload` degrades from shm
+to pickle (with a recorded reason) when the platform lacks shared
+memory or the segment cannot be allocated, unless ``transport="shm"``
+was explicitly requested.
 """
 
 from __future__ import annotations
 
+import atexit
 import pickle
+import weakref
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
@@ -48,6 +61,7 @@ import numpy as np
 from repro.core.aggregation import KeyCodec
 from repro.core.index import TraceClusterIndex
 from repro.core.sessions import METRIC_COLUMNS, SessionTable
+from repro.obs import current_metrics, current_tracer, record_degradation
 
 try:  # pragma: no cover - import guard exercised implicitly
     from multiprocessing import shared_memory as _shared_memory
@@ -97,6 +111,34 @@ def resolve_transport(transport: str | None) -> str:
     return transport
 
 
+# Leak-on-exit safety net: every linked SharedArrayPack registers here
+# and deregisters on unlink. The atexit hook releases stragglers so an
+# owner dying between segment creation and its ``finally`` (or a
+# KeyboardInterrupt that skips a release call site) cannot strand a
+# segment in /dev/shm. Forked pool workers exit via os._exit and never
+# run atexit hooks, so only the owning process ever unlinks.
+_LIVE_PACKS: "weakref.WeakSet[SharedArrayPack]" = weakref.WeakSet()
+
+
+def _release_stray_packs() -> None:
+    """Unlink any still-linked segments (the atexit leak detector)."""
+    for pack in list(_LIVE_PACKS):
+        if pack._unlinked:
+            continue
+        record_degradation(
+            "shm_leak",
+            f"shared-memory segment {pack.manifest.segment} still linked "
+            "at exit; releasing it now",
+        )
+        try:
+            pack.release()
+        except (OSError, FileNotFoundError):  # pragma: no cover - racy double free
+            pass
+
+
+atexit.register(_release_stray_packs)
+
+
 # Note on the resource tracker: attaching re-registers the segment
 # name, but pool workers (forked or spawned by this process) share the
 # parent's tracker, whose cache is a per-name set — the re-register is
@@ -137,6 +179,9 @@ class ArrayManifest:
         if _shared_memory is None:  # pragma: no cover - guarded upstream
             raise RuntimeError("shared memory unavailable")
         shm = _shared_memory.SharedMemory(name=self.segment)
+        metrics = current_metrics()
+        metrics.inc("shm.attach")
+        metrics.inc("shm.attach_bytes", self.nbytes)
         arrays: dict[Hashable, np.ndarray] = {}
         for entry in self.entries:
             arr = np.ndarray(
@@ -171,7 +216,7 @@ class AttachedArrays:
 class SharedArrayPack:
     """Owner-side handle: one shared segment holding many named arrays."""
 
-    __slots__ = ("shm", "manifest", "_unlinked")
+    __slots__ = ("shm", "manifest", "_unlinked", "__weakref__")
 
     def __init__(self, shm, manifest: ArrayManifest) -> None:
         self.shm = shm
@@ -200,16 +245,23 @@ class SharedArrayPack:
             )
             offset += arr.nbytes
         total = max(offset, 1)  # zero-size segments are invalid
-        shm = _shared_memory.SharedMemory(create=True, size=total)
-        for entry, arr in zip(entries, normalized.values()):
-            dest = np.ndarray(
-                entry.shape, dtype=arr.dtype, buffer=shm.buf, offset=entry.offset
-            )
-            dest[...] = arr
+        with current_tracer().span("shm.pack", n_arrays=len(entries)) as span:
+            shm = _shared_memory.SharedMemory(create=True, size=total)
+            for entry, arr in zip(entries, normalized.values()):
+                dest = np.ndarray(
+                    entry.shape, dtype=arr.dtype, buffer=shm.buf, offset=entry.offset
+                )
+                dest[...] = arr
+            span.set(segment=shm.name, bytes=total)
+        metrics = current_metrics()
+        metrics.inc("shm.segments_created")
+        metrics.inc("shm.packed_bytes", total)
         manifest = ArrayManifest(
             segment=shm.name, nbytes=total, entries=tuple(entries)
         )
-        return cls(shm=shm, manifest=manifest)
+        pack = cls(shm=shm, manifest=manifest)
+        _LIVE_PACKS.add(pack)
+        return pack
 
     @property
     def nbytes(self) -> int:
@@ -222,7 +274,12 @@ class SharedArrayPack:
         """Destroy the segment (idempotent). Close first if still mapped."""
         if not self._unlinked:
             self._unlinked = True
+            _LIVE_PACKS.discard(self)
             self.shm.unlink()
+            current_tracer().event(
+                "shm.release", segment=self.manifest.segment
+            )
+            current_metrics().inc("shm.segments_released")
 
     def release(self) -> None:
         """Close and unlink — the owner's end-of-pool teardown."""
@@ -351,6 +408,13 @@ class PickleWorkerPayload:
     def release(self) -> None:  # symmetry with the shm payload
         pass
 
+    def __enter__(self) -> "PickleWorkerPayload":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
 
 class ShmWorkerPayload:
     """Shared-memory transport: pickles metadata, attaches arrays.
@@ -447,15 +511,47 @@ class ShmWorkerPayload:
             self._pack.release()
             self._pack = None
 
+    def __enter__(self) -> "ShmWorkerPayload":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
 
 def make_worker_payload(
     table: SessionTable,
     index: TraceClusterIndex | None = None,
     transport: str | None = None,
 ):
-    """Build the transport payload for a worker pool's initializer."""
-    if resolve_transport(transport) == "shm":
-        return ShmWorkerPayload(table, index)
+    """Build the transport payload for a worker pool's initializer.
+
+    Degradation ladder: under ``transport="auto"`` (or ``None``) a
+    missing shared-memory facility, or a segment allocation failure
+    (``/dev/shm`` full, rlimit), falls back to the pickle transport
+    with a recorded reason instead of raising — transport never changes
+    results, only hand-off cost. An explicit ``transport="shm"`` still
+    raises, because the caller asked for exactly that.
+    """
+    requested = transport
+    resolved = resolve_transport(transport)
+    if resolved == "shm":
+        try:
+            return ShmWorkerPayload(table, index)
+        except (OSError, MemoryError) as exc:
+            if requested == "shm":
+                raise
+            record_degradation(
+                "shm_to_pickle",
+                f"shared-memory pack failed ({type(exc).__name__}: {exc}); "
+                "falling back to pickle transport",
+            )
+    elif requested in (None, "auto"):
+        record_degradation(
+            "shm_to_pickle",
+            "shared memory unavailable on this platform; "
+            "using pickle transport",
+        )
     return PickleWorkerPayload(table, index)
 
 

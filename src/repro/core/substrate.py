@@ -60,6 +60,8 @@ from repro.core.pipeline import (
     PipelineTimings,
     TraceAnalysis,
     _epoch_summary,
+    _fold_worker_stats,
+    _record_worker_spans,
     analyze_trace,
     resolve_transport,
     resolve_worker_count,
@@ -68,6 +70,7 @@ from repro.core.attributes import DEFAULT_SCHEMA, AttributeSchema
 from repro.core.problems import find_problem_clusters
 from repro.core.sessions import Session, SessionTable, grow_append
 from repro.core.shm import make_worker_payload
+from repro.obs import current_tracer, record_degradation
 
 
 class AnalysisSubstrate:
@@ -95,11 +98,12 @@ class AnalysisSubstrate:
         cls, table: SessionTable, codec: KeyCodec | None = None
     ) -> "AnalysisSubstrate":
         """Pack the table and build the trace-global cluster index."""
-        t0 = time.perf_counter()
-        index = TraceClusterIndex.build(table, codec=codec)
-        return cls(
-            table=table, index=index, build_seconds=time.perf_counter() - t0
-        )
+        with current_tracer().span("substrate.build", sessions=len(table)):
+            t0 = time.perf_counter()
+            index = TraceClusterIndex.build(table, codec=codec)
+            return cls(
+                table=table, index=index, build_seconds=time.perf_counter() - t0
+            )
 
     @property
     def codec(self) -> KeyCodec:
@@ -386,15 +390,27 @@ def _sweep_worker_init(payload, groups: list[list[AnalysisConfig]]) -> None:
     _SWEEP_STATE["groups"] = groups
 
 
-def _sweep_worker_run_batch(
-    batch: list[tuple[int, int, np.ndarray]],
-) -> list[tuple[int, int, list[tuple[list[EpochAnalysis], PipelineTimings]]]]:
+def _sweep_worker_run_batch(batch: list[tuple[int, int, np.ndarray]]) -> dict:
+    """One batch of sweep units in a worker; results plus timing stats
+    (the sweep twin of ``pipeline._worker_run_batch``)."""
+    import os
+
+    started_unix = time.time()
+    t0 = time.perf_counter()
     index = _SWEEP_STATE["index"]
     groups = _SWEEP_STATE["groups"]
-    return [
+    results = [
         (gi, epoch, _sweep_epoch(index, groups[gi], rows, epoch))
         for gi, epoch, rows in batch
     ]
+    return {
+        "results": results,
+        "pid": os.getpid(),
+        "started_unix": started_unix,
+        "busy_s": time.perf_counter() - t0,
+        "epochs": len(batch),
+        "rows": int(sum(rows.size for _, _, rows in batch)),
+    }
 
 
 def analyze_sweep(
@@ -490,44 +506,101 @@ def analyze_sweep(
         for epoch, rows in enumerate(rows_list)
     ]
 
-    if n_workers <= 1 or len(flat_units) <= 1:
-        index = substrate.index if substrate is not None else None
+    tracer = current_tracer()
+    index = substrate.index if substrate is not None else None
+
+    def run_serial(missing_only: bool) -> None:
+        nonlocal done
         for gi, epoch, rows in flat_units:
+            if missing_only and results[gi][epoch] is not None:
+                continue
             results[gi][epoch] = _sweep_epoch(
                 index, [c for _, c in group_members[gi]], rows, epoch
             )
             done += units_per_epoch[gi]
             if progress is not None:
                 progress(done, total_units)
-    else:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
 
-        payload = make_worker_payload(
-            table, substrate.index, transport=transport_name
-        )
-        chunk = max(1, math.ceil(len(flat_units) / (n_workers * 4)))
-        batches = [
-            flat_units[i : i + chunk] for i in range(0, len(flat_units), chunk)
-        ]
-        groups_cfg = [[c for _, c in members] for members in group_members]
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(batches)),
-                initializer=_sweep_worker_init,
-                initargs=(payload, groups_cfg),
-            ) as pool:
-                futures = [
-                    pool.submit(_sweep_worker_run_batch, batch)
-                    for batch in batches
-                ]
-                for future in as_completed(futures):
-                    for gi, epoch, epoch_out in future.result():
-                        results[gi][epoch] = epoch_out
-                        done += units_per_epoch[gi]
-                        if progress is not None:
-                            progress(done, total_units)
-        finally:
-            payload.release()
+    with tracer.span(
+        "analyze_sweep",
+        configs=len(configs),
+        sessions=len(table),
+        workers=n_workers,
+        transport=transport_name,
+        total_units=total_units,
+    ):
+        if n_workers <= 1 or len(flat_units) <= 1:
+            with tracer.span("epochs", mode="serial", units=len(flat_units)):
+                run_serial(missing_only=False)
+        else:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            failure: Exception | None = None
+            with tracer.span("worker_payload") as pspan:
+                payload = make_worker_payload(
+                    table, substrate.index, transport=transport
+                )
+                pspan.set(transport=payload.transport)
+                if payload.transport == "shm":
+                    pspan.set(segment_bytes=payload.manifest.nbytes)
+            chunk = max(1, math.ceil(len(flat_units) / (n_workers * 4)))
+            batches = [
+                flat_units[i : i + chunk]
+                for i in range(0, len(flat_units), chunk)
+            ]
+            groups_cfg = [[c for _, c in members] for members in group_members]
+            # ``with payload`` guarantees the owner's shared-memory
+            # segment is released however the pool ends (see
+            # pipeline.analyze_trace for the same pattern).
+            with payload:
+                with tracer.span(
+                    "fanout", workers=min(n_workers, len(batches)),
+                    batches=len(batches),
+                ) as fanout:
+                    worker_stats: dict[int, dict] = {}
+                    try:
+                        with ProcessPoolExecutor(
+                            max_workers=min(n_workers, len(batches)),
+                            initializer=_sweep_worker_init,
+                            initargs=(payload, groups_cfg),
+                        ) as pool:
+                            submitted: dict = {}
+                            futures = []
+                            for batch in batches:
+                                future = pool.submit(
+                                    _sweep_worker_run_batch, batch
+                                )
+                                submitted[future] = time.time()
+                                futures.append(future)
+                            for future in as_completed(futures):
+                                out = future.result()
+                                _fold_worker_stats(
+                                    worker_stats, out, submitted[future]
+                                )
+                                for gi, epoch, epoch_out in out["results"]:
+                                    results[gi][epoch] = epoch_out
+                                    done += units_per_epoch[gi]
+                                    if progress is not None:
+                                        progress(done, total_units)
+                    except Exception as exc:
+                        # Degrade to the serial reference path instead of
+                        # aborting; genuine per-unit bugs resurface there
+                        # with a clean traceback.
+                        failure = exc
+                    _record_worker_spans(tracer, worker_stats)
+                    fanout.set(completed_units=done)
+            if failure is not None:
+                missing = sum(
+                    1 for per_group in results for r in per_group if r is None
+                )
+                record_degradation(
+                    "parallel_to_serial",
+                    "sweep worker pool failed "
+                    f"({type(failure).__name__}: {failure}); completing "
+                    f"{missing} remaining unit(s) serially",
+                )
+                with tracer.span("epochs", mode="serial-fallback"):
+                    run_serial(missing_only=True)
 
     wall_share = (time.perf_counter() - wall_start) / len(configs)
     analyses: list[TraceAnalysis | None] = [None] * len(configs)

@@ -9,12 +9,14 @@ preserving codes exactly.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.attributes import AttributeSchema
 from repro.core.sessions import SessionTable
+from repro.io.traceio import _ingest_span, _note_ingest
 
 #: Format version written into every file.
 FORMAT_VERSION = 1
@@ -52,27 +54,41 @@ def write_sessions_npz(
 
 
 def read_sessions_npz(path: str | Path) -> SessionTable:
-    """Read a table written by :func:`write_sessions_npz`."""
+    """Read a table written by :func:`write_sessions_npz`.
+
+    Raises :class:`ValueError` (never a bare ``zipfile`` error) when the
+    file is not a well-formed repro npz trace.
+    """
     path = Path(path)
-    with np.load(path) as data:
+    with _ingest_span(path, "npz") as span:
         try:
-            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        except (KeyError, json.JSONDecodeError) as exc:
-            raise ValueError(f"{path}: not a repro npz trace") from exc
-        version = meta.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported trace format version {version!r}"
+            data = np.load(path)
+        except (zipfile.BadZipFile, OSError) as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise
+            raise ValueError(f"{path}: not a repro npz trace ({exc})") from exc
+        with data:
+            try:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            except (KeyError, json.JSONDecodeError) as exc:
+                raise ValueError(f"{path}: not a repro npz trace") from exc
+            version = meta.get("format_version")
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported trace format version {version!r}"
+                )
+            schema = AttributeSchema(names=tuple(meta["schema"]))
+            table = SessionTable(
+                schema=schema,
+                vocabs=meta["vocabs"],
+                codes=data["codes"],
+                start_time=data["start_time"],
+                duration_s=data["duration_s"],
+                buffering_s=data["buffering_s"],
+                join_time_s=data["join_time_s"],
+                bitrate_kbps=data["bitrate_kbps"],
+                join_failed=data["join_failed"],
             )
-        schema = AttributeSchema(names=tuple(meta["schema"]))
-        return SessionTable(
-            schema=schema,
-            vocabs=meta["vocabs"],
-            codes=data["codes"],
-            start_time=data["start_time"],
-            duration_s=data["duration_s"],
-            buffering_s=data["buffering_s"],
-            join_time_s=data["join_time_s"],
-            bitrate_kbps=data["bitrate_kbps"],
-            join_failed=data["join_failed"],
-        )
+        span.set(rows=len(table))
+    _note_ingest(len(table))
+    return table

@@ -38,6 +38,7 @@ substrate allocates fresh buffers on first growth, so
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap as _mmap
 import struct
@@ -54,6 +55,7 @@ from repro.core.shm import (
     table_from_arrays,
 )
 from repro.core.substrate import AnalysisSubstrate
+from repro.obs import current_metrics, current_tracer
 
 #: Snapshot file magic; bump the trailing digit on format changes.
 MAGIC = b"RPROSUB1"
@@ -81,9 +83,38 @@ def _little_endian(arr: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(arr)
 
 
-def save_substrate(substrate, path: str | Path) -> Path:
+def _schema_sha256(schema: AttributeSchema) -> str:
+    """Stable digest of the attribute schema a snapshot was built under."""
+    return hashlib.sha256("\x00".join(schema.names).encode("utf-8")).hexdigest()
+
+
+def source_record(source_path: str | Path) -> dict:
+    """The identity of a source trace file as recorded in snapshots.
+
+    ``path`` (resolved), ``size`` and ``mtime_ns`` together decide
+    staleness: any drift means the snapshot was built from different
+    bytes (or a different file) than the trace now on disk.
+    """
+    p = Path(source_path)
+    st = p.stat()
+    return {
+        "path": str(p.resolve()),
+        "size": int(st.st_size),
+        "mtime_ns": int(st.st_mtime_ns),
+    }
+
+
+def save_substrate(
+    substrate, path: str | Path, source: str | Path | None = None
+) -> Path:
     """Write a substrate (or anything with ``.table`` and ``.index``)
-    to ``path``. Returns the path."""
+    to ``path``. Returns the path.
+
+    ``source`` (optional) is the trace file the substrate was built
+    from; its identity (path, size, mtime) is recorded in the manifest
+    so :func:`snapshot_staleness` can detect a snapshot that no longer
+    matches the trace on disk.
+    """
     path = Path(path)
     table, index = substrate.table, substrate.index
     arrays = {
@@ -110,6 +141,7 @@ def save_substrate(substrate, path: str | Path) -> Path:
     manifest = {
         "version": 1,
         "schema": list(table.schema.names),
+        "schema_sha256": _schema_sha256(table.schema),
         "vocabs": [list(v) for v in table.vocabs],
         "n_rows": len(table),
         "widths": [int(w) for w in codec.widths],
@@ -118,18 +150,27 @@ def save_substrate(substrate, path: str | Path) -> Path:
         "fold_order": [int(m) for m in index.fold_order],
         "arrays": entries,
     }
+    if source is not None:
+        manifest["source"] = source_record(source)
     payload = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
 
     data_start = _align(_HEADER.size + len(payload))
-    with open(path, "wb") as f:
-        f.write(_HEADER.pack(MAGIC, len(payload)))
-        f.write(payload)
-        f.write(b"\0" * (data_start - _HEADER.size - len(payload)))
-        pos = 0
-        for entry, arr in zip(entries, arrays.values()):
-            f.write(b"\0" * (entry["offset"] - pos))
-            f.write(arr.tobytes())
-            pos = entry["offset"] + arr.nbytes
+    total = data_start + (offset if entries else 0)
+    with current_tracer().span(
+        "snapshot.save", path=str(path), arrays=len(entries)
+    ) as span:
+        with open(path, "wb") as f:
+            f.write(_HEADER.pack(MAGIC, len(payload)))
+            f.write(payload)
+            f.write(b"\0" * (data_start - _HEADER.size - len(payload)))
+            pos = 0
+            for entry, arr in zip(entries, arrays.values()):
+                f.write(b"\0" * (entry["offset"] - pos))
+                f.write(arr.tobytes())
+                pos = entry["offset"] + arr.nbytes
+        span.set(bytes=total)
+    current_metrics().inc("snapshot.saves")
+    current_metrics().inc("snapshot.saved_bytes", total)
     return path
 
 
@@ -157,6 +198,67 @@ def _read_manifest(path: Path, buf) -> tuple[dict, int]:
     return manifest, _align(_HEADER.size + length)
 
 
+def read_snapshot_manifest(path: str | Path) -> dict:
+    """Read and validate only the header + JSON manifest of a snapshot.
+
+    Never touches the array data, so it stays cheap on week-scale
+    snapshots. Raises :class:`ValueError` on anything that is not a
+    well-formed version-1 snapshot and :class:`OSError` when the file
+    cannot be read.
+    """
+    path = Path(path)
+    with open(path, "rb") as f:
+        head = f.read(_HEADER.size)
+        if len(head) == _HEADER.size:
+            _, length = _HEADER.unpack(head)
+            # Cap the read: a corrupted length field must not balloon
+            # into an attempted multi-GB allocation.
+            head += f.read(min(int(length), 1 << 30))
+    manifest, _ = _read_manifest(path, head)
+    return manifest
+
+
+def snapshot_staleness(
+    path: str | Path, source_path: str | Path | None = None
+) -> str | None:
+    """Why ``path`` cannot be trusted for ``source_path``, or ``None``.
+
+    Returns a human-readable reason when the snapshot is unreadable or
+    corrupt, records no source provenance, or records a source whose
+    resolved path, size, or mtime does not match the trace now on disk.
+    Returns ``None`` when the snapshot is safe to load (staleness
+    vs. ``source_path`` is only checked when one is given).
+    """
+    try:
+        manifest = read_snapshot_manifest(path)
+    except (ValueError, OSError) as exc:
+        return f"snapshot is unreadable: {exc}"
+    if source_path is None:
+        return None
+    recorded = manifest.get("source")
+    if recorded is None:
+        return (
+            "snapshot records no source trace, so it does not match "
+            "any provenance check; rebuild to adopt source tracking"
+        )
+    try:
+        current = source_record(source_path)
+    except OSError as exc:
+        return f"source trace is unreadable: {exc}"
+    for field, label in (
+        ("path", "path"),
+        ("size", "size"),
+        ("mtime_ns", "mtime"),
+    ):
+        if recorded.get(field) != current[field]:
+            return (
+                f"source trace {label} does not match the snapshot's "
+                f"recorded source ({current[field]!r} != "
+                f"{recorded.get(field)!r})"
+            )
+    return None
+
+
 def load_substrate(path: str | Path, mmap: bool = True) -> AnalysisSubstrate:
     """Load a substrate saved by :func:`save_substrate`.
 
@@ -165,14 +267,35 @@ def load_substrate(path: str | Path, mmap: bool = True) -> AnalysisSubstrate:
     with pages faulted in on first touch. ``mmap=False`` reads the file
     into memory instead (use when the file may be replaced while the
     substrate is alive). Raises :class:`ValueError` on corrupted,
-    truncated, or version-mismatched snapshots.
+    truncated, or version-mismatched snapshots; on any failure the
+    mapping (and file handle) is closed before the error propagates.
     """
     path = Path(path)
+    tracer = current_tracer()
     with open(path, "rb") as f:
         if mmap:
             buf = _mmap.mmap(f.fileno(), 0, access=_mmap.ACCESS_READ)
         else:
             buf = f.read()
+    try:
+        with tracer.span(
+            "snapshot.load", path=str(path), bytes=len(buf), mmap=mmap
+        ):
+            substrate = _restore_from_buffer(path, buf)
+    except Exception:
+        if isinstance(buf, _mmap.mmap):
+            try:
+                buf.close()
+            except BufferError:  # pragma: no cover - traceback-held views
+                pass
+        raise
+    current_metrics().inc("snapshot.loads")
+    current_metrics().inc("snapshot.loaded_bytes", len(buf))
+    return substrate
+
+
+def _restore_from_buffer(path: Path, buf) -> AnalysisSubstrate:
+    """Rebuild the substrate from a snapshot's raw bytes/mapping."""
     manifest, data_start = _read_manifest(path, buf)
 
     arrays = {}

@@ -30,6 +30,23 @@ import numpy as np
 
 from repro.core.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.core.sessions import Session, SessionTable
+from repro.obs import current_metrics, current_tracer
+
+
+def _ingest_span(path, fmt: str):
+    """An ``ingest`` span for one trace read (bytes from the file size)."""
+    try:
+        nbytes = Path(path).stat().st_size
+    except OSError:
+        nbytes = 0
+    return current_tracer().span(
+        "ingest", path=str(path), format=fmt, bytes=int(nbytes)
+    )
+
+
+def _note_ingest(rows: int) -> None:
+    current_metrics().inc("ingest.reads")
+    current_metrics().inc("ingest.rows", rows)
 
 #: Metric column order in files.
 _METRIC_COLUMNS = (
@@ -191,6 +208,19 @@ def read_sessions_jsonl(
     and streams chunks into the table (bit-identical result, no per-row
     ``Session`` objects); use it for large traces.
     """
+    with _ingest_span(path, "jsonl") as span:
+        table = _read_jsonl(path, schema, chunked, chunk_rows)
+        span.set(rows=len(table))
+    _note_ingest(len(table))
+    return table
+
+
+def _read_jsonl(
+    path: str | Path,
+    schema: AttributeSchema,
+    chunked: bool,
+    chunk_rows: int,
+) -> SessionTable:
     if chunked:
         return _read_chunked(
             _jsonl_record_chunks(Path(path), chunk_rows), schema, path
@@ -268,6 +298,19 @@ def read_sessions_csv(
     and streams chunks into the table (bit-identical result, no per-row
     ``Session`` objects or dicts); use it for large traces.
     """
+    with _ingest_span(path, "csv") as span:
+        table = _read_csv(path, schema, chunked, chunk_rows)
+        span.set(rows=len(table))
+    _note_ingest(len(table))
+    return table
+
+
+def _read_csv(
+    path: str | Path,
+    schema: AttributeSchema,
+    chunked: bool,
+    chunk_rows: int,
+) -> SessionTable:
     if chunked:
         return _read_chunked(
             _csv_record_chunks(Path(path), chunk_rows), schema, path

@@ -1,0 +1,116 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The default registry is the no-op :data:`NULL_METRICS` singleton, so
+instrumented code (``metrics.inc("shm.attach")``) costs one global read
+and one empty method call unless a real :class:`MetricsRegistry` is
+installed with :func:`use_metrics` — the CLI does this alongside the
+tracer when ``--trace-out`` is given, and tests install one to assert
+on counter values.
+
+Histograms are intentionally tiny: count / sum / min / max per name.
+That is enough to answer "how many, how much, how skewed" for the
+pipeline's per-epoch and per-chunk observations without reservoir
+machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class HistogramSummary:
+    """Streaming count/sum/min/max summary of one observed series."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histogram summaries, keyed by dotted names."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Current counter value (0 when never incremented)."""
+        return self.counters.get(name, default)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.as_dict() for name, hist in self.histograms.items()
+            },
+        }
+
+
+class NullMetrics:
+    """Default registry: every operation is a no-op."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def get(self, name: str, default: float = 0) -> float:
+        return default
+
+    def as_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,122 @@
+"""Observability sinks: trace JSON, run manifests, human summaries.
+
+Three machine/human read-outs of one instrumented run:
+
+* :func:`write_trace_json` — the full span tree plus the metrics
+  snapshot, as one JSON document (the CLI's ``--trace-out``);
+* :func:`write_run_manifest` — a compact, machine-readable record of
+  *what ran and how it went* (command, arguments, environment, top-level
+  timings, degradations), written next to a run's results so a fleet of
+  runs stays auditable without parsing logs;
+* ``Tracer.render()`` (in :mod:`repro.obs.trace`) — the indented tree
+  the upgraded ``--timings`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.trace import Tracer
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of argparse values etc. to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def write_trace_json(
+    path: str | Path, tracer: Tracer, metrics: MetricsRegistry | None = None
+) -> Path:
+    """Write the span tree (+ metrics snapshot) as one JSON document."""
+    path = Path(path)
+    payload: dict[str, Any] = {"trace": tracer.as_dict()}
+    if metrics is not None and not isinstance(metrics, NullMetrics):
+        payload["metrics"] = metrics.as_dict()
+    path.write_text(
+        json.dumps(payload, indent=2, default=_jsonable) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def degradation_reasons(tracer: Tracer) -> list[dict]:
+    """Every degraded-path event recorded in the trace, in span order."""
+    return [
+        {
+            "kind": span.attrs.get("kind", "unknown"),
+            "reason": span.attrs.get("reason", ""),
+        }
+        for span in tracer.find("degraded")
+    ]
+
+
+def write_run_manifest(
+    path: str | Path,
+    command: str,
+    argv: list[str] | None,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    args: dict[str, Any] | None = None,
+    outputs: list[str] | None = None,
+    exit_code: int | None = None,
+) -> Path:
+    """Write the machine-readable run manifest next to a run's results."""
+    path = Path(path)
+    root = tracer.finish()
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "command": command,
+        "argv": list(argv) if argv is not None else list(sys.argv[1:]),
+        "args": _jsonable(args or {}),
+        "started_unix": tracer.started_unix,
+        "finished_unix": tracer.started_unix + root.duration_s,
+        "duration_s": round(root.duration_s, 6),
+        "exit_code": exit_code,
+        "outputs": list(outputs or []),
+        "host": platform.node(),
+        "pid": os.getpid(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "degradations": degradation_reasons(tracer),
+        "span_names": sorted({s.name for s in root.walk()}),
+    }
+    try:  # numpy is a hard dependency, but keep the manifest resilient
+        import numpy
+
+        manifest["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is always importable here
+        pass
+    if metrics is not None and not isinstance(metrics, NullMetrics):
+        manifest["metrics"] = metrics.as_dict()
+    path.write_text(
+        json.dumps(manifest, indent=2, default=_jsonable) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def manifest_path_for(trace_out: str | Path) -> Path:
+    """Where the run manifest lives for a given ``--trace-out`` path."""
+    trace_out = Path(trace_out)
+    return trace_out.with_name(trace_out.stem + ".manifest.json")
+
+
+def utcnow_unix() -> float:
+    """Seconds since the epoch (isolated for testability)."""
+    return time.time()

@@ -1,0 +1,219 @@
+"""Transport and pool degradation: every rung lands on identical results.
+
+The ladder is shm -> pickle -> serial. These tests force each failure
+(shared memory unavailable, segment allocation failure, a worker raising
+mid-pool, a worker dying hard via ``os._exit``) and assert three things:
+the run completes with results bit-identical to the serial reference,
+the degradation reason is observable (metrics counter + trace event),
+and no shared-memory segment leaks.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+import repro.core.shm as shm_mod
+import repro.core.substrate as substrate_mod
+from repro.core.pipeline import AnalysisConfig, analyze_trace
+from repro.core.sessions import SessionTable
+from repro.core.shm import (
+    PickleWorkerPayload,
+    SharedArrayPack,
+    make_worker_payload,
+    shared_memory_available,
+)
+from repro.core.substrate import analyze_sweep
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    degradation_reasons,
+    use_metrics,
+    use_tracer,
+)
+from tests.conftest import make_session
+from tests.property.test_parallel_equivalence import assert_equal_analyses
+
+
+@pytest.fixture(scope="module")
+def table() -> SessionTable:
+    rng = np.random.default_rng(23)
+    sessions = []
+    for epoch in range(3):
+        for i in range(120):
+            sessions.append(
+                make_session(
+                    start_time=epoch * 3600.0 + float(rng.uniform(0, 3600)),
+                    buffering_s=float(rng.uniform(0, 60)),
+                    join_time_s=float(rng.uniform(0.5, 12)),
+                    bitrate_kbps=float(rng.uniform(300, 4000)),
+                    join_failed=bool(rng.random() < 0.1),
+                    cdn=f"cdn_{i % 3}",
+                    asn=f"AS{i % 4}",
+                    site=f"site_{i % 2}",
+                )
+            )
+    return SessionTable.from_sessions(sessions)
+
+
+@pytest.fixture
+def collectors():
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        yield tracer, metrics
+
+
+def created_segments(monkeypatch) -> list:
+    """Record every SharedArrayPack created under the patch."""
+    packs = []
+    original = SharedArrayPack.create.__func__
+
+    def tracking(cls, arrays):
+        pack = original(cls, arrays)
+        packs.append(pack)
+        return pack
+
+    monkeypatch.setattr(
+        SharedArrayPack, "create", classmethod(tracking)
+    )
+    return packs
+
+
+def assert_no_leaks(packs) -> None:
+    from multiprocessing import shared_memory
+
+    for pack in packs:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=pack.shm.name)
+
+
+# Module-level so the pool can pickle them by qualified name.
+def _exploding_batch(batch):
+    raise RuntimeError("worker exploded")
+
+
+def _dying_batch(batch):
+    os._exit(17)
+
+
+def _exploding_sweep_batch(batch):
+    raise RuntimeError("sweep worker exploded")
+
+
+class TestShmUnavailable:
+    def test_auto_falls_back_to_pickle_with_reason(
+        self, table, collectors, monkeypatch
+    ):
+        tracer, metrics = collectors
+        monkeypatch.setattr(shm_mod, "shared_memory_available", lambda: False)
+        payload = make_worker_payload(table, transport="auto")
+        assert isinstance(payload, PickleWorkerPayload)
+        assert metrics.get("degraded.shm_to_pickle") == 1
+        assert degradation_reasons(tracer)[0]["kind"] == "shm_to_pickle"
+
+    def test_explicit_shm_still_raises(self, table, monkeypatch):
+        monkeypatch.setattr(shm_mod, "shared_memory_available", lambda: False)
+        with pytest.raises(ValueError):
+            make_worker_payload(table, transport="shm")
+
+    def test_pack_failure_falls_back_under_auto(
+        self, table, collectors, monkeypatch
+    ):
+        tracer, metrics = collectors
+
+        def broken_create(cls, arrays):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(
+            SharedArrayPack, "create", classmethod(broken_create)
+        )
+        payload = make_worker_payload(table, transport="auto")
+        assert isinstance(payload, PickleWorkerPayload)
+        assert metrics.get("degraded.shm_to_pickle") == 1
+        assert "no space left" in degradation_reasons(tracer)[0]["reason"]
+
+    def test_pack_failure_raises_under_explicit_shm(self, table, monkeypatch):
+        def broken_create(cls, arrays):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(
+            SharedArrayPack, "create", classmethod(broken_create)
+        )
+        with pytest.raises(OSError):
+            make_worker_payload(table, transport="shm")
+
+    def test_parallel_run_without_shm_matches_serial(
+        self, table, collectors, monkeypatch
+    ):
+        _, metrics = collectors
+        monkeypatch.setattr(shm_mod, "shared_memory_available", lambda: False)
+        parallel = analyze_trace(table, workers=2, transport="auto")
+        monkeypatch.undo()
+        serial = analyze_trace(table, workers=0)
+        assert_equal_analyses(parallel, serial)
+        assert metrics.get("degraded.shm_to_pickle") >= 1
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="no POSIX shared memory"
+)
+class TestWorkerCrash:
+    def test_raising_worker_degrades_to_serial(
+        self, table, collectors, monkeypatch
+    ):
+        tracer, metrics = collectors
+        packs = created_segments(monkeypatch)
+
+        monkeypatch.setattr(
+            pipeline_mod, "_worker_run_batch", _exploding_batch
+        )
+        parallel = analyze_trace(table, workers=2, transport="shm")
+        monkeypatch.undo()
+        serial = analyze_trace(table, workers=0)
+        assert_equal_analyses(parallel, serial)
+        assert metrics.get("degraded.parallel_to_serial") == 1
+        reasons = degradation_reasons(tracer)
+        assert any("worker exploded" in r["reason"] for r in reasons)
+        assert any(
+            s.attrs.get("mode") == "serial-fallback"
+            for s in tracer.find("epochs")
+        )
+        assert packs and len(packs) == 1
+        assert_no_leaks(packs)
+
+    def test_hard_worker_death_degrades_to_serial(
+        self, table, collectors, monkeypatch
+    ):
+        _, metrics = collectors
+        packs = created_segments(monkeypatch)
+
+        monkeypatch.setattr(pipeline_mod, "_worker_run_batch", _dying_batch)
+        parallel = analyze_trace(table, workers=2, transport="shm")
+        monkeypatch.undo()
+        serial = analyze_trace(table, workers=0)
+        assert_equal_analyses(parallel, serial)
+        assert metrics.get("degraded.parallel_to_serial") == 1
+        assert_no_leaks(packs)
+
+    def test_sweep_worker_crash_degrades_to_serial(
+        self, table, collectors, monkeypatch
+    ):
+        _, metrics = collectors
+        packs = created_segments(monkeypatch)
+        configs = [
+            AnalysisConfig(),
+            AnalysisConfig(epoch_seconds=1800.0),
+        ]
+
+        monkeypatch.setattr(
+            substrate_mod, "_sweep_worker_run_batch", _exploding_sweep_batch
+        )
+        parallel = analyze_sweep(table, configs, workers=2, transport="shm")
+        monkeypatch.undo()
+        serial = analyze_sweep(table, configs, workers=0)
+        assert len(parallel) == len(serial) == 2
+        for p, s in zip(parallel, serial):
+            assert_equal_analyses(p, s)
+        assert metrics.get("degraded.parallel_to_serial") == 1
+        assert_no_leaks(packs)

@@ -270,3 +270,44 @@ class TestAnalyzeTraceTransport:
         assert payload_names
         for name in payload_names:
             assert not segment_exists(name)
+
+
+class TestLeakSafetyNet:
+    def test_atexit_net_releases_stray_packs(self, mixed_epoch_table):
+        from repro.core.shm import _LIVE_PACKS, _release_stray_packs
+
+        payload = make_worker_payload(mixed_epoch_table, transport="shm")
+        name = payload.manifest.segment
+        assert payload._pack in _LIVE_PACKS
+        assert segment_exists(name)
+        # Simulate a process exiting without release(): the atexit hook
+        # must unlink anything still registered.
+        _release_stray_packs()
+        assert not segment_exists(name)
+        # Idempotent: a second pass (or a normal release afterwards)
+        # must not raise on the already-unlinked segment.
+        _release_stray_packs()
+        payload.release()
+
+    def test_release_unregisters_from_net(self, mixed_epoch_table):
+        from repro.core.shm import _LIVE_PACKS
+
+        payload = make_worker_payload(mixed_epoch_table, transport="shm")
+        pack = payload._pack
+        payload.release()
+        assert pack not in _LIVE_PACKS
+
+    def test_payload_context_manager_releases(self, mixed_epoch_table):
+        with make_worker_payload(mixed_epoch_table, transport="shm") as payload:
+            name = payload.manifest.segment
+            assert segment_exists(name)
+        assert not segment_exists(name)
+
+    def test_payload_context_manager_releases_on_error(self, mixed_epoch_table):
+        with pytest.raises(RuntimeError):
+            with make_worker_payload(
+                mixed_epoch_table, transport="shm"
+            ) as payload:
+                name = payload.manifest.segment
+                raise RuntimeError("boom")
+        assert not segment_exists(name)

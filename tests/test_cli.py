@@ -19,9 +19,11 @@ class TestGenerate:
         assert main(["generate", "--workload", "tiny", "-o", str(out)]) == 0
         assert out.exists()
 
-    def test_bad_extension(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["generate", "-o", str(tmp_path / "trace.parquet")])
+    def test_bad_extension(self, tmp_path, capsys):
+        assert main(["generate", "-o", str(tmp_path / "trace.parquet")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestAnalyze:
@@ -34,9 +36,17 @@ class TestAnalyze:
         assert "join_failure" in text
         assert "Critical clusters" in text
 
-    def test_unsupported_extension(self):
-        with pytest.raises(SystemExit):
-            main(["analyze", "trace.parquet"])
+    def test_unsupported_extension(self, capsys):
+        assert main(["analyze", "trace.parquet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unsupported trace extension" in err
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestList:
@@ -156,3 +166,132 @@ class TestSubstrateCache:
         out = capsys.readouterr().out
         assert "does not match" in out
         assert "built and saved" in out
+
+    def test_corrupt_cache_is_rebuilt_not_fatal(self, tmp_path, capsys):
+        trace = tmp_path / "trace.npz"
+        cache = tmp_path / "trace.sub"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        capsys.readouterr()
+        # Corrupt the data section (manifest still parses) and pin the
+        # trace mtime so only corruption — not staleness — triggers.
+        raw = bytearray(cache.read_bytes())
+        cache.write_bytes(bytes(raw[: len(raw) // 2]))
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilding" in out
+        assert "built and saved" in out
+        # The overwritten snapshot is healthy again.
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        assert "loaded" in capsys.readouterr().out
+
+    def test_source_mtime_drift_rebuilds_cache(self, tmp_path, capsys):
+        import os
+
+        trace = tmp_path / "trace.npz"
+        cache = tmp_path / "trace.sub"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        capsys.readouterr()
+        os.utime(trace, ns=(1, 1))
+        assert main(["analyze", str(trace),
+                     "--substrate-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "does not match" in out
+        assert "built and saved" in out
+
+
+class TestTraceOut:
+    def _span_names(self, node, names=None):
+        names = set() if names is None else names
+        names.add(node["name"])
+        for child in node.get("children", ()):
+            self._span_names(child, names)
+        return names
+
+    def test_analyze_writes_trace_and_manifest(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "run.json"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["analyze", str(trace), "--workers", "2",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+
+        data = json.loads(out.read_text())
+        names = self._span_names(data["trace"])
+        for expected in ("ingest", "analyze_trace", "index_build",
+                         "worker_payload", "fanout", "worker", "aggregate",
+                         "shm.pack"):
+            assert expected in names, f"span {expected!r} missing"
+        counters = data["metrics"]["counters"]
+        assert counters["pipeline.runs"] == 1
+        assert counters["shm.segments_created"] == \
+            counters["shm.segments_released"]
+        assert counters["ingest.rows"] > 0
+
+        manifest = json.loads(
+            (tmp_path / "run.manifest.json").read_text()
+        )
+        assert manifest["command"] == "analyze"
+        assert manifest["exit_code"] == 0
+        assert manifest["degradations"] == []
+        assert "analyze_trace" in manifest["span_names"]
+
+    def test_worker_spans_carry_pids_and_bytes(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "run.json"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["analyze", str(trace), "--workers", "2",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+
+        data = json.loads(out.read_text())
+
+        def find(node, name, hits):
+            if node["name"] == name:
+                hits.append(node)
+            for child in node.get("children", ()):
+                find(child, name, hits)
+            return hits
+
+        workers = find(data["trace"], "worker", [])
+        assert workers
+        assert all(w["attrs"]["pid"] > 0 for w in workers)
+        packs = find(data["trace"], "shm.pack", [])
+        assert packs and packs[0]["attrs"]["bytes"] > 0
+
+    def test_sweep_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "run.json"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["sweep", str(trace), "--threshold-scales", "0.5,1.0",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        names = self._span_names(json.loads(out.read_text())["trace"])
+        assert "analyze_sweep" in names
+        assert "substrate.build" in names
+
+    def test_trace_out_written_even_on_failure(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.json"
+        assert main(["analyze", str(tmp_path / "missing.jsonl"),
+                     "--trace-out", str(out)]) == 2
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["exit_code"] == 2

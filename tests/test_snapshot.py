@@ -1,0 +1,125 @@
+"""Snapshot provenance, staleness detection, and load-failure hygiene."""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.substrate import AnalysisSubstrate
+from repro.io.binary import write_sessions_npz
+from repro.io.snapshot import (
+    MAGIC,
+    load_substrate,
+    read_snapshot_manifest,
+    save_substrate,
+    snapshot_staleness,
+    source_record,
+)
+from repro.trace.generator import generate_trace
+from repro.trace.workloads import StandardWorkloads
+
+
+@pytest.fixture(scope="module")
+def trace_table():
+    return generate_trace(StandardWorkloads.by_name("tiny", seed=5)).table
+
+
+@pytest.fixture(scope="module")
+def substrate(trace_table):
+    return AnalysisSubstrate.build(trace_table)
+
+
+@pytest.fixture
+def source_path(tmp_path, trace_table):
+    path = tmp_path / "trace.npz"
+    write_sessions_npz(trace_table, path)
+    return path
+
+
+class TestProvenance:
+    def test_manifest_records_source_and_schema(
+        self, tmp_path, substrate, source_path
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub", source=source_path)
+        manifest = read_snapshot_manifest(path)
+        assert manifest["source"] == source_record(source_path)
+        assert len(manifest["schema_sha256"]) == 64
+
+    def test_fresh_snapshot_is_not_stale(self, tmp_path, substrate, source_path):
+        path = save_substrate(substrate, tmp_path / "s.sub", source=source_path)
+        assert snapshot_staleness(path, source_path) is None
+        # Without a source to compare against, readability is the only check.
+        assert snapshot_staleness(path) is None
+
+    def test_source_mtime_drift_is_stale(self, tmp_path, substrate, source_path):
+        path = save_substrate(substrate, tmp_path / "s.sub", source=source_path)
+        os.utime(source_path, ns=(1, 1))
+        reason = snapshot_staleness(path, source_path)
+        assert reason is not None and "does not match" in reason
+
+    def test_source_size_drift_is_stale(self, tmp_path, substrate, source_path):
+        path = save_substrate(substrate, tmp_path / "s.sub", source=source_path)
+        st = source_path.stat()
+        with open(source_path, "ab") as f:
+            f.write(b"x")
+        os.utime(source_path, ns=(st.st_mtime_ns, st.st_mtime_ns))
+        reason = snapshot_staleness(path, source_path)
+        assert reason is not None and "does not match" in reason
+
+    def test_snapshot_without_source_is_stale_vs_source(
+        self, tmp_path, substrate, source_path
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        reason = snapshot_staleness(path, source_path)
+        assert reason is not None and "does not match" in reason
+
+    def test_corrupt_snapshot_reports_unreadable(self, tmp_path, source_path):
+        path = tmp_path / "s.sub"
+        path.write_bytes(b"not a snapshot at all")
+        reason = snapshot_staleness(path, source_path)
+        assert reason is not None and "unreadable" in reason
+
+    def test_truncated_manifest_reports_unreadable(
+        self, tmp_path, substrate, source_path
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub", source=source_path)
+        path.write_bytes(path.read_bytes()[:12])
+        assert snapshot_staleness(path, source_path) is not None
+
+
+class TestLoadHygiene:
+    def test_load_without_source_still_round_trips(self, tmp_path, substrate):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        loaded = load_substrate(path)
+        assert len(loaded.table) == len(substrate.table)
+        np.testing.assert_array_equal(
+            loaded.index.leaf_keys, substrate.index.leaf_keys
+        )
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_corrupt_load_raises_without_resource_warning(
+        self, tmp_path, substrate, mmap
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        raw = bytearray(path.read_bytes())
+        # Truncate the data section: manifest parses, arrays run past EOF.
+        path.write_bytes(bytes(raw[: len(raw) // 2]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with pytest.raises(ValueError):
+                load_substrate(path, mmap=mmap)
+            import gc
+
+            gc.collect()
+
+    def test_bad_magic_raises_value_error(self, tmp_path, substrate):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        raw = bytearray(path.read_bytes())
+        raw[:8] = b"BADMAGIC"
+        path.write_bytes(bytes(raw))
+        assert MAGIC not in raw[:8]
+        with pytest.raises(ValueError):
+            load_substrate(path)
+        with pytest.raises(ValueError):
+            read_snapshot_manifest(path)
