@@ -16,12 +16,18 @@ Subcommands:
 
 * ``sweep`` — analyze a trace under several config variants at once,
   building the shared substrate (pack + cluster index) only once.
+* ``shard`` — build or inspect an epoch-range shard store; ``analyze``,
+  ``sweep`` and ``report`` then accept ``--shard-dir`` to run
+  out-of-core over the store (bounded parent memory, bit-identical
+  results).
 
 Examples::
 
     repro-video-quality generate --workload tiny --seed 7 -o trace.npz
     repro-video-quality analyze trace.npz
     repro-video-quality sweep trace.npz --threshold-scales 0.5,1.0,2.0
+    repro-video-quality shard build trace.npz -o trace.shards
+    repro-video-quality analyze --shard-dir trace.shards --workers auto
     repro-video-quality experiment tab1 --workload small
     repro-video-quality validate --workload tiny
     repro-video-quality report --workload small -o report.md
@@ -125,6 +131,35 @@ def _add_trace_out_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shard_dir_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-dir", metavar="DIR", default=None, dest="shard_dir",
+        help="run out-of-core over an epoch-range shard store (built "
+        "with 'shard build'): shards are analyzed independently — "
+        "mmap-loaded one at a time (or per pool worker) so peak "
+        "memory stays bounded by the largest shard — and merged "
+        "exactly; results are identical to the in-memory path",
+    )
+
+
+def _peak_rss_line() -> str | None:
+    """The ``--timings`` peak-RSS read-out (None where unavailable)."""
+    from repro.obs import peak_rss_bytes
+
+    peak = peak_rss_bytes()
+    if peak is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    return f"  peak RSS                 : {peak / 1e6:9.1f} MB"
+
+
+def _print_timings(timings) -> None:
+    print()
+    print(timings.render())
+    line = _peak_rss_line()
+    if line is not None:
+        print(line)
+
+
 def _parse_float_list(value: str) -> list[float]:
     try:
         return [float(v) for v in value.split(",") if v.strip()]
@@ -154,11 +189,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     ana = sub.add_parser("analyze", help="analyze a trace file")
-    ana.add_argument("trace", help="trace path (.jsonl or .csv)")
+    ana.add_argument("trace", nargs="?", default=None,
+                     help="trace path (.jsonl, .csv or .npz); omit when "
+                     "--shard-dir is given")
     _add_workers_arg(ana)
     _add_engine_arg(ana)
     _add_transport_arg(ana)
     _add_substrate_cache_arg(ana)
+    _add_shard_dir_arg(ana)
     _add_trace_out_arg(ana)
     ana.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
@@ -168,7 +206,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="analyze a trace under several config variants, sharing one "
         "substrate build",
     )
-    swp.add_argument("trace", help="trace path (.jsonl, .csv or .npz)")
+    swp.add_argument("trace", nargs="?", default=None,
+                     help="trace path (.jsonl, .csv or .npz); omit when "
+                     "--shard-dir is given")
     swp.add_argument(
         "--ratio-multipliers", type=_parse_float_list, default=None,
         metavar="X,Y,...",
@@ -187,6 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(swp)
     _add_transport_arg(swp)
     _add_substrate_cache_arg(swp)
+    _add_shard_dir_arg(swp)
     _add_trace_out_arg(swp)
     swp.add_argument("--timings", action="store_true",
                      help="print per-variant pipeline timings")
@@ -212,9 +253,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(rep)
     _add_engine_arg(rep)
     _add_substrate_cache_arg(rep)
+    _add_shard_dir_arg(rep)
     _add_trace_out_arg(rep)
     rep.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
+
+    shard = sub.add_parser(
+        "shard", help="build or inspect an epoch-range shard store"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shb = shard_sub.add_parser(
+        "build",
+        help="partition a trace into epoch-range substrate shards on disk",
+    )
+    shb.add_argument("trace", help="trace path (.jsonl, .csv or .npz)")
+    shb.add_argument("-o", "--output", required=True,
+                     help="shard store directory (created if missing)")
+    shb.add_argument(
+        "--epochs-per-shard", type=int, default=None, metavar="N",
+        help="fixed shard width in epochs (ragged last shard; "
+        "default 24 when --shards is not given)",
+    )
+    shb.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="near-equal split into K shards (alternative to "
+        "--epochs-per-shard)",
+    )
+    shb.add_argument(
+        "--epoch-seconds", type=float, default=3600.0,
+        help="epoch length in seconds (default 3600)",
+    )
+    _add_trace_out_arg(shb)
+    shi = shard_sub.add_parser("info", help="print a shard store's manifest")
+    shi.add_argument("store", help="shard store directory")
 
     rem = sub.add_parser(
         "remedies", help="suggest and evaluate remedies for a workload"
@@ -317,12 +388,38 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_shard_store(args: argparse.Namespace):
+    """Validate ``--shard-dir`` flag combinations and open the store."""
+    if getattr(args, "substrate_cache", None) is not None:
+        raise ValueError(
+            "--shard-dir and --substrate-cache are mutually exclusive "
+            "(a shard store already persists its substrates)"
+        )
+    if getattr(args, "trace", None) is not None:
+        raise ValueError(
+            "give either a trace path or --shard-dir, not both"
+        )
+    from repro.core.shards import ShardStore
+
+    return ShardStore.open(args.shard_dir)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    table, substrate = _resolve_substrate(args)
-    analysis = analyze_trace(
-        table, workers=args.workers, engine=args.engine,
-        transport=args.transport, substrate=substrate,
-    )
+    if args.shard_dir is not None:
+        from repro.core.shards import analyze_shards
+
+        store = _open_shard_store(args)
+        analysis = analyze_shards(store, workers=args.workers)
+        n_sessions, source = store.total_sessions, args.shard_dir
+    else:
+        if args.trace is None:
+            raise ValueError("a trace path or --shard-dir is required")
+        table, substrate = _resolve_substrate(args)
+        analysis = analyze_trace(
+            table, workers=args.workers, engine=args.engine,
+            transport=args.transport, substrate=substrate,
+        )
+        n_sessions, source = len(table), args.trace
     rows = []
     for name, ma in analysis.metrics.items():
         rows.append(
@@ -339,13 +436,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             ["Metric", "Problem ratio", "Problem clusters", "Critical clusters",
              "Critical coverage"],
             rows,
-            title=f"Analysis of {args.trace} "
-            f"({len(table)} sessions, {analysis.grid.n_epochs} epochs)",
+            title=f"Analysis of {source} "
+            f"({n_sessions} sessions, {analysis.grid.n_epochs} epochs)",
         )
     )
     if args.timings:
-        print()
-        print(analysis.timings.render())
+        _print_timings(analysis.timings)
     return 0
 
 
@@ -357,7 +453,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.problems import ProblemClusterConfig
     from repro.core.substrate import analyze_sweep
 
-    table, substrate = _resolve_substrate(args)
     base = AnalysisConfig()
     variants: list[tuple[str, AnalysisConfig]] = []
     for mult in args.ratio_multipliers or ():
@@ -383,13 +478,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not variants:
         variants = [("baseline", base)]
 
-    analyses = analyze_sweep(
-        table,
-        [config for _, config in variants],
-        substrate=substrate,
-        workers=args.workers,
-        transport=args.transport,
-    )
+    if args.shard_dir is not None:
+        from repro.core.shards import sweep_shards
+
+        store = _open_shard_store(args)
+        analyses = sweep_shards(
+            store, [config for _, config in variants], workers=args.workers
+        )
+        n_sessions, source = store.total_sessions, args.shard_dir
+    else:
+        if args.trace is None:
+            raise ValueError("a trace path or --shard-dir is required")
+        table, substrate = _resolve_substrate(args)
+        analyses = analyze_sweep(
+            table,
+            [config for _, config in variants],
+            substrate=substrate,
+            workers=args.workers,
+            transport=args.transport,
+        )
+        n_sessions, source = len(table), args.trace
     rows = []
     for (label, _), analysis in zip(variants, analyses):
         for name, ma in analysis.metrics.items():
@@ -408,7 +516,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ["Variant", "Metric", "Epochs", "Problem clusters",
              "Critical clusters", "Critical coverage"],
             rows,
-            title=f"Config sweep over {args.trace} ({len(table)} sessions, "
+            title=f"Config sweep over {source} ({n_sessions} sessions, "
             f"{len(variants)} variants, one substrate build)",
         )
     )
@@ -417,6 +525,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
             print(f"-- {label} --")
             print(analysis.timings.render())
+        line = _peak_rss_line()
+        if line is not None:
+            print(line)
     return 0
 
 
@@ -449,11 +560,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
     trace = generate_trace(spec)
-    _, substrate = _resolve_substrate(args, table=trace.table)
-    analysis = _analyze(
-        trace.table, grid=trace.grid, workers=args.workers,
-        engine=args.engine, substrate=substrate,
-    )
+    if args.shard_dir is not None:
+        analysis = _report_analyze_sharded(args, trace)
+    else:
+        _, substrate = _resolve_substrate(args, table=trace.table)
+        analysis = _analyze(
+            trace.table, grid=trace.grid, workers=args.workers,
+            engine=args.engine, substrate=substrate,
+        )
     path = write_report(
         args.output, trace.table, analysis, catalog=trace.catalog,
         title=f"Problem-structure report — workload {args.workload}, "
@@ -461,8 +575,85 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     print(f"wrote report to {path}")
     if args.timings:
-        print()
-        print(analysis.timings.render())
+        _print_timings(analysis.timings)
+    return 0
+
+
+def _report_analyze_sharded(args: argparse.Namespace, trace):
+    """``report --shard-dir``: reuse a matching store or (re)build one.
+
+    The report workload is generated, not read from disk, so the store
+    acts as a cache for the generated trace: an existing store is only
+    trusted when its grid matches the workload's.
+    """
+    import os
+
+    from repro.core.shards import ShardStore, analyze_shards, build_shard_store
+
+    if getattr(args, "substrate_cache", None) is not None:
+        raise ValueError(
+            "--shard-dir and --substrate-cache are mutually exclusive "
+            "(a shard store already persists its substrates)"
+        )
+    store = None
+    if os.path.exists(os.path.join(args.shard_dir, "manifest.json")):
+        store = ShardStore.open(args.shard_dir)
+        if store.grid != trace.grid or store.total_sessions != len(trace.table):
+            print(
+                f"shard store: {args.shard_dir} does not match this "
+                "workload; rebuilding"
+            )
+            store = None
+    if store is None:
+        store = build_shard_store(
+            trace.table, args.shard_dir, epochs_per_shard=24, grid=trace.grid
+        )
+        print(
+            f"shard store: built {args.shard_dir} "
+            f"({len(store.shards)} shards, {store.total_sessions} sessions)"
+        )
+    return analyze_shards(store, workers=args.workers)
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.core.shards import ShardStore, build_shard_store
+
+    if args.shard_command == "build":
+        epochs_per_shard, n_shards = args.epochs_per_shard, args.shards
+        if epochs_per_shard is None and n_shards is None:
+            epochs_per_shard = 24
+        table = _read_trace(args.trace)
+        store = build_shard_store(
+            table,
+            args.output,
+            epochs_per_shard=epochs_per_shard,
+            n_shards=n_shards,
+            epoch_seconds=args.epoch_seconds,
+        )
+        widths = [s.n_epochs for s in store.shards]
+        print(
+            f"wrote {len(store.shards)} shards "
+            f"({store.total_sessions} sessions, {store.grid.n_epochs} "
+            f"epochs, {min(widths)}-{max(widths)} epochs/shard) "
+            f"to {args.output}"
+        )
+        return 0
+
+    store = ShardStore.open(args.store)
+    print(
+        f"shard store {args.store}: {len(store.shards)} shards, "
+        f"{store.total_sessions} sessions, {store.grid.n_epochs} epochs "
+        f"of {store.grid.epoch_seconds:g}s, schema {store.schema_digest[:12]}"
+    )
+    print(
+        render_table(
+            ["Shard", "File", "Epochs", "Sessions"],
+            [
+                [i, s.file, f"[{s.epoch_lo}, {s.epoch_hi})", s.sessions]
+                for i, s in enumerate(store.shards)
+            ],
+        )
+    )
     return 0
 
 
@@ -515,6 +706,7 @@ def _run_command(args: argparse.Namespace) -> int:
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "report": _cmd_report,
+        "shard": _cmd_shard,
         "remedies": _cmd_remedies,
         "list": _cmd_list,
     }

@@ -47,8 +47,11 @@ from repro.core.streaks import (
     ClusterTimeline,
     Streak,
     build_timelines,
+    coalesce_streaks,
+    merge_timelines,
     prevalence,
     persistence_streaks,
+    shift_streaks,
 )
 from repro.core.pipeline import (
     AnalysisConfig,
@@ -70,6 +73,16 @@ from repro.core.substrate import (
     AnalysisSubstrate,
     StreamingSubstrate,
     analyze_sweep,
+)
+from repro.core.shards import (
+    ShardInfo,
+    ShardStore,
+    ShardStoreBuilder,
+    analyze_shards,
+    build_shard_store,
+    merge_shard_analyses,
+    shard_boundaries,
+    sweep_shards,
 )
 from repro.core.online import AlertEvent, ClusterAlert, OnlineDetector
 from repro.core.overlap import jaccard_similarity, top_k_critical_overlap
@@ -110,8 +123,11 @@ __all__ = [
     "ClusterTimeline",
     "Streak",
     "build_timelines",
+    "coalesce_streaks",
+    "merge_timelines",
     "prevalence",
     "persistence_streaks",
+    "shift_streaks",
     "AnalysisConfig",
     "EpochAnalysis",
     "MetricAnalysis",
@@ -123,6 +139,14 @@ __all__ = [
     "AnalysisSubstrate",
     "StreamingSubstrate",
     "analyze_sweep",
+    "ShardInfo",
+    "ShardStore",
+    "ShardStoreBuilder",
+    "analyze_shards",
+    "build_shard_store",
+    "merge_shard_analyses",
+    "shard_boundaries",
+    "sweep_shards",
     "SharedArrayPack",
     "make_worker_payload",
     "resolve_transport",

@@ -148,10 +148,12 @@ class PipelineTimings:
     once per epoch; ``index_build_s`` counts trace-global index
     construction (once per run, indexed engine only);
     ``aggregate_s``/``problems_s``/``critical_s`` accumulate per
-    (epoch, metric) unit. In parallel runs the phase counters sum time
-    spent inside worker processes while ``wall_s`` is the parent's
-    wall clock, so ``phase_seconds > wall_s`` indicates real parallel
-    speedup.
+    (epoch, metric) unit. Sharded runs additionally count ``load_s``
+    (mmap-loading shard snapshots) and ``merge_s`` (folding per-shard
+    results into the whole-trace analysis). In parallel runs the phase
+    counters sum time spent inside worker processes while ``wall_s``
+    is the parent's wall clock, so ``phase_seconds > wall_s``
+    indicates real parallel speedup.
     """
 
     pack_s: float = 0.0
@@ -159,6 +161,8 @@ class PipelineTimings:
     aggregate_s: float = 0.0
     problems_s: float = 0.0
     critical_s: float = 0.0
+    load_s: float = 0.0
+    merge_s: float = 0.0
     wall_s: float = 0.0
     n_epochs: int = 0
     n_units: int = 0
@@ -172,6 +176,8 @@ class PipelineTimings:
             + self.aggregate_s
             + self.problems_s
             + self.critical_s
+            + self.load_s
+            + self.merge_s
         )
 
     def merge(self, other: "PipelineTimings") -> None:
@@ -181,6 +187,8 @@ class PipelineTimings:
         self.aggregate_s += other.aggregate_s
         self.problems_s += other.problems_s
         self.critical_s += other.critical_s
+        self.load_s += other.load_s
+        self.merge_s += other.merge_s
         self.n_epochs += other.n_epochs
         self.n_units += other.n_units
 
@@ -191,6 +199,8 @@ class PipelineTimings:
             "aggregate_s": self.aggregate_s,
             "problems_s": self.problems_s,
             "critical_s": self.critical_s,
+            "load_s": self.load_s,
+            "merge_s": self.merge_s,
             "phase_s": self.phase_seconds,
             "wall_s": self.wall_s,
             "n_epochs": float(self.n_epochs),
@@ -207,6 +217,12 @@ class PipelineTimings:
             f"  aggregate (per metric)   : {self.aggregate_s:9.4f} s",
             f"  problem clusters         : {self.problems_s:9.4f} s",
             f"  critical clusters        : {self.critical_s:9.4f} s",
+        ]
+        if self.load_s > 0:
+            lines.append(f"  shard snapshot load      : {self.load_s:9.4f} s")
+        if self.merge_s > 0:
+            lines.append(f"  shard merge              : {self.merge_s:9.4f} s")
+        lines += [
             f"  phase total              : {self.phase_seconds:9.4f} s",
             f"  wall clock               : {self.wall_s:9.4f} s",
         ]
@@ -356,6 +372,32 @@ class TraceAnalysis:
     @property
     def metric_names(self) -> list[str]:
         return list(self.metrics)
+
+
+def assemble_trace_analysis(
+    grid: EpochGrid,
+    config: AnalysisConfig,
+    per_epoch: Sequence[Sequence[EpochAnalysis]],
+    timings: PipelineTimings,
+) -> TraceAnalysis:
+    """Fold per-epoch summaries into the final :class:`TraceAnalysis`.
+
+    ``per_epoch[e][j]`` is the summary of epoch ``e`` for the ``j``-th
+    metric of ``config.metrics``. Shared by :func:`analyze_trace`,
+    :func:`~repro.core.substrate.analyze_sweep` and the shard merge
+    layer (:mod:`repro.core.shards`), so every execution strategy
+    assembles results identically.
+    """
+    metric_analyses: dict[str, MetricAnalysis] = {}
+    for j, metric in enumerate(config.metrics):
+        metric_analyses[metric.name] = MetricAnalysis(
+            metric=metric,
+            grid=grid,
+            epochs=[per_epoch[e][j] for e in range(grid.n_epochs)],
+        )
+    return TraceAnalysis(
+        grid=grid, config=config, metrics=metric_analyses, timings=timings
+    )
 
 
 def _epoch_summary(agg, problems, critical, epoch: int) -> EpochAnalysis:
@@ -719,16 +761,7 @@ def analyze_trace(
         current_metrics().inc("pipeline.runs")
         current_metrics().inc("pipeline.epochs", grid.n_epochs)
 
-    metric_analyses: dict[str, MetricAnalysis] = {}
-    for j, metric in enumerate(config.metrics):
-        metric_analyses[metric.name] = MetricAnalysis(
-            metric=metric,
-            grid=grid,
-            epochs=[per_epoch[e][j] for e in range(grid.n_epochs)],
-        )
-    return TraceAnalysis(
-        grid=grid, config=config, metrics=metric_analyses, timings=timings
-    )
+    return assemble_trace_analysis(grid, config, per_epoch, timings)
 
 
 def restrict_epochs(analysis: MetricAnalysis, epochs: Sequence[int]) -> MetricAnalysis:

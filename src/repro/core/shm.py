@@ -317,6 +317,17 @@ def export_arrays(
     return arrays
 
 
+def arrays_nbytes(arrays: Mapping[Hashable, np.ndarray]) -> int:
+    """Total logical bytes of a flattened array mapping.
+
+    The accounting twin of :func:`export_arrays`: what a shared segment
+    or snapshot of these arrays would hold, and what
+    ``AnalysisSubstrate.memory_bytes`` uses to report the true substrate
+    footprint for shard-size budgeting.
+    """
+    return int(sum(arr.nbytes for arr in arrays.values()))
+
+
 def table_from_arrays(
     schema, vocabs, arrays: Mapping[Hashable, np.ndarray]
 ) -> SessionTable:

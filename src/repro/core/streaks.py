@@ -118,6 +118,72 @@ def build_timelines(
     }
 
 
+def shift_streaks(streaks: Iterable[Streak], offset: int) -> list[Streak]:
+    """Translate streaks by ``offset`` epochs (shard-local -> global)."""
+    return [Streak(start=s.start + offset, length=s.length) for s in streaks]
+
+
+def coalesce_streaks(parts: Iterable[Iterable[Streak]]) -> list[Streak]:
+    """Merge per-range streak lists into whole-range maximal streaks.
+
+    This is the shard-merge algebra for persistence (DESIGN.md §7):
+    each part holds the streaks of one epoch range, already translated
+    to global epoch indices (:func:`shift_streaks`). A run that spans a
+    range boundary arrives as two abutting streaks — one ending exactly
+    where the next starts — and is joined into a single logical event,
+    which is what makes sharded persistence bit-identical to the
+    monolithic computation. Overlapping streaks mean the input ranges
+    were not disjoint and raise :class:`ValueError`.
+    """
+    merged: list[Streak] = []
+    ordered = sorted(
+        (s for part in parts for s in part), key=lambda s: (s.start, s.length)
+    )
+    for streak in ordered:
+        if merged and streak.start < merged[-1].end:
+            raise ValueError(
+                f"overlapping streaks: {merged[-1]} and {streak} "
+                "(input ranges must be disjoint)"
+            )
+        if merged and streak.start == merged[-1].end:
+            merged[-1] = Streak(
+                start=merged[-1].start, length=merged[-1].length + streak.length
+            )
+        else:
+            merged.append(streak)
+    return merged
+
+
+def merge_timelines(
+    parts: Iterable[tuple[int, Mapping[K, ClusterTimeline]]],
+    n_epochs_total: int,
+) -> dict[K, ClusterTimeline]:
+    """Union per-range timelines into whole-range timelines.
+
+    ``parts`` holds ``(epoch_offset, timelines)`` pairs — each mapping's
+    epoch indices are local to its range and are shifted by the offset.
+    Occurrence sets union per cluster key; :meth:`ClusterTimeline.streaks`
+    on the merged timeline then coalesces runs spanning range
+    boundaries, so ``merge_timelines`` + ``streaks()`` equals
+    :func:`coalesce_streaks` over the shifted per-range streaks (pinned
+    by ``tests/property/test_shard_equivalence.py``).
+    """
+    occurrences: dict[K, list[np.ndarray]] = {}
+    for offset, timelines in parts:
+        for key, timeline in timelines.items():
+            occurrences.setdefault(key, []).append(
+                timeline.epochs + np.int64(offset)
+            )
+    return {
+        key: ClusterTimeline(
+            key=key,
+            epochs=np.concatenate(chunks),
+            n_epochs_total=n_epochs_total,
+        )
+        for key, chunks in occurrences.items()
+    }
+
+
 def prevalence(timelines: Mapping[K, ClusterTimeline]) -> dict[K, float]:
     """Prevalence per cluster identity."""
     return {key: tl.prevalence for key, tl in timelines.items()}

@@ -56,20 +56,20 @@ from repro.core.index import TraceClusterIndex
 from repro.core.pipeline import (
     AnalysisConfig,
     EpochAnalysis,
-    MetricAnalysis,
     PipelineTimings,
     TraceAnalysis,
     _epoch_summary,
     _fold_worker_stats,
     _record_worker_spans,
     analyze_trace,
+    assemble_trace_analysis,
     resolve_transport,
     resolve_worker_count,
 )
 from repro.core.attributes import DEFAULT_SCHEMA, AttributeSchema
 from repro.core.problems import find_problem_clusters
 from repro.core.sessions import Session, SessionTable, grow_append
-from repro.core.shm import make_worker_payload
+from repro.core.shm import arrays_nbytes, export_arrays, make_worker_payload
 from repro.obs import current_tracer, record_degradation
 
 
@@ -122,8 +122,18 @@ class AnalysisSubstrate:
         return rows
 
     def memory_bytes(self) -> int:
-        """Bytes held by the substrate's index arrays (incl. caches)."""
-        return self.index.memory_bytes()
+        """Bytes held by the whole substrate: packed session-table
+        columns, index arrays (incl. caches) and cached per-grid
+        epoch-row splits — the true footprint shard-size budgeting
+        needs, not just the index."""
+        total = arrays_nbytes(export_arrays(self.table, None))
+        total += self.index.memory_bytes()
+        total += sum(
+            int(rows.nbytes)
+            for split in self._splits.values()
+            for rows in split
+        )
+        return int(total)
 
     def analyze(
         self,
@@ -324,9 +334,13 @@ class StreamingSubstrate:
         )
 
     def memory_bytes(self) -> int:
-        """Bytes held by the substrate's index arrays (incl. caches)."""
-        total = self.index.memory_bytes()
-        total += sum(a.nbytes for a in self._epoch_rows.values())
+        """Bytes held by the whole substrate: packed session-table
+        columns, index arrays (incl. caches) and per-epoch row splits.
+        Doubling growth buffers can transiently hold up to 2x the
+        column/split bytes beyond this logical figure."""
+        total = arrays_nbytes(export_arrays(self.table, None))
+        total += self.index.memory_bytes()
+        total += sum(int(a.nbytes) for a in self._epoch_rows.values())
         return int(total)
 
 
@@ -613,15 +627,7 @@ def analyze_sweep(
                 per_epoch.append(summaries)
                 timings.merge(epoch_timings)
             timings.wall_s = wall_share
-            metric_analyses = {
-                metric.name: MetricAnalysis(
-                    metric=metric,
-                    grid=g,
-                    epochs=[per_epoch[e][j] for e in range(g.n_epochs)],
-                )
-                for j, metric in enumerate(config.metrics)
-            }
-            analyses[orig_i] = TraceAnalysis(
-                grid=g, config=config, metrics=metric_analyses, timings=timings
+            analyses[orig_i] = assemble_trace_analysis(
+                g, config, per_epoch, timings
             )
     return analyses

@@ -83,8 +83,12 @@ def _little_endian(arr: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(arr)
 
 
-def _schema_sha256(schema: AttributeSchema) -> str:
-    """Stable digest of the attribute schema a snapshot was built under."""
+def schema_sha256(schema: AttributeSchema) -> str:
+    """Stable digest of the attribute schema a snapshot was built under.
+
+    Shared by substrate snapshots and shard-store manifests
+    (:mod:`repro.core.shards`) so both layers agree on schema identity.
+    """
     return hashlib.sha256("\x00".join(schema.names).encode("utf-8")).hexdigest()
 
 
@@ -105,7 +109,10 @@ def source_record(source_path: str | Path) -> dict:
 
 
 def save_substrate(
-    substrate, path: str | Path, source: str | Path | None = None
+    substrate,
+    path: str | Path,
+    source: str | Path | None = None,
+    extra: dict | None = None,
 ) -> Path:
     """Write a substrate (or anything with ``.table`` and ``.index``)
     to ``path``. Returns the path.
@@ -113,7 +120,10 @@ def save_substrate(
     ``source`` (optional) is the trace file the substrate was built
     from; its identity (path, size, mtime) is recorded in the manifest
     so :func:`snapshot_staleness` can detect a snapshot that no longer
-    matches the trace on disk.
+    matches the trace on disk. ``extra`` (optional) is a JSON-encodable
+    dict stored verbatim under the manifest's ``"extra"`` key — callers
+    like the shard store use it to stamp shard boundaries onto each
+    snapshot; the load path ignores it.
     """
     path = Path(path)
     table, index = substrate.table, substrate.index
@@ -141,7 +151,7 @@ def save_substrate(
     manifest = {
         "version": 1,
         "schema": list(table.schema.names),
-        "schema_sha256": _schema_sha256(table.schema),
+        "schema_sha256": schema_sha256(table.schema),
         "vocabs": [list(v) for v in table.vocabs],
         "n_rows": len(table),
         "widths": [int(w) for w in codec.widths],
@@ -152,6 +162,8 @@ def save_substrate(
     }
     if source is not None:
         manifest["source"] = source_record(source)
+    if extra is not None:
+        manifest["extra"] = extra
     payload = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
 
     data_start = _align(_HEADER.size + len(payload))

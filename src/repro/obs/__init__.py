@@ -45,6 +45,7 @@ from repro.obs.sinks import (
     MANIFEST_VERSION,
     degradation_reasons,
     manifest_path_for,
+    peak_rss_bytes,
     write_run_manifest,
     write_trace_json,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "current_tracer",
     "degradation_reasons",
     "manifest_path_for",
+    "peak_rss_bytes",
     "record_degradation",
     "use_metrics",
     "use_tracer",

@@ -29,6 +29,28 @@ from repro.obs.trace import Tracer
 MANIFEST_VERSION = 1
 
 
+def peak_rss_bytes() -> int | None:
+    """Process-lifetime peak resident set size, in bytes.
+
+    Backed by ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` — a
+    high-water mark, so it only ever grows within a process. Forked
+    worker processes report their own peaks, which is what makes the
+    shard engine's bounded-parent-memory claim observable: the parent's
+    figure stays O(largest shard) while workers account for their own
+    mapping. Returns ``None`` where rusage is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:  # pragma: no cover - defensive on exotic kernels
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return int(peak)
+    return int(peak) * 1024  # kilobytes on Linux
+
+
 def _jsonable(value: Any) -> Any:
     """Best-effort conversion of argparse values etc. to JSON types."""
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -91,6 +113,7 @@ def write_run_manifest(
         "outputs": list(outputs or []),
         "host": platform.node(),
         "pid": os.getpid(),
+        "peak_rss_bytes": peak_rss_bytes(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "degradations": degradation_reasons(tracer),

@@ -1,0 +1,292 @@
+"""Shard-equivalence properties of the out-of-core analysis engine.
+
+The shard store partitions a trace into epoch-range shards that are
+analyzed independently and merged exactly; the merged
+:class:`TraceAnalysis` must be bit-identical to the monolithic
+``analyze_trace`` result — identical per-epoch problem/critical cluster
+dicts, identical epoch series, identical cluster timelines, and streaks
+that coalesce across shard boundaries. These tests pin that invariant
+across shard counts 1–7, ragged last shards, streaming (chunked,
+shuffled) ingestion, parallel map workers, and multi-config sweeps,
+plus the pure streak-merge algebra in :mod:`repro.core.streaks`.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.pipeline import analyze_trace
+from repro.core.shards import (
+    ShardStoreBuilder,
+    analyze_shards,
+    build_shard_store,
+    shard_boundaries,
+    sweep_shards,
+)
+from repro.core.streaks import (
+    ClusterTimeline,
+    Streak,
+    coalesce_streaks,
+    merge_timelines,
+    shift_streaks,
+)
+from tests.conftest import make_session
+from tests.property.test_parallel_equivalence import (
+    ALL_METRICS_CONFIG,
+    SMALL_CONFIG,
+    assert_equal_analyses,
+    build_table,
+    session_rows,
+)
+
+
+def assert_equal_timelines(a, b):
+    """Problem and critical timelines (and their streaks) match exactly."""
+    for name in a.metric_names:
+        for kind in ("problem_timelines", "critical_timelines"):
+            ta = getattr(a[name], kind)()
+            tb = getattr(b[name], kind)()
+            assert set(ta) == set(tb)
+            for key, tl in ta.items():
+                assert tl.n_epochs_total == tb[key].n_epochs_total
+                assert np.array_equal(tl.epochs, tb[key].epochs)
+                assert tl.streaks() == tb[key].streaks()
+
+
+def assert_sharded_equals_monolithic(sharded, monolithic):
+    assert_equal_analyses(monolithic, sharded)
+    assert_equal_timelines(monolithic, sharded)
+    for name in monolithic.metric_names:
+        assert np.array_equal(
+            monolithic[name].problem_ratio_series,
+            sharded[name].problem_ratio_series,
+        )
+
+
+@settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(session_rows, st.integers(1, 7))
+def test_sharded_equals_monolithic_on_random_traces(rows, n_shards):
+    table = build_table(rows)
+    monolithic = analyze_trace(table, config=SMALL_CONFIG)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = build_shard_store(table, tmp, n_shards=n_shards)
+        sharded = analyze_shards(store, config=SMALL_CONFIG)
+    assert_sharded_equals_monolithic(sharded, monolithic)
+
+
+@pytest.mark.parametrize("epochs_per_shard", [5, 7, 24, 100])
+def test_ragged_last_shard_on_generated_trace(
+    tmp_path, tiny_trace, epochs_per_shard
+):
+    """Fixed-width shards with a ragged tail over all four metrics."""
+    monolithic = analyze_trace(tiny_trace.table, grid=tiny_trace.grid)
+    store = build_shard_store(
+        tiny_trace.table,
+        tmp_path / "s",
+        epochs_per_shard=epochs_per_shard,
+        grid=tiny_trace.grid,
+    )
+    widths = {s.n_epochs for s in store.shards}
+    if epochs_per_shard < tiny_trace.grid.n_epochs:
+        assert len(widths) > 1  # the tail really is ragged
+    sharded = analyze_shards(store)
+    assert_sharded_equals_monolithic(sharded, monolithic)
+    # planted structure exists, so equality is not vacuous
+    assert any(
+        e.n_critical_clusters
+        for ma in sharded.metrics.values()
+        for e in ma.epochs
+    )
+
+
+def test_boundary_spanning_streak_coalesces(tmp_path):
+    """A problem persisting across a shard boundary merges into ONE
+    streak — the regression the merge algebra exists to prevent."""
+    rows = []
+    for epoch in range(6):
+        rows += [(epoch, 0, 0, True)] * 10  # AS0 always failing
+        rows += [(epoch, a, 1, False) for a in (1, 2) for _ in range(10)]
+    table = build_table(rows)
+    monolithic = analyze_trace(table, config=SMALL_CONFIG)
+    store = build_shard_store(table, tmp_path / "s", n_shards=2)
+    assert [(s.epoch_lo, s.epoch_hi) for s in store.shards] == [(0, 3), (3, 6)]
+    sharded = analyze_shards(store, config=SMALL_CONFIG)
+    assert_sharded_equals_monolithic(sharded, monolithic)
+    timelines = sharded["join_failure"].problem_timelines()
+    spanning = [
+        tl for tl in timelines.values() if tl.streaks() == [Streak(0, 6)]
+    ]
+    assert spanning, "expected a single streak spanning the shard boundary"
+
+
+def test_streaming_builder_equals_monolithic(tmp_path):
+    """Out-of-order chunked ingestion builds an equivalent store."""
+    rows = [
+        (e, (a * 3 + e) % 4, a % 2, (a + 2 * e) % 5 == 0)
+        for e in range(3)
+        for a in range(40)
+    ]
+    table = build_table(rows)
+    monolithic = analyze_trace(table, config=ALL_METRICS_CONFIG)
+
+    builder = ShardStoreBuilder(tmp_path / "s", epochs_per_shard=2)
+    order = np.random.RandomState(7).permutation(len(table))
+    for i in range(0, len(order), 17):  # ragged, shuffled chunks
+        builder.append(table.select(np.sort(order[i:i + 17])))
+    store = builder.finalize()
+    sharded = analyze_shards(store, config=ALL_METRICS_CONFIG)
+    assert_sharded_equals_monolithic(sharded, monolithic)
+
+
+def test_parallel_map_equals_serial(tmp_path):
+    rows = [
+        (e, a % 3, a % 2, (a * 7 + e) % 5 == 0)
+        for e in range(4)
+        for a in range(35)
+    ]
+    table = build_table(rows)
+    store = build_shard_store(table, tmp_path / "s", n_shards=4)
+    serial = analyze_shards(store, config=SMALL_CONFIG, workers=0)
+    parallel = analyze_shards(store, config=SMALL_CONFIG, workers=2)
+    assert_sharded_equals_monolithic(parallel, serial)
+    assert_sharded_equals_monolithic(
+        serial, analyze_trace(table, config=SMALL_CONFIG)
+    )
+
+
+def test_sweep_shards_equals_per_config_monolithic(tmp_path):
+    import dataclasses
+
+    from repro.core.problems import ProblemClusterConfig
+
+    rows = [
+        (e, a % 4, a % 2, (a + e) % 4 == 0) for e in range(3) for a in range(50)
+    ]
+    table = build_table(rows)
+    configs = [
+        SMALL_CONFIG,
+        dataclasses.replace(
+            SMALL_CONFIG,
+            problem_config=ProblemClusterConfig(
+                min_sessions=5, min_problems=2, significance_sigmas=0.0,
+                ratio_multiplier=1.5,
+            ),
+        ),
+    ]
+    store = build_shard_store(table, tmp_path / "s", epochs_per_shard=2)
+    sharded = sweep_shards(store, configs)
+    for config, analysis in zip(configs, sharded):
+        assert_sharded_equals_monolithic(
+            analysis, analyze_trace(table, config=config)
+        )
+
+
+def test_empty_trace_store(tmp_path):
+    from repro.core.sessions import SessionTable
+
+    table = SessionTable.empty()
+    store = build_shard_store(table, tmp_path / "s", n_shards=3)
+    assert store.shards == ()
+    sharded = analyze_shards(store, config=SMALL_CONFIG)
+    assert_equal_analyses(analyze_trace(table, config=SMALL_CONFIG), sharded)
+
+
+def test_single_session_single_shard(tmp_path):
+    table = build_table([(0, 0, 0, True)])
+    store = build_shard_store(table, tmp_path / "s", epochs_per_shard=10)
+    assert len(store.shards) == 1
+    assert_sharded_equals_monolithic(
+        analyze_shards(store, config=SMALL_CONFIG),
+        analyze_trace(table, config=SMALL_CONFIG),
+    )
+
+
+class TestStreakAlgebra:
+    """`coalesce_streaks` / `shift_streaks` / `merge_timelines` against
+    the monolithic `ClusterTimeline.streaks()` ground truth."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sets(st.integers(0, 29), min_size=1),
+        st.lists(st.integers(1, 29), min_size=1, max_size=4, unique=True),
+    )
+    def test_coalesce_split_streaks_equals_monolithic(self, epochs, cuts):
+        n_total = 30
+        whole = ClusterTimeline("k", np.array(sorted(epochs)), n_total)
+        edges = [0] + sorted(cuts) + [n_total]
+        parts = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            local = [e - lo for e in epochs if lo <= e < hi]
+            if local:
+                tl = ClusterTimeline("k", np.array(local), hi - lo)
+                parts.append(shift_streaks(tl.streaks(), lo))
+            else:
+                parts.append([])
+        assert coalesce_streaks(parts) == whole.streaks()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sets(st.integers(0, 29), min_size=1),
+        st.integers(1, 29),
+    )
+    def test_merge_timelines_equals_monolithic(self, epochs, cut):
+        n_total = 30
+        whole = ClusterTimeline("k", np.array(sorted(epochs)), n_total)
+        parts = []
+        for lo, hi in ((0, cut), (cut, n_total)):
+            local = [e - lo for e in epochs if lo <= e < hi]
+            parts.append(
+                (lo, {"k": ClusterTimeline("k", np.array(local), hi - lo)})
+                if local
+                else (lo, {})
+            )
+        merged = merge_timelines(parts, n_total)
+        assert set(merged) == {"k"}
+        assert np.array_equal(merged["k"].epochs, whole.epochs)
+        assert merged["k"].streaks() == whole.streaks()
+
+    def test_coalesce_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            coalesce_streaks([[Streak(0, 3)], [Streak(2, 2)]])
+
+    def test_shift_streaks(self):
+        assert shift_streaks([Streak(0, 2), Streak(4, 1)], 10) == [
+            Streak(10, 2),
+            Streak(14, 1),
+        ]
+
+    def test_abutting_runs_join(self):
+        assert coalesce_streaks([[Streak(0, 3)], [Streak(3, 2)]]) == [
+            Streak(0, 5)
+        ]
+
+
+class TestShardBoundaries:
+    def test_fixed_width_ragged_tail(self):
+        assert shard_boundaries(10, epochs_per_shard=4) == [
+            (0, 4), (4, 8), (8, 10),
+        ]
+
+    def test_n_shards_clamped_and_covering(self):
+        for n_epochs in (1, 5, 24, 100):
+            for k in (1, 2, 3, 7, 200):
+                bounds = shard_boundaries(n_epochs, n_shards=k)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n_epochs
+                assert all(lo < hi for lo, hi in bounds)
+                assert all(
+                    a[1] == b[0] for a, b in zip(bounds, bounds[1:])
+                )
+                assert len(bounds) == min(k, n_epochs)
+
+    def test_empty_grid(self):
+        assert shard_boundaries(0, n_shards=3) == []
+
+    def test_exactly_one_of(self):
+        with pytest.raises(ValueError):
+            shard_boundaries(10)
+        with pytest.raises(ValueError):
+            shard_boundaries(10, epochs_per_shard=2, n_shards=2)

@@ -295,3 +295,115 @@ class TestTraceOut:
         capsys.readouterr()
         manifest = json.loads((tmp_path / "run.manifest.json").read_text())
         assert manifest["exit_code"] == 2
+
+
+class TestShardCLI:
+    def _trace(self, tmp_path):
+        out = tmp_path / "trace.npz"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(out)])
+        return out
+
+    def test_build_info_analyze_round_trip(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        store = tmp_path / "trace.shards"
+        assert main(["shard", "build", str(trace), "-o", str(store),
+                     "--epochs-per-shard", "7"]) == 0
+        assert (store / "manifest.json").is_file()
+        assert main(["shard", "info", str(store)]) == 0
+        capsys.readouterr()
+
+        assert main(["analyze", "--shard-dir", str(store),
+                     "--timings"]) == 0
+        sharded = capsys.readouterr().out
+        assert "shard snapshot load" in sharded
+        assert "peak RSS" in sharded
+        assert main(["analyze", str(trace)]) == 0
+        monolithic = capsys.readouterr().out
+        # identical metric tables (headers differ only in the source name)
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if line and not line.startswith(("Analysis of", "Pipeline",
+                                            "  ", "shard"))
+        ]
+        assert strip(sharded)[:6] == strip(monolithic)[:6]
+
+    def test_build_n_shards_flag(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        store = tmp_path / "s"
+        assert main(["shard", "build", str(trace), "-o", str(store),
+                     "--shards", "3"]) == 0
+        assert "3 shards" in capsys.readouterr().out
+
+    def test_build_rejects_both_split_flags(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["shard", "build", str(trace), "-o", str(tmp_path / "s"),
+                     "--shards", "3", "--epochs-per-shard", "4"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_sweep_shard_dir(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        store = tmp_path / "s"
+        main(["shard", "build", str(trace), "-o", str(store)])
+        assert main(["sweep", "--shard-dir", str(store),
+                     "--ratio-multipliers", "1,1.5"]) == 0
+        assert "2 variants" in capsys.readouterr().out
+
+    def test_analyze_requires_trace_or_shard_dir(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "trace path or --shard-dir" in capsys.readouterr().err
+
+    def test_analyze_rejects_trace_plus_shard_dir(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        store = tmp_path / "s"
+        main(["shard", "build", str(trace), "-o", str(store)])
+        assert main(["analyze", str(trace), "--shard-dir", str(store)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_shard_dir_rejects_substrate_cache(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        store = tmp_path / "s"
+        main(["shard", "build", str(trace), "-o", str(store)])
+        assert main(["analyze", "--shard-dir", str(store),
+                     "--substrate-cache", str(tmp_path / "c.sub")]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_analyze_rejects_non_store_dir(self, tmp_path, capsys):
+        assert main(["analyze", "--shard-dir", str(tmp_path)]) == 2
+        assert "not a shard store" in capsys.readouterr().err
+
+    def test_report_shard_dir_builds_then_reuses(self, tmp_path, capsys):
+        store = tmp_path / "s"
+        assert main(["report", "--workload", "tiny", "--seed", "3",
+                     "-o", str(tmp_path / "r.md"),
+                     "--shard-dir", str(store)]) == 0
+        assert "built" in capsys.readouterr().out
+        assert main(["report", "--workload", "tiny", "--seed", "3",
+                     "-o", str(tmp_path / "r2.md"),
+                     "--shard-dir", str(store)]) == 0
+        assert "built" not in capsys.readouterr().out
+
+    def test_analyze_shard_dir_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = self._trace(tmp_path)
+        store = tmp_path / "s"
+        out = tmp_path / "run.json"
+        main(["shard", "build", str(trace), "-o", str(store),
+              "--epochs-per-shard", "7"])
+        assert main(["analyze", "--shard-dir", str(store), "--workers", "2",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+
+        def names(span, acc):
+            acc.add(span["name"])
+            for child in span.get("children", []):
+                names(child, acc)
+            return acc
+
+        assert {"analyze_shards", "fanout", "shard"} <= names(
+            data["trace"], set()
+        )
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["peak_rss_bytes"] > 0

@@ -14,6 +14,7 @@ from repro.obs import (
     current_tracer,
     degradation_reasons,
     manifest_path_for,
+    peak_rss_bytes,
     record_degradation,
     use_metrics,
     use_tracer,
@@ -164,6 +165,9 @@ class TestSinks:
         manifest = json.loads(path.read_text())
         assert manifest["command"] == "analyze"
         assert manifest["exit_code"] == 0
+        assert manifest["peak_rss_bytes"] == pytest.approx(
+            peak_rss_bytes(), rel=0.5
+        )
         assert manifest["args"]["workers"] == 2
         assert manifest["degradations"][0]["kind"] == "snapshot_rebuild"
         assert "work" in manifest["span_names"]
@@ -173,3 +177,12 @@ class TestSinks:
         assert (
             manifest_path_for("out/trace.json").name == "trace.manifest.json"
         )
+
+    def test_peak_rss_bytes_is_plausible(self):
+        peak = peak_rss_bytes()
+        # rusage is always available on the POSIX platforms we test on;
+        # a Python process comfortably exceeds 1 MB and a high-water
+        # mark can only grow.
+        assert peak is not None
+        assert peak > 1_000_000
+        assert peak_rss_bytes() >= peak
