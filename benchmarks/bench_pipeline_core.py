@@ -170,6 +170,13 @@ def bench_pipeline_engine_json(week_context, results_dir):
       faster than single-process indexed) additionally needs >= 4
       CPUs, and the payload says which gates were enforced.
 
+    * ``result_cache`` — the memoized per-shard path: cold vs warm
+      re-analysis of the same store (warm is pure load+merge; gated
+      >= 5x on the week workload) and an append-one-period rebuild via
+      ``ShardStoreBuilder`` whose ``cache.miss`` count must equal the
+      number of genuinely new shards (asserted at every workload —
+      content-addressed invalidation is a correctness property).
+
     The parallel comparison is only meaningful with more than one CPU;
     on a 1-CPU box the recorded "speedup" measures pure process-pool
     overhead, and the payload says so (``parallel_comparison_note``).
@@ -536,6 +543,121 @@ print(json.dumps({
                 f.unlink()
             store_path.rmdir()
 
+    # --- result cache: memoized per-shard partials --------------------
+    # The daily-monitoring story: analyze a store once (cold, populates
+    # the cache), re-analyze it warm (pure load+merge; gated >= 5x on
+    # the week workload), then rebuild the store with one extra period
+    # of sessions appended via ShardStoreBuilder and confirm the warm
+    # run recomputes ONLY the new shard (cache.miss == new shards,
+    # asserted at every workload — it is a correctness property of
+    # content addressing, not a perf number).
+    import shutil
+
+    from repro.core.resultcache import ResultCache
+    from repro.core.shards import ShardStoreBuilder, analyze_shards
+
+    n_epochs_total = week_context.analysis.grid.n_epochs
+    period_epochs = max(1, math.ceil(n_epochs_total / 7))
+    epoch_seconds = week_context.analysis.grid.epoch_seconds
+    origin = week_context.analysis.grid.origin
+    epoch_index = np.floor(
+        (table.start_time - origin) / epoch_seconds
+    ).astype(np.int64)
+    period_chunks = []
+    for p in range(math.ceil(n_epochs_total / period_epochs)):
+        rows = np.nonzero(
+            (epoch_index >= p * period_epochs)
+            & (epoch_index < (p + 1) * period_epochs)
+        )[0]
+        if len(rows):
+            period_chunks.append(table.select(rows))
+
+    def build_periods(path, chunks):
+        builder = ShardStoreBuilder(
+            path, schema=table.schema, epoch_seconds=epoch_seconds,
+            epochs_per_shard=period_epochs,
+        )
+        for chunk in chunks:
+            builder.append(chunk)
+        return builder.finalize()
+
+    cache_dir = results_dir / "BENCH_result_cache.tmp"
+    store_a_dir = results_dir / "BENCH_rc_store_a.tmp"
+    store_b_dir = results_dir / "BENCH_rc_store_b.tmp"
+    try:
+        cache = ResultCache(cache_dir)
+        store_a = build_periods(store_a_dir, period_chunks[:-1])
+        config = AnalysisConfig()
+        uncached = analyze_shards(store_a, config)
+
+        cold_metrics = MetricsRegistry()
+        with use_metrics(cold_metrics):
+            start = time.perf_counter()
+            cold = analyze_shards(store_a, config, result_cache=cache)
+            cold_s = time.perf_counter() - start
+        warm_metrics = MetricsRegistry()
+        with use_metrics(warm_metrics):
+            start = time.perf_counter()
+            warm = analyze_shards(store_a, config, result_cache=cache)
+            warm_s = time.perf_counter() - start
+        for name in uncached.metric_names:
+            assert uncached[name].epochs == cold[name].epochs, name
+            assert uncached[name].epochs == warm[name].epochs, name
+        assert cold_metrics.get("cache.miss") == len(store_a.shards)
+        assert warm_metrics.get("cache.hit") == len(store_a.shards)
+        assert warm_metrics.get("cache.miss") == 0
+        warm_speedup = cold_s / warm_s
+        if workload == "week":
+            assert warm_speedup >= 5.0, (cold_s, warm_s)
+
+        # Append one more period (the "new day") into a fresh store:
+        # identical chunk sequence for the shared prefix, so the shared
+        # shards' bytes — and hence their cache keys — are unchanged.
+        store_b = build_periods(store_b_dir, period_chunks)
+        new_shards = len(store_b.shards) - len(store_a.shards)
+        assert new_shards >= 1, "append produced no new shard"
+        append_metrics = MetricsRegistry()
+        with use_metrics(append_metrics):
+            start = time.perf_counter()
+            appended = analyze_shards(store_b, config, result_cache=cache)
+            append_s = time.perf_counter() - start
+        assert append_metrics.get("cache.miss") == new_shards, (
+            append_metrics.get("cache.miss"), new_shards)
+        assert append_metrics.get("cache.hit") == len(store_a.shards)
+        uncached_b = analyze_shards(store_b, config)
+        for name in uncached_b.metric_names:
+            assert uncached_b[name].epochs == appended[name].epochs, name
+
+        result_cache_section = {
+            "workload": workload,
+            "shards_initial": len(store_a.shards),
+            "epochs_per_shard": period_epochs,
+            "sessions": store_a.total_sessions,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "warm_speedup": warm_speedup,
+            "cold_misses": cold_metrics.get("cache.miss"),
+            "warm_hits": warm_metrics.get("cache.hit"),
+            "cache_entries": cache.stats().entries,
+            "cache_bytes": cache.stats().total_bytes,
+            "append_one_day": {
+                "shards_total": len(store_b.shards),
+                "new_shards": new_shards,
+                "cache_misses": append_metrics.get("cache.miss"),
+                "cache_hits": append_metrics.get("cache.hit"),
+                "analyze_seconds": append_s,
+                "misses_equal_new_shards": True,
+            },
+            "identical_outputs": True,
+            "gates_enforced": {
+                "warm_speedup_min_5": workload == "week",
+                "append_misses_equal_new_shards": True,
+            },
+        }
+    finally:
+        for path in (cache_dir, store_a_dir, store_b_dir):
+            shutil.rmtree(path, ignore_errors=True)
+
     payload = {
         "schema_version": 2,
         "generated_at_unix": time.time(),
@@ -611,6 +733,7 @@ print(json.dumps({
             "identical_outputs": True,
         },
         "sharding": sharding,
+        "result_cache": result_cache_section,
     }
     path = results_dir / "BENCH_pipeline.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -625,4 +748,7 @@ print(json.dumps({
           f"streamed append+detect {append_detect_speedup:.1f}x vs per-epoch "
           f"rebuild, snapshot load {snapshot_speedup:.1f}x vs cold build, "
           f"sharded parent peak {peak_ratio:.2f}x monolithic "
-          f"({analyze_speedup:.2f}x analyze wall on {shard_workers} workers)")
+          f"({analyze_speedup:.2f}x analyze wall on {shard_workers} workers), "
+          f"warm cached re-analysis {warm_speedup:.1f}x vs cold "
+          f"({result_cache_section['append_one_day']['cache_misses']} miss on "
+          "append-one-day)")

@@ -20,6 +20,9 @@ Subcommands:
   ``sweep`` and ``report`` then accept ``--shard-dir`` to run
   out-of-core over the store (bounded parent memory, bit-identical
   results).
+* ``cache`` — inspect or prune a ``--result-cache`` directory: the
+  content-addressed store of per-(shard, config) analysis results that
+  makes warm sharded re-runs pure load + merge.
 
 Examples::
 
@@ -28,6 +31,9 @@ Examples::
     repro-video-quality sweep trace.npz --threshold-scales 0.5,1.0,2.0
     repro-video-quality shard build trace.npz -o trace.shards
     repro-video-quality analyze --shard-dir trace.shards --workers auto
+    repro-video-quality analyze --shard-dir trace.shards --result-cache rc/
+    repro-video-quality cache info rc/
+    repro-video-quality cache prune rc/ --max-bytes 256M
     repro-video-quality experiment tab1 --workload small
     repro-video-quality validate --workload tiny
     repro-video-quality report --workload small -o report.md
@@ -142,6 +148,39 @@ def _add_shard_dir_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_result_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--result-cache", metavar="DIR", default=None, dest="result_cache",
+        help="content-addressed cache of per-(shard, config) analysis "
+        "results (requires --shard-dir): hits skip recomputation "
+        "entirely, misses are computed and stored, and any change to "
+        "shard bytes or result-affecting config misses automatically; "
+        "results are identical either way",
+    )
+
+
+def _parse_size(value: str) -> int:
+    """Parse a byte size: plain int or with a K/M/G suffix (powers of
+    1024)."""
+    multipliers = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    raw, mult = value.strip(), 1
+    if raw and raw[-1].upper() in multipliers:
+        mult = multipliers[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        size = int(raw) * mult
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 1048576, 512K, 256M or 1G, "
+            f"got {value!r}"
+        ) from None
+    if size < 0:
+        raise argparse.ArgumentTypeError(
+            f"size must be non-negative, got {value!r}"
+        )
+    return size
+
+
 def _peak_rss_line() -> str | None:
     """The ``--timings`` peak-RSS read-out (None where unavailable)."""
     from repro.obs import peak_rss_bytes
@@ -197,6 +236,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_transport_arg(ana)
     _add_substrate_cache_arg(ana)
     _add_shard_dir_arg(ana)
+    _add_result_cache_arg(ana)
     _add_trace_out_arg(ana)
     ana.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
@@ -228,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_transport_arg(swp)
     _add_substrate_cache_arg(swp)
     _add_shard_dir_arg(swp)
+    _add_result_cache_arg(swp)
     _add_trace_out_arg(swp)
     swp.add_argument("--timings", action="store_true",
                      help="print per-variant pipeline timings")
@@ -254,6 +295,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(rep)
     _add_substrate_cache_arg(rep)
     _add_shard_dir_arg(rep)
+    _add_result_cache_arg(rep)
     _add_trace_out_arg(rep)
     rep.add_argument("--timings", action="store_true",
                      help="print per-phase pipeline timings")
@@ -286,6 +328,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_out_arg(shb)
     shi = shard_sub.add_parser("info", help="print a shard store's manifest")
     shi.add_argument("store", help="shard store directory")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune a --result-cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cin = cache_sub.add_parser(
+        "info", help="print entry count and total bytes of a result cache"
+    )
+    cin.add_argument("cache_dir", help="result cache directory")
+    cpr = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used entries until the cache fits "
+        "--max-bytes",
+    )
+    cpr.add_argument("cache_dir", help="result cache directory")
+    cpr.add_argument(
+        "--max-bytes", type=_parse_size, required=True, metavar="SIZE",
+        help="target cache size (e.g. 1048576, 512K, 256M, 1G); 0 "
+        "empties the cache",
+    )
 
     rem = sub.add_parser(
         "remedies", help="suggest and evaluate remedies for a workload"
@@ -404,12 +466,35 @@ def _open_shard_store(args: argparse.Namespace):
     return ShardStore.open(args.shard_dir)
 
 
+def _open_result_cache(args: argparse.Namespace):
+    """``--result-cache`` flag: a ResultCache, or None when not given.
+
+    The cache memoizes per-shard partials, so it only applies to
+    sharded runs; requiring ``--shard-dir`` keeps a silently-ignored
+    flag from masquerading as a warm cache.
+    """
+    path = getattr(args, "result_cache", None)
+    if path is None:
+        return None
+    if getattr(args, "shard_dir", None) is None:
+        raise ValueError(
+            "--result-cache requires --shard-dir (it memoizes per-shard "
+            "results; in-memory runs have no shards to key on)"
+        )
+    from repro.core.resultcache import ResultCache
+
+    return ResultCache(path)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    result_cache = _open_result_cache(args)
     if args.shard_dir is not None:
         from repro.core.shards import analyze_shards
 
         store = _open_shard_store(args)
-        analysis = analyze_shards(store, workers=args.workers)
+        analysis = analyze_shards(
+            store, workers=args.workers, result_cache=result_cache,
+        )
         n_sessions, source = store.total_sessions, args.shard_dir
     else:
         if args.trace is None:
@@ -448,6 +533,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
 
+    result_cache = _open_result_cache(args)
+
     from repro.core.metrics import MetricThresholds
     from repro.core.pipeline import AnalysisConfig
     from repro.core.problems import ProblemClusterConfig
@@ -483,7 +570,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         store = _open_shard_store(args)
         analyses = sweep_shards(
-            store, [config for _, config in variants], workers=args.workers
+            store, [config for _, config in variants], workers=args.workers,
+            result_cache=result_cache,
         )
         n_sessions, source = store.total_sessions, args.shard_dir
     else:
@@ -560,8 +648,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
     trace = generate_trace(spec)
+    result_cache = _open_result_cache(args)
     if args.shard_dir is not None:
-        analysis = _report_analyze_sharded(args, trace)
+        analysis = _report_analyze_sharded(args, trace, result_cache)
     else:
         _, substrate = _resolve_substrate(args, table=trace.table)
         analysis = _analyze(
@@ -579,7 +668,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _report_analyze_sharded(args: argparse.Namespace, trace):
+def _report_analyze_sharded(args: argparse.Namespace, trace, result_cache=None):
     """``report --shard-dir``: reuse a matching store or (re)build one.
 
     The report workload is generated, not read from disk, so the store
@@ -612,7 +701,9 @@ def _report_analyze_sharded(args: argparse.Namespace, trace):
             f"shard store: built {args.shard_dir} "
             f"({len(store.shards)} shards, {store.total_sessions} sessions)"
         )
-    return analyze_shards(store, workers=args.workers)
+    return analyze_shards(
+        store, workers=args.workers, result_cache=result_cache
+    )
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
@@ -640,19 +731,53 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         return 0
 
     store = ShardStore.open(args.store)
+    sizes = [store.shard_path(i).stat().st_size for i in range(len(store.shards))]
     print(
         f"shard store {args.store}: {len(store.shards)} shards, "
         f"{store.total_sessions} sessions, {store.grid.n_epochs} epochs "
-        f"of {store.grid.epoch_seconds:g}s, schema {store.schema_digest[:12]}"
+        f"of {store.grid.epoch_seconds:g}s, {_format_bytes(sum(sizes))} "
+        f"on disk, schema {store.schema_digest[:12]}"
     )
     print(
         render_table(
-            ["Shard", "File", "Epochs", "Sessions"],
+            ["Shard", "File", "Epochs", "Sessions", "Bytes"],
             [
-                [i, s.file, f"[{s.epoch_lo}, {s.epoch_hi})", s.sessions]
-                for i, s in enumerate(store.shards)
+                [i, s.file, f"[{s.epoch_lo}, {s.epoch_hi})", s.sessions,
+                 _format_bytes(size)]
+                for i, (s, size) in enumerate(zip(store.shards, sizes))
             ],
         )
+    )
+    return 0
+
+
+def _format_bytes(n: int) -> str:
+    """Human byte count (powers of 1024, one decimal above KiB)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{int(value)} {unit}" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.resultcache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "prune":
+        evicted = cache.evict_to(args.max_bytes)
+        stats = cache.stats()
+        print(
+            f"evicted {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'}; "
+            f"{stats.entries} left, {_format_bytes(stats.total_bytes)} "
+            f"(cap {_format_bytes(args.max_bytes)})"
+        )
+        return 0
+    stats = cache.stats()
+    print(
+        f"result cache {args.cache_dir}: {stats.entries} entries, "
+        f"{_format_bytes(stats.total_bytes)}"
     )
     return 0
 
@@ -707,6 +832,7 @@ def _run_command(args: argparse.Namespace) -> int:
         "validate": _cmd_validate,
         "report": _cmd_report,
         "shard": _cmd_shard,
+        "cache": _cmd_cache,
         "remedies": _cmd_remedies,
         "list": _cmd_list,
     }

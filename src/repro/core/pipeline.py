@@ -36,11 +36,13 @@ figures and tables of the evaluation are computed from.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -55,7 +57,12 @@ from repro.core.clusters import ClusterKey
 from repro.core.critical import CriticalAttribution, find_critical_clusters
 from repro.core.epoching import EpochGrid, split_into_epochs
 from repro.core.index import TraceClusterIndex
-from repro.core.metrics import ALL_METRICS, MetricThresholds, QualityMetric
+from repro.core.metrics import (
+    ALL_METRICS,
+    MetricThresholds,
+    QualityMetric,
+    metric_by_name,
+)
 from repro.core.problems import ProblemClusterConfig, find_problem_clusters
 from repro.core.sessions import SessionTable
 from repro.core.shm import TRANSPORTS, make_worker_payload, resolve_transport
@@ -137,6 +144,48 @@ class AnalysisConfig:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
             )
+
+    def config_digest(self) -> str:
+        """Canonical SHA-256 of everything that can change results.
+
+        The digest covers the metric tuple (by registry name), the
+        thresholds, the problem-cluster config and the epoch length —
+        and deliberately **excludes** the execution knobs ``workers``,
+        ``engine`` and ``transport``, which are property-tested to
+        never change output. Two configs with equal digests therefore
+        produce bit-identical analyses of the same data, which is what
+        lets the per-shard result cache
+        (:mod:`repro.core.resultcache`) share entries across execution
+        strategies and across sweeps whose variants overlap.
+
+        Metrics are identified by registry name (custom metrics must be
+        registered via
+        :func:`~repro.core.metrics.register_metric` — the name is the
+        identity, so re-registering different behavior under an old
+        name stales any cache keyed on it). Raises :class:`ValueError`
+        for unregistered metrics, which have no stable identity to
+        address results by.
+        """
+        for metric in self.metrics:
+            try:
+                registered = metric_by_name(metric.name)
+            except KeyError:
+                registered = None
+            if registered is not metric:
+                raise ValueError(
+                    f"metric {metric.name!r} is not registered and has no "
+                    "content-addressable identity; call register_metric() "
+                    "on it first"
+                )
+        spec = {
+            "digest_version": 1,
+            "metrics": [m.name for m in self.metrics],
+            "thresholds": asdict(self.thresholds),
+            "problem_config": asdict(self.problem_config),
+            "epoch_seconds": float(self.epoch_seconds),
+        }
+        payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -61,6 +61,7 @@ from repro.core.pipeline import (
     assemble_trace_analysis,
     resolve_worker_count,
 )
+from repro.core.resultcache import ResultCache, shard_result_key
 from repro.core.sessions import Session, SessionTable
 from repro.core.streaks import merge_timelines
 from repro.core.substrate import (
@@ -68,7 +69,12 @@ from repro.core.substrate import (
     StreamingSubstrate,
     analyze_sweep,
 )
-from repro.io.snapshot import load_substrate, save_substrate, schema_sha256
+from repro.io.snapshot import (
+    load_substrate,
+    save_substrate,
+    schema_sha256,
+    snapshot_content_sha256,
+)
 from repro.obs import (
     current_metrics,
     current_tracer,
@@ -172,6 +178,7 @@ class ShardStore:
         self.shards = tuple(shards)
         self.total_sessions = int(total_sessions)
         self.schema_digest = schema_digest or schema_sha256(schema)
+        self._content_sha: dict[int, str] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -213,6 +220,20 @@ class ShardStore:
     def load_shard(self, shard_index: int, mmap: bool = True) -> AnalysisSubstrate:
         """mmap-load one shard's substrate snapshot (zero-copy views)."""
         return load_substrate(self.shard_path(shard_index), mmap=mmap)
+
+    def shard_content_sha256(self, shard_index: int) -> str:
+        """Content address of one shard's array payload.
+
+        A manifest-only read for snapshots stamped at save time
+        (:func:`~repro.io.snapshot.snapshot_content_sha256`); memoized
+        per open store, since the bytes on disk cannot change under a
+        validated store (appends rewrite shard files and the manifest).
+        """
+        cached = self._content_sha.get(shard_index)
+        if cached is None:
+            cached = snapshot_content_sha256(self.shard_path(shard_index))
+            self._content_sha[shard_index] = cached
+        return cached
 
     def manifest_dict(self) -> dict:
         return {
@@ -587,16 +608,31 @@ def _analyze_shard_configs(
 
 
 def _shard_result(
-    store: ShardStore, shard_index: int, configs: Sequence[AnalysisConfig]
+    store: ShardStore,
+    shard_index: int,
+    configs: Sequence[AnalysisConfig],
+    config_indices: Sequence[int] | None = None,
 ) -> dict:
     """One shard's analyses plus self-timing stats (serial and worker
-    paths return the same shape, like ``pipeline._worker_run_batch``)."""
+    paths return the same shape, like ``pipeline._worker_run_batch``).
+
+    ``config_indices`` selects which of ``configs`` to actually run —
+    the result cache dispatches only a shard's missing configs, so a
+    sweep with partial hits computes exactly the missing
+    (shard, config) pairs. ``analyses[j]`` corresponds to
+    ``configs[config_indices[j]]``.
+    """
     started_unix = time.time()
     t0 = time.perf_counter()
-    analyses = _analyze_shard_configs(store, shard_index, configs)
+    if config_indices is None:
+        config_indices = range(len(configs))
+    config_indices = tuple(int(ci) for ci in config_indices)
+    subset = [configs[ci] for ci in config_indices]
+    analyses = _analyze_shard_configs(store, shard_index, subset)
     info = store.shards[shard_index]
     return {
         "shard": shard_index,
+        "config_indices": config_indices,
         "analyses": analyses,
         "pid": os.getpid(),
         "started_unix": started_unix,
@@ -618,11 +654,13 @@ def _shard_worker_init(store_path: str, configs: tuple) -> None:
     _SHARD_WORKER_STATE["configs"] = list(configs)
 
 
-def _shard_worker_run(shard_index: int) -> dict:
+def _shard_worker_run(task: tuple[int, tuple[int, ...] | None]) -> dict:
+    shard_index, config_indices = task
     return _shard_result(
         _SHARD_WORKER_STATE["store"],
         shard_index,
         _SHARD_WORKER_STATE["configs"],
+        config_indices,
     )
 
 
@@ -684,6 +722,54 @@ def merge_shard_analyses(
 
 
 # ---------------------------------------------------------------------------
+# Result cache integration
+# ---------------------------------------------------------------------------
+def _shard_cache_keys(
+    store: ShardStore, configs: Sequence[AnalysisConfig]
+) -> list[list[str]] | None:
+    """Per-(shard, config) cache keys, or ``None`` to bypass caching.
+
+    Keys bind the shard snapshot's payload content address, the store
+    schema digest, the config's result-determining digest and the
+    shard's epoch grid (see :func:`~repro.core.resultcache.shard_result_key`).
+    When any component is unavailable — an unregistered custom metric
+    has no content-addressable identity, or a shard snapshot cannot be
+    content-addressed — the whole run degrades to uncached execution
+    rather than risking a wrong key.
+    """
+    try:
+        digests = [config.config_digest() for config in configs]
+    except ValueError as exc:
+        record_degradation("cache_bypass", f"result cache disabled: {exc}")
+        return None
+    keys: list[list[str]] = []
+    for i in range(len(store.shards)):
+        try:
+            payload_sha = store.shard_content_sha256(i)
+        except (OSError, ValueError) as exc:
+            record_degradation(
+                "cache_bypass",
+                f"result cache disabled: shard {i} has no content "
+                f"address ({exc})",
+            )
+            return None
+        grid = store.shard_grid(i)
+        keys.append(
+            [
+                shard_result_key(
+                    payload_sha256=payload_sha,
+                    schema_sha256=store.schema_digest,
+                    config_digest=digest,
+                    epoch_origin=grid.origin,
+                    n_epochs=grid.n_epochs,
+                )
+                for digest in digests
+            ]
+        )
+    return keys
+
+
+# ---------------------------------------------------------------------------
 # Drivers
 # ---------------------------------------------------------------------------
 def sweep_shards(
@@ -691,6 +777,7 @@ def sweep_shards(
     configs: Iterable[AnalysisConfig],
     workers: int | str | None = None,
     progress: Callable[[int, int], None] | None = None,
+    result_cache: ResultCache | None = None,
 ) -> list[TraceAnalysis]:
     """Analyse a shard store under many configs, out of core.
 
@@ -703,6 +790,17 @@ def sweep_shards(
     output-identical to every engine. ``progress`` is called with
     ``(done_units, total_units)`` where units are (shard, config)
     pairs.
+
+    With ``result_cache``, every (shard, config) pair is looked up by
+    content address before the map phase; hits skip computation
+    entirely and only the missing config subset of each shard is
+    dispatched. Fresh results are written back by the parent (a single
+    writer), so a warm re-run is pure load + merge and appending a day
+    via :class:`ShardStoreBuilder` recomputes only the new or changed
+    shards. Cached and uncached runs are bit-identical (pinned by
+    ``tests/property/test_cache_equivalence.py``); a corrupt or
+    unusable cache degrades to uncached execution, never to a wrong
+    answer.
     """
     configs = list(configs)
     if not configs:
@@ -716,8 +814,11 @@ def sweep_shards(
             )
     n_workers = resolve_worker_count(0 if workers is None else workers)
     n_shards = len(store.shards)
-    total_units = n_shards * len(configs)
-    per_shard: list[list[TraceAnalysis] | None] = [None] * n_shards
+    n_configs = len(configs)
+    total_units = n_shards * n_configs
+    per_shard: list[list[TraceAnalysis | None]] = [
+        [None] * n_configs for _ in range(n_shards)
+    ]
     worker_peaks: list[int] = []
     done = 0
     tracer = current_tracer()
@@ -726,53 +827,101 @@ def sweep_shards(
     with tracer.span(
         "analyze_shards",
         shards=n_shards,
-        configs=len(configs),
+        configs=n_configs,
         sessions=store.total_sessions,
         epochs=store.grid.n_epochs,
         workers=n_workers,
+        cache="on" if result_cache is not None else "off",
     ) as run_span:
+        cache_keys: list[list[str]] | None = None
+        if result_cache is not None and n_shards:
+            cache_keys = _shard_cache_keys(store, configs)
+        if cache_keys is not None:
+            hits = 0
+            with tracer.span("cache.probe", units=total_units):
+                for i in range(n_shards):
+                    for ci in range(n_configs):
+                        value = result_cache.get(cache_keys[i][ci])
+                        if isinstance(value, TraceAnalysis):
+                            per_shard[i][ci] = value
+                            hits += 1
+                        elif value is not None:
+                            record_degradation(
+                                "cache_corrupt",
+                                f"cache entry {cache_keys[i][ci][:16]}… "
+                                f"holds {type(value).__name__}, not a "
+                                "TraceAnalysis; recomputing",
+                            )
+            run_span.set(cache_hits=hits, cache_misses=total_units - hits)
+            done = hits
+            if progress is not None and hits:
+                progress(done, total_units)
+
+        # Shards with at least one missing (shard, config) pair; each
+        # is dispatched with only its missing config subset.
+        def missing_configs(i: int) -> tuple[int, ...]:
+            return tuple(
+                ci for ci in range(n_configs) if per_shard[i][ci] is None
+            )
+
+        pending = {
+            i: cis
+            for i in range(n_shards)
+            if (cis := missing_configs(i))
+        }
 
         def fold(out: dict) -> None:
             nonlocal done
-            per_shard[out["shard"]] = out["analyses"]
+            i = out["shard"]
+            for ci, analysis in zip(out["config_indices"], out["analyses"]):
+                per_shard[i][ci] = analysis
+                if cache_keys is not None:
+                    result_cache.put(cache_keys[i][ci], analysis)
             if out["peak_rss_bytes"] is not None:
                 worker_peaks.append(out["peak_rss_bytes"])
             tracer.record(
                 "shard",
                 duration_s=out["busy_s"],
-                shard=out["shard"],
+                shard=i,
                 pid=out["pid"],
                 epochs=out["epochs"],
                 sessions=out["rows"],
+                configs=len(out["config_indices"]),
                 peak_rss_bytes=out["peak_rss_bytes"],
             )
-            done += len(configs)
+            done += len(out["config_indices"])
             if progress is not None:
                 progress(done, total_units)
 
         def run_serial(missing_only: bool) -> None:
-            for i in range(n_shards):
-                if missing_only and per_shard[i] is not None:
-                    continue
-                fold(_shard_result(store, i, configs))
+            for i, cis in pending.items():
+                if missing_only:
+                    cis = missing_configs(i)
+                    if not cis:
+                        continue
+                fold(_shard_result(store, i, configs, cis))
 
-        if n_workers <= 1 or n_shards <= 1:
-            with tracer.span("shards", mode="serial", shards=n_shards):
+        if not pending:
+            pass  # fully warm: nothing to map
+        elif n_workers <= 1 or len(pending) <= 1:
+            with tracer.span("shards", mode="serial", shards=len(pending)):
                 run_serial(missing_only=False)
         else:
             failure: Exception | None = None
             with tracer.span(
-                "fanout", workers=min(n_workers, n_shards), shards=n_shards
+                "fanout",
+                workers=min(n_workers, len(pending)),
+                shards=len(pending),
             ):
                 try:
                     with ProcessPoolExecutor(
-                        max_workers=min(n_workers, n_shards),
+                        max_workers=min(n_workers, len(pending)),
                         initializer=_shard_worker_init,
                         initargs=(str(store.path), tuple(configs)),
                     ) as pool:
                         futures = [
-                            pool.submit(_shard_worker_run, i)
-                            for i in range(n_shards)
+                            pool.submit(_shard_worker_run, (i, cis))
+                            for i, cis in pending.items()
                         ]
                         for future in as_completed(futures):
                             fold(future.result())
@@ -782,12 +931,14 @@ def sweep_shards(
                     # instead of aborting the run.
                     failure = exc
             if failure is not None:
+                remaining = sum(
+                    1 for i in pending if missing_configs(i)
+                )
                 record_degradation(
                     "parallel_to_serial",
                     "shard worker pool failed "
                     f"({type(failure).__name__}: {failure}); analyzing "
-                    f"{sum(1 for r in per_shard if r is None)} remaining "
-                    "shard(s) serially",
+                    f"{remaining} remaining shard(s) serially",
                 )
                 with tracer.span("shards", mode="serial-fallback"):
                     run_serial(missing_only=True)
@@ -822,6 +973,7 @@ def analyze_shards(
     config: AnalysisConfig | None = None,
     workers: int | str | None = None,
     progress: Callable[[int, int], None] | None = None,
+    result_cache: ResultCache | None = None,
 ) -> TraceAnalysis:
     """Out-of-core ``analyze_trace`` over a shard store.
 
@@ -830,9 +982,14 @@ def analyze_shards(
     each shard's snapshot is mmap-loaded (by a pool worker when
     ``workers`` > 1, else inline, one at a time), analyzed on its own
     epoch range, and the compact per-shard results are merged exactly
-    (:func:`merge_shard_analyses`).
+    (:func:`merge_shard_analyses`). ``result_cache`` memoizes the
+    per-shard partials by content address (see :func:`sweep_shards`).
     """
     config = config or AnalysisConfig()
     return sweep_shards(
-        store, [config], workers=workers, progress=progress
+        store,
+        [config],
+        workers=workers,
+        progress=progress,
+        result_cache=result_cache,
     )[0]

@@ -30,6 +30,15 @@ Cached problem masks are *not* persisted: their cache keys embed
 and they are cheap to recompute per run. Cached validity masks (keyed
 by metric name only) are persisted and restored.
 
+Every manifest is stamped with ``content_sha256`` — the SHA-256 of the
+raw data section (array bytes plus alignment padding) exactly as
+written. ``load_substrate`` re-hashes and compares by default, turning
+silent snapshot bit-rot into a :class:`ValueError` (pass
+``verify=False`` to skip the pass over the bytes, e.g. on trusted local
+re-loads); the stamp is also the content-address the per-shard result
+cache (:mod:`repro.core.resultcache`) keys on, so cache keys never
+re-hash payloads at lookup time.
+
 ``load_substrate`` maps the file read-only; restored arrays are views
 into the mapping (like shm-attached worker views). An appended-to
 substrate allocates fresh buffers on first growth, so
@@ -135,17 +144,20 @@ def save_substrate(
 
     entries = []
     offset = 0
+    content_hash = hashlib.sha256()
     for key, arr in arrays.items():
-        offset = _align(offset)
+        aligned = _align(offset)
+        content_hash.update(b"\0" * (aligned - offset))
+        content_hash.update(arr.tobytes())
         entries.append(
             {
                 "key": list(key),
                 "dtype": arr.dtype.str,
                 "shape": list(arr.shape),
-                "offset": offset,
+                "offset": aligned,
             }
         )
-        offset += arr.nbytes
+        offset = aligned + arr.nbytes
 
     codec = index.codec
     manifest = {
@@ -158,6 +170,8 @@ def save_substrate(
         "codec_offsets": [int(o) for o in codec.offsets],
         "fold_source": [[int(m), int(s)] for m, s in index.fold_source.items()],
         "fold_order": [int(m) for m in index.fold_order],
+        "content_sha256": content_hash.hexdigest(),
+        "content_bytes": offset,
         "arrays": entries,
     }
     if source is not None:
@@ -271,16 +285,72 @@ def snapshot_staleness(
     return None
 
 
-def load_substrate(path: str | Path, mmap: bool = True) -> AnalysisSubstrate:
+def _verify_content(path: Path, buf, manifest: dict, data_start: int) -> None:
+    """Re-hash the data section against the manifest's content stamp.
+
+    Snapshots written before the stamp existed carry no
+    ``content_sha256`` and are accepted unverified (there is nothing to
+    verify against). A mismatch means the array bytes on disk are not
+    the bytes that were saved — bit-rot, truncation past the manifest,
+    or a partial overwrite — and raises :class:`ValueError` like every
+    other corruption.
+    """
+    recorded = manifest.get("content_sha256")
+    if recorded is None:
+        return
+    length = int(manifest.get("content_bytes", len(buf) - data_start))
+    if data_start + length > len(buf):
+        raise ValueError(
+            f"{path}: truncated snapshot (data section ends past EOF)"
+        )
+    digest = hashlib.sha256(
+        memoryview(buf)[data_start : data_start + length]
+    ).hexdigest()
+    if digest != recorded:
+        raise ValueError(
+            f"{path}: corrupted snapshot (content sha256 mismatch: "
+            f"{digest[:12]} != recorded {recorded[:12]}); rebuild it"
+        )
+
+
+def snapshot_content_sha256(path: str | Path) -> str:
+    """The content-address of a snapshot's array payload.
+
+    Returns the ``content_sha256`` stamped into the manifest at save
+    time — a manifest-only read, never touching the array bytes. For
+    pre-stamp snapshots the data section is hashed on the fly (one
+    sequential pass), so every readable snapshot has a content address.
+    Raises :class:`ValueError`/:class:`OSError` on unreadable or
+    malformed snapshots.
+    """
+    path = Path(path)
+    manifest = read_snapshot_manifest(path)
+    stamped = manifest.get("content_sha256")
+    if stamped is not None:
+        return str(stamped)
+    with open(path, "rb") as f:
+        buf = f.read()
+    _, data_start = _read_manifest(path, buf)
+    return hashlib.sha256(memoryview(buf)[data_start:]).hexdigest()
+
+
+def load_substrate(
+    path: str | Path, mmap: bool = True, verify: bool = True
+) -> AnalysisSubstrate:
     """Load a substrate saved by :func:`save_substrate`.
 
     ``mmap=True`` (default) maps the file read-only and restores every
     array as a zero-copy view — milliseconds regardless of trace size,
     with pages faulted in on first touch. ``mmap=False`` reads the file
     into memory instead (use when the file may be replaced while the
-    substrate is alive). Raises :class:`ValueError` on corrupted,
-    truncated, or version-mismatched snapshots; on any failure the
-    mapping (and file handle) is closed before the error propagates.
+    substrate is alive). ``verify=True`` (default) re-hashes the data
+    section against the manifest's ``content_sha256`` stamp, so silent
+    bit-rot surfaces as an error instead of corrupt analysis results;
+    pass ``verify=False`` to keep the load lazy (one manifest read, no
+    page faults) when the bytes are trusted. Raises
+    :class:`ValueError` on corrupted, truncated, or version-mismatched
+    snapshots; on any failure the mapping (and file handle) is closed
+    before the error propagates.
     """
     path = Path(path)
     tracer = current_tracer()
@@ -291,8 +361,12 @@ def load_substrate(path: str | Path, mmap: bool = True) -> AnalysisSubstrate:
             buf = f.read()
     try:
         with tracer.span(
-            "snapshot.load", path=str(path), bytes=len(buf), mmap=mmap
+            "snapshot.load", path=str(path), bytes=len(buf), mmap=mmap,
+            verify=verify,
         ):
+            if verify:
+                manifest, data_start = _read_manifest(path, buf)
+                _verify_content(path, buf, manifest, data_start)
             substrate = _restore_from_buffer(path, buf)
     except Exception:
         if isinstance(buf, _mmap.mmap):

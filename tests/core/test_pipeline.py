@@ -198,3 +198,73 @@ class TestPipelineTimings:
         assert d["n_epochs"] == 2
         assert set(d) >= {"pack_s", "index_build_s", "aggregate_s",
                           "problems_s", "critical_s", "wall_s"}
+
+
+class TestConfigDigest:
+    """The digest keys the result cache: it must cover exactly the
+    result-determining knobs and nothing about execution strategy."""
+
+    def test_stable_and_hex(self):
+        digest = AnalysisConfig().config_digest()
+        assert digest == AnalysisConfig().config_digest()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_execution_knobs_never_change_the_digest(self):
+        import dataclasses
+
+        base = AnalysisConfig()
+        varied = dataclasses.replace(
+            base, workers="auto", engine="epoch", transport="pickle"
+        )
+        assert varied.config_digest() == base.config_digest()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            lambda cfg: {"metrics": (JOIN_FAILURE,)},
+            lambda cfg: {"thresholds": cfg.thresholds.scaled(2.0)},
+            lambda cfg: {
+                "problem_config": ProblemClusterConfig(ratio_multiplier=2.0)
+            },
+            lambda cfg: {"epoch_seconds": 1800.0},
+        ],
+    )
+    def test_every_result_knob_changes_the_digest(self, override):
+        import dataclasses
+
+        base = AnalysisConfig()
+        varied = dataclasses.replace(base, **override(base))
+        assert varied.config_digest() != base.config_digest()
+
+    def test_registered_custom_metric_is_addressable_by_name(self):
+        import dataclasses
+
+        from repro.core.metrics import (
+            JOIN_TIME,
+            metric_by_name,
+            register_metric,
+            unregister_metric,
+        )
+
+        custom = dataclasses.replace(
+            JOIN_TIME, name="join_time_alt", paper_name="join time (alt)"
+        )
+        register_metric(custom)
+        try:
+            base = AnalysisConfig()
+            varied = dataclasses.replace(base, metrics=(custom,))
+            assert varied.config_digest() != base.config_digest()
+            assert metric_by_name("join_time_alt") is custom
+        finally:
+            unregister_metric("join_time_alt")
+
+    def test_unregistered_metric_has_no_identity(self):
+        import dataclasses
+
+        from repro.core.metrics import JOIN_TIME
+
+        rogue = dataclasses.replace(JOIN_TIME, name="never_registered")
+        config = AnalysisConfig(metrics=(rogue,))
+        with pytest.raises(ValueError, match="not registered"):
+            config.config_digest()

@@ -407,3 +407,115 @@ class TestShardCLI:
         )
         manifest = json.loads((tmp_path / "run.manifest.json").read_text())
         assert manifest["peak_rss_bytes"] > 0
+
+
+class TestResultCacheCLI:
+    def _store(self, tmp_path):
+        trace = tmp_path / "trace.npz"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        store = tmp_path / "trace.shards"
+        main(["shard", "build", str(trace), "-o", str(store),
+              "--epochs-per-shard", "8"])
+        return store
+
+    def test_cold_then_warm_analyze(self, tmp_path, capsys):
+        import json
+
+        store = self._store(tmp_path)
+        cache = tmp_path / "rc"
+        capsys.readouterr()
+
+        assert main(["analyze", "--shard-dir", str(store),
+                     "--result-cache", str(cache),
+                     "--trace-out", str(tmp_path / "cold.json")]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["analyze", "--shard-dir", str(store),
+                     "--result-cache", str(cache),
+                     "--trace-out", str(tmp_path / "warm.json")]) == 0
+        warm_out = capsys.readouterr().out
+
+        # identical analysis tables (only the trace-out line differs)
+        table = lambda text: [l for l in text.splitlines()
+                              if "wrote trace" not in l]
+        assert table(cold_out) == table(warm_out)
+
+        cold = json.loads((tmp_path / "cold.manifest.json").read_text())
+        warm = json.loads((tmp_path / "warm.manifest.json").read_text())
+        assert cold["metrics"]["counters"]["cache.miss"] == 3
+        assert "cache.hit" not in cold["metrics"]["counters"]
+        assert warm["metrics"]["counters"]["cache.hit"] == 3
+        assert "cache.miss" not in warm["metrics"]["counters"]
+
+    def test_result_cache_requires_shard_dir(self, tmp_path, capsys):
+        trace = tmp_path / "trace.npz"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        assert main(["analyze", str(trace),
+                     "--result-cache", str(tmp_path / "rc")]) == 2
+        assert "requires --shard-dir" in capsys.readouterr().err
+        assert main(["sweep", str(trace),
+                     "--result-cache", str(tmp_path / "rc")]) == 2
+        assert "requires --shard-dir" in capsys.readouterr().err
+        assert main(["report", "--workload", "tiny", "--seed", "3",
+                     "-o", str(tmp_path / "r.md"),
+                     "--result-cache", str(tmp_path / "rc")]) == 2
+        assert "requires --shard-dir" in capsys.readouterr().err
+
+    def test_cache_info_and_prune(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        cache = tmp_path / "rc"
+        main(["analyze", "--shard-dir", str(store),
+              "--result-cache", str(cache)])
+        capsys.readouterr()
+
+        assert main(["cache", "info", str(cache)]) == 0
+        info = capsys.readouterr().out
+        assert "3 entries" in info
+
+        assert main(["cache", "prune", str(cache), "--max-bytes", "0"]) == 0
+        pruned = capsys.readouterr().out
+        assert "evicted 3 entries" in pruned
+        assert main(["cache", "info", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_prune_accepts_size_suffixes(self, tmp_path, capsys):
+        cache = tmp_path / "rc"
+        cache.mkdir()
+        assert main(["cache", "prune", str(cache),
+                     "--max-bytes", "1M"]) == 0
+        assert "cap 1.0 MiB" in capsys.readouterr().out
+
+    def test_cache_prune_rejects_bad_size(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["cache", "prune", str(tmp_path), "--max-bytes", "lots"])
+
+    def test_shard_info_shows_bytes(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["shard", "info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Bytes" in out
+        assert "on disk" in out
+        assert "MiB" in out or "KiB" in out
+
+    def test_sweep_shares_cache_across_runs(self, tmp_path, capsys):
+        import json
+
+        store = self._store(tmp_path)
+        cache = tmp_path / "rc"
+        main(["sweep", "--shard-dir", str(store),
+              "--result-cache", str(cache),
+              "--threshold-scales", "1.0"])
+        capsys.readouterr()
+        assert main(["sweep", "--shard-dir", str(store),
+                     "--result-cache", str(cache),
+                     "--threshold-scales", "1.0,2.0",
+                     "--trace-out", str(tmp_path / "run.json")]) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        counters = manifest["metrics"]["counters"]
+        assert counters["cache.hit"] == 3   # x1.0 entries reused
+        assert counters["cache.miss"] == 3  # x2.0 computed fresh

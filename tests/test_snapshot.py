@@ -123,3 +123,59 @@ class TestLoadHygiene:
             load_substrate(path)
         with pytest.raises(ValueError):
             read_snapshot_manifest(path)
+
+
+class TestContentAddress:
+    """The payload content stamp: written at save time, verified at
+    load time, and the key component of the result cache."""
+
+    def test_manifest_carries_content_stamp(self, tmp_path, substrate):
+        from repro.io.snapshot import snapshot_content_sha256
+
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        manifest = read_snapshot_manifest(path)
+        stamp = manifest["content_sha256"]
+        assert len(stamp) == 64
+        assert manifest["content_bytes"] > 0
+        assert snapshot_content_sha256(path) == stamp
+
+    def test_stamp_is_deterministic_across_saves(self, tmp_path, substrate):
+        from repro.io.snapshot import snapshot_content_sha256
+
+        a = save_substrate(substrate, tmp_path / "a.sub")
+        b = save_substrate(substrate, tmp_path / "b.sub")
+        assert snapshot_content_sha256(a) == snapshot_content_sha256(b)
+
+    def test_flipped_payload_byte_fails_verification(
+        self, tmp_path, substrate
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # last array byte, far past the manifest
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="content"):
+            load_substrate(path)
+
+    def test_verify_opt_out_skips_the_check(self, tmp_path, substrate):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        loaded = load_substrate(path, verify=False)
+        assert len(loaded.table) == len(substrate.table)
+
+    def test_intact_snapshot_loads_with_verification(
+        self, tmp_path, substrate
+    ):
+        path = save_substrate(substrate, tmp_path / "s.sub")
+        loaded = load_substrate(path, verify=True)
+        assert len(loaded.table) == len(substrate.table)
+
+    def test_pre_stamp_manifest_is_accepted_unverified(self):
+        from repro.io.snapshot import _verify_content
+
+        # Snapshots written before the stamp existed carry no
+        # content_sha256 — nothing to verify against, never an error.
+        _verify_content(
+            __import__("pathlib").Path("old.sub"), b"anything", {}, 0
+        )
