@@ -69,6 +69,8 @@ WORKLOAD_NAMES = (
     "week",
     "two_weeks",
     "mechanistic_tiny",
+    "mechanistic_day",
+    "mechanistic_week",
 )
 
 
@@ -226,6 +228,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write .npz traces uncompressed (faster to write and "
         "re-read; larger files)",
     )
+    gen.add_argument(
+        "--sim", choices=("auto", "scalar", "batch"), default="auto",
+        help="mechanistic-engine execution path: the vectorized batch "
+        "kernel ('auto'/'batch') or the reference per-session loop "
+        "('scalar'); the paths are bit-identical, so this only matters "
+        "for timing comparisons (ignored by statistical workloads)",
+    )
+    _add_trace_out_arg(gen)
 
     ana = sub.add_parser("analyze", help="analyze a trace file")
     ana.add_argument("trace", nargs="?", default=None,
@@ -431,7 +441,11 @@ def _read_trace(path: str):
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    import dataclasses
+
     spec = StandardWorkloads.by_name(args.workload, seed=args.seed)
+    if args.sim != spec.sim:
+        spec = dataclasses.replace(spec, sim=args.sim)
     trace = generate_trace(spec)
     if args.output.endswith(".jsonl"):
         n = write_sessions_jsonl(trace.table, args.output)

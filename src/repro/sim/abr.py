@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+import numpy as np
+
 from repro.sim.segments import VideoManifest
 
 
@@ -99,6 +101,36 @@ class RateBasedABR:
                 self.ewma_alpha * throughput_kbps
                 + (1.0 - self.ewma_alpha) * self._estimate_kbps
             )
+
+
+def rate_based_rungs(
+    effective_ladders: np.ndarray, estimates_kbps: np.ndarray, safety: float = 0.85
+) -> np.ndarray:
+    """Vectorized :meth:`RateBasedABR.choose` over a session batch.
+
+    ``effective_ladders`` is ``(n, max_rungs)``, each row the session's
+    cap-limited ladder padded with ``+inf``; ``estimates_kbps`` the
+    current throughput estimates. Returns the highest rung whose bitrate
+    is <= ``safety * estimate`` (rung 0 if none) — exactly
+    ``manifest.rung_below(safety * estimate)``, which single-rung
+    (fixed-bitrate) rows satisfy trivially.
+    """
+    counts = (effective_ladders <= safety * estimates_kbps[:, None]).sum(axis=1)
+    return np.maximum(counts - 1, 0)
+
+
+def ewma_update(
+    estimates_kbps: np.ndarray, observed_kbps: np.ndarray, alpha: float = 0.4
+) -> np.ndarray:
+    """Vectorized :meth:`RateBasedABR.observe` over a session batch.
+
+    ``estimates_kbps`` uses NaN for "no observation yet": NaN rows take
+    the observation verbatim (the estimator starts from the first
+    observation), others blend ``alpha * obs + (1 - alpha) * est`` —
+    the same expression, term order, and rounding as the scalar path.
+    """
+    blended = alpha * observed_kbps + (1.0 - alpha) * estimates_kbps
+    return np.where(np.isnan(estimates_kbps), observed_kbps, blended)
 
 
 @dataclass

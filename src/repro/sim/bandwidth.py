@@ -6,6 +6,21 @@ rate) sampled once per segment download, with lognormal within-state
 jitter. This captures the burstiness that makes ABR hard (the paper's
 Section 7 cites rate-adaptation instability work) without simulating
 packets.
+
+Two consumption styles coexist (DESIGN.md §9):
+
+* the stateful scalar API — :meth:`MarkovBandwidth.step` draws one
+  segment at a time (interactive simulations, failover experiments);
+* the array API — :meth:`MarkovBandwidth.sample_path` pre-draws a whole
+  session's rates as two fixed-size blocks (one uniform block for the
+  transitions, one normal block for the jitter). Both QoE engine paths
+  (scalar loop and lockstep batch) consume this exact layout, which is
+  what makes them bit-identical.
+
+The lockstep helpers :func:`markov_state_path` (one chain, many steps)
+and :func:`markov_states_step` (many chains, one step) share the same
+cumulative-row ``searchsorted`` arithmetic, so a batch of chains stepped
+column-by-column reproduces each per-session path bit for bit.
 """
 
 from __future__ import annotations
@@ -25,6 +40,9 @@ DEFAULT_TRANSITIONS: tuple[tuple[float, ...], ...] = (
     (0.15, 0.25, 0.60),
 )
 
+#: Default lognormal within-state jitter sigma.
+DEFAULT_JITTER_SIGMA: float = 0.25
+
 
 @dataclass(frozen=True)
 class BandwidthSample:
@@ -32,6 +50,42 @@ class BandwidthSample:
 
     rate_kbps: float
     state: int
+
+
+def markov_state_path(
+    cum_transitions: np.ndarray, initial_state: int, uniforms: np.ndarray
+) -> np.ndarray:
+    """Sequential state path of one chain driven by ``uniforms``.
+
+    ``cum_transitions`` is the row-wise cumulative sum of the transition
+    matrix. Each step is ``searchsorted(cum[state], u, side="right")``
+    clipped to the last state (cumulative rows can fall a few ulps short
+    of 1.0).
+    """
+    n_states = cum_transitions.shape[0]
+    states = np.empty(len(uniforms), dtype=np.intp)
+    state = initial_state
+    for i, u in enumerate(uniforms):
+        state = min(
+            int(np.searchsorted(cum_transitions[state], u, side="right")),
+            n_states - 1,
+        )
+        states[i] = state
+    return states
+
+
+def markov_states_step(
+    cum_transitions: np.ndarray, states: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """One lockstep transition for a whole batch of chains.
+
+    Vectorized equivalent of one :func:`markov_state_path` step applied
+    to every chain: ``(cum[state] <= u).sum()`` is exactly
+    ``searchsorted(cum[state], u, side="right")`` for the nondecreasing
+    cumulative rows, so batch and sequential paths agree bit for bit.
+    """
+    nxt = (cum_transitions[states] <= uniforms[:, None]).sum(axis=1)
+    return np.minimum(nxt, cum_transitions.shape[0] - 1)
 
 
 class MarkovBandwidth:
@@ -43,7 +97,7 @@ class MarkovBandwidth:
         rng: np.random.Generator,
         state_factors: tuple[float, ...] = DEFAULT_STATE_FACTORS,
         transitions: tuple[tuple[float, ...], ...] = DEFAULT_TRANSITIONS,
-        jitter_sigma: float = 0.25,
+        jitter_sigma: float = DEFAULT_JITTER_SIGMA,
         initial_state: int | None = None,
     ) -> None:
         if mean_kbps <= 0:
@@ -61,6 +115,8 @@ class MarkovBandwidth:
         self.state_factors = tuple(state_factors)
         self.transitions = matrix
         self.jitter_sigma = jitter_sigma
+        self._factors = np.asarray(state_factors, dtype=np.float64)
+        self._cum = np.cumsum(matrix, axis=1)
         self._rng = rng
         self.state = (
             int(initial_state)
@@ -72,15 +128,46 @@ class MarkovBandwidth:
 
     def step(self) -> BandwidthSample:
         """Advance one segment and sample the rate for its download."""
-        self.state = int(
-            self._rng.choice(len(self.state_factors), p=self.transitions[self.state])
+        u = self._rng.random()
+        self.state = min(
+            int(np.searchsorted(self._cum[self.state], u, side="right")),
+            len(self.state_factors) - 1,
         )
         jitter = float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
         rate = self.mean_kbps * self.state_factors[self.state] * jitter
         return BandwidthSample(rate_kbps=max(rate, 1.0), state=self.state)
 
-    def sample_series(self, n: int) -> list[BandwidthSample]:
-        """Sample ``n`` consecutive steps (convenience for tests)."""
+    def sample_path(self, n: int) -> np.ndarray:
+        """Rates for ``n`` consecutive segments, pre-drawn as two blocks.
+
+        Consumes exactly ``rng.random(n)`` (transition uniforms) then
+        ``rng.normal(0, jitter_sigma, n)`` (jitter) — the fixed
+        per-session substream layout shared by the scalar and batch QoE
+        engines. Advances ``self.state`` to the path's final state.
+        """
         if n < 0:
             raise ValueError("n must be non-negative")
-        return [self.step() for _ in range(n)]
+        uniforms = self._rng.random(n)
+        jitter = np.exp(self._rng.normal(0.0, self.jitter_sigma, size=n))
+        states = markov_state_path(self._cum, self.state, uniforms)
+        if n:
+            self.state = int(states[-1])
+        rates = self.mean_kbps * self._factors[states] * jitter
+        return np.maximum(rates, 1.0)
+
+    def sample_series(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``n`` consecutive steps as ``(rates, states)`` arrays.
+
+        Array-form convenience over :meth:`sample_path` (same two-block
+        draw layout); ``rates`` is float64 kbps, ``states`` the hidden
+        state indices.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        uniforms = self._rng.random(n)
+        jitter = np.exp(self._rng.normal(0.0, self.jitter_sigma, size=n))
+        states = markov_state_path(self._cum, self.state, uniforms)
+        if n:
+            self.state = int(states[-1])
+        rates = np.maximum(self.mean_kbps * self._factors[states] * jitter, 1.0)
+        return rates, states

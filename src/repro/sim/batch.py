@@ -1,0 +1,246 @@
+"""Lockstep vectorized playback: a whole session batch per step.
+
+This is the batch twin of :func:`repro.sim.playback.simulate_session`.
+Instead of running one Python loop per session, :func:`simulate_batch`
+steps *all* sessions of a batch through segment ``t`` together:
+
+* the Markov bandwidth chains advance as one vectorized categorical
+  transition per column (:func:`markov_rate_matrix`);
+* rate-based ABR is a ``searchsorted``-style count over each row's
+  cap-limited ladder (:func:`repro.sim.abr.rate_based_rungs`);
+* buffer fill/drain/stall is masked array arithmetic
+  (:class:`repro.sim.playerbuffer.BatchPlayerBuffer`);
+* join-failure / join-timeout / watch-limit exits are per-session done
+  masks: a finished row simply drops out of the active mask while the
+  rest of the batch keeps stepping.
+
+Sessions in one call share the segment grid (``segment_durations_s``)
+— the engine groups sessions by live/VOD class — but each row carries
+its own ladder, RTT, watch limit, and join overhead, and may end its
+grid early via ``n_segments_per_row`` (ragged batches).
+
+Every arithmetic update mirrors the scalar loop operation for
+operation in the same order, and the per-session RNG substreams are
+consumed in the same blocked layout, so the results are bit-identical
+to ``simulate_session`` (property-tested in
+``tests/property/test_sim_batch_equivalence.py``; DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.abr import ewma_update, rate_based_rungs
+from repro.sim.bandwidth import markov_states_step
+from repro.sim.playerbuffer import BatchPlayerBuffer
+
+
+@dataclass
+class BatchPlaybackResult:
+    """Per-session outcomes of one lockstep batch (all shape (m,))."""
+
+    failed: np.ndarray
+    join_time_s: np.ndarray
+    played_s: np.ndarray
+    buffering_s: np.ndarray
+    avg_bitrate_kbps: np.ndarray
+    #: Total segment downloads simulated across the batch (diagnostics).
+    segments_downloaded: int = 0
+
+    def __len__(self) -> int:
+        return self.failed.shape[0]
+
+
+def markov_rate_matrix(
+    mean_kbps: np.ndarray,
+    uniforms: np.ndarray,
+    jitter: np.ndarray,
+    cum_transitions: np.ndarray,
+    state_factors: np.ndarray,
+    initial_state: int = 0,
+) -> np.ndarray:
+    """Per-segment rates for a batch of Markov bandwidth chains.
+
+    ``uniforms``/``jitter`` are ``(m, T)`` — each row a session's
+    pre-drawn transition-uniform and jitter blocks (the exact blocks
+    :meth:`MarkovBandwidth.sample_path` consumes). The chains advance
+    one vectorized categorical transition per column via
+    :func:`markov_states_step`, so row ``i`` of the result is bit
+    identical to ``MarkovBandwidth(mean_kbps[i], ...).sample_path(T)``
+    driven by the same draws.
+    """
+    m, n_steps = uniforms.shape
+    factors = np.empty((m, n_steps), dtype=np.float64)
+    states = np.full(m, initial_state, dtype=np.intp)
+    for t in range(n_steps):
+        states = markov_states_step(cum_transitions, states, uniforms[:, t])
+        factors[:, t] = state_factors[states]
+    rates = mean_kbps[:, None] * factors * jitter
+    return np.maximum(rates, 1.0)
+
+
+def simulate_batch(
+    effective_ladders: np.ndarray,
+    segment_durations_s: np.ndarray,
+    rates_kbps: np.ndarray,
+    rtt_s: np.ndarray,
+    watch_duration_s: np.ndarray,
+    join_overhead_s: np.ndarray,
+    join_failed: np.ndarray | None = None,
+    n_segments_per_row: np.ndarray | None = None,
+    startup_buffer_s: float = 4.0,
+    buffer_capacity_s: float = 60.0,
+    max_join_time_s: float = 120.0,
+    throughput_cap_kbps: float = 1e9,
+    abr_safety: float = 0.85,
+    abr_ewma_alpha: float = 0.4,
+) -> BatchPlaybackResult:
+    """Simulate ``m`` sessions in lockstep over ``T`` segments.
+
+    ``effective_ladders`` is ``(m, max_rungs)`` with each row the
+    session's cap-limited ladder padded by ``+inf``; ``rates_kbps`` is
+    the ``(m, T)`` pre-drawn bandwidth path (:func:`markov_rate_matrix`);
+    ``watch_duration_s`` must be finite. Rows already ``join_failed``
+    never enter the active mask and come back as failed outputs.
+
+    ``n_segments_per_row`` makes the batch *ragged*: row ``i`` only
+    participates in segments ``t < n_segments_per_row[i]`` — its video
+    simply ends earlier. This lets sessions on different grids share one
+    lockstep pass, provided the shorter grid's durations are a prefix of
+    ``segment_durations_s`` (the caller's responsibility).
+
+    Exit semantics (DESIGN.md §9): a row leaves the active mask when its
+    join times out (``join_time > max_join_time_s`` → failed), when its
+    watch limit is reached, or when its own segment grid runs out; the
+    loop stops early once every row is done.
+    """
+    if startup_buffer_s <= 0:
+        raise ValueError("startup_buffer_s must be positive")
+    m = effective_ladders.shape[0]
+    n_segments = len(segment_durations_s)
+    if rates_kbps.shape != (m, n_segments):
+        raise ValueError("rates_kbps must be (m, n_segments)")
+    if not np.all(np.isfinite(watch_duration_s)):
+        raise ValueError("watch limits must be finite")
+    if n_segments_per_row is not None and m > 0 and not np.all(
+        (n_segments_per_row >= 1) & (n_segments_per_row <= n_segments)
+    ):
+        raise ValueError("n_segments_per_row must lie in [1, n_segments]")
+    fail0 = (
+        np.zeros(m, dtype=bool) if join_failed is None else join_failed.astype(bool)
+    )
+
+    est = np.full(m, np.nan)
+    buf = BatchPlayerBuffer(m, capacity_s=buffer_capacity_s)
+    wall = np.array(join_overhead_s, dtype=np.float64, copy=True)
+    join_time = np.full(m, np.nan)
+    joined = np.zeros(m, dtype=bool)
+    timed_out = np.zeros(m, dtype=bool)
+    done = np.zeros(m, dtype=bool)
+    watched = np.zeros(m)
+    played = np.zeros(m)
+    bitrate_time = np.zeros(m)
+    steady_time = np.zeros(m)
+    last_bitrate = np.zeros(m)
+    segments = 0
+    rows = np.arange(m)
+
+    active = ~fail0
+    n_active = int(active.sum())
+    ewma_rest = 1.0 - abr_ewma_alpha
+    # Once the startup phase is globally over it never restarts (rows
+    # only leave the active mask, `joined` only grows), so the phase
+    # masks collapse to `steady == active`.
+    startup_possible = True
+    for t in range(n_segments):
+        if n_active == 0:
+            break
+        dur = float(segment_durations_s[t])
+        # Phase masks use `joined` from *before* this segment: the
+        # segment that completes startup does not also play (the scalar
+        # loop's `continue`).
+        if startup_possible:
+            steady = active & joined
+            startup = active & ~joined
+            in_startup = bool(startup.any())
+            startup_possible = in_startup
+        else:
+            steady = active
+            in_startup = False
+
+        throughput = np.minimum(rates_kbps[:, t], throughput_cap_kbps)
+        # Every row still in play observed a goodput at t == 0, so the
+        # NaN fallback to the instantaneous throughput (the scalar
+        # estimator "starts from the first observation") only matters
+        # on the first segment.
+        est_now = np.where(np.isnan(est), throughput, est) if t == 0 else est
+        rung = rate_based_rungs(effective_ladders, est_now, abr_safety)
+        bitrate = effective_ladders[rows, rung]
+        size_kbits = dur * bitrate
+        dl_time = rtt_s + size_kbits / throughput
+        goodput = size_kbits / np.maximum(dl_time, 1e-9)
+        # Inline :func:`ewma_update` (same expression, same term order):
+        # its NaN branch can only fire before the first observation, so
+        # the extra isnan/where pair is skipped for t > 0.
+        blended = abr_ewma_alpha * goodput + ewma_rest * est
+        if t == 0:
+            blended = np.where(np.isnan(est), goodput, blended)
+        est = np.where(active, blended, est)
+        segments += n_active
+
+        # The steady rows' buffers drain while the segment downloads
+        # (shortfalls stall; only pre-download content plays), then
+        # every active row banks the new segment.
+        before = buf.level_s
+        stall = buf.drain(dl_time, steady)
+        play_now = np.minimum(dl_time - stall, before)
+        buf.add(dur, active)
+
+        played = np.where(steady, played + play_now, played)
+        watched = np.where(steady, watched + dl_time, watched)
+        bitrate_time = np.where(steady, bitrate_time + size_kbits, bitrate_time)
+        steady_time = np.where(steady, steady_time + dur, steady_time)
+        done |= steady & (watched >= watch_duration_s)
+
+        if in_startup:
+            wall = np.where(startup, wall + dl_time, wall)
+            last_seg = (
+                t == n_segments - 1
+                if n_segments_per_row is None
+                else n_segments_per_row == t + 1
+            )
+            complete = startup & (
+                (buf.level_s >= startup_buffer_s) | last_seg
+            )
+            # A row joining on its very last segment never plays a
+            # steady segment; its average-bitrate fallback is the rung
+            # of this completing download (the scalar loop's last_rung).
+            np.copyto(join_time, wall, where=complete)
+            np.copyto(last_bitrate, bitrate, where=complete)
+            joined |= complete
+            timed_out |= complete & (join_time > max_join_time_s)
+
+        active = ~fail0 & ~timed_out & ~done
+        if n_segments_per_row is not None:
+            active &= n_segments_per_row > t + 1
+        n_active = int(active.sum())
+
+    failed = fail0 | timed_out
+    ok = ~failed
+    # Drain whatever is left in each buffer (up to the watch limit).
+    remaining = np.maximum(watch_duration_s - watched, 0.0)
+    drainable = np.minimum(buf.level_s, remaining)
+    played[ok] += drainable[ok]
+    avg_bitrate = last_bitrate.copy()
+    np.divide(bitrate_time, steady_time, out=avg_bitrate, where=steady_time > 0)
+
+    return BatchPlaybackResult(
+        failed=failed,
+        join_time_s=np.where(ok, join_time, np.nan),
+        played_s=np.where(ok, played, 0.0),
+        buffering_s=np.where(ok, buf.total_stall_s, 0.0),
+        avg_bitrate_kbps=np.where(ok, avg_bitrate, np.nan),
+        segments_downloaded=segments,
+    )

@@ -50,6 +50,22 @@ class CDNServer:
         return min(link_rate_kbps, self.throughput_cap_kbps)
 
 
+def join_failure_probability(
+    failure_probs: np.ndarray, odds_multipliers: np.ndarray
+) -> np.ndarray:
+    """Vectorized odds-scaled join-failure probability.
+
+    Same arithmetic as :meth:`CDNServer.join_fails` for positive
+    ``failure_probs``: scale the odds ``p / (1 - p)`` by the multiplier
+    and convert back, ``odds / (1 + odds)``. Callers comparing against a
+    pre-drawn uniform get the same verdict as the scalar method, draw
+    for draw (the engine floors ``failure_prob`` at 1e-4, so the scalar
+    path's zero-probability no-draw shortcut never triggers there).
+    """
+    odds = failure_probs / (1.0 - failure_probs) * odds_multipliers
+    return odds / (1.0 + odds)
+
+
 class SiteCDNSelector:
     """Weighted CDN choice for one site."""
 

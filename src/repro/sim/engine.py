@@ -3,10 +3,23 @@
 
 Implements the same contract as
 :class:`repro.trace.qoe.StatisticalQoEEngine` but derives every metric
-from chunk-level playback dynamics (:mod:`repro.sim.playback`). It is
-orders of magnitude slower (a Python loop per session), so it backs
-the ``mechanistic_*`` workloads used by tests, the engine-agreement
-ablation, and examples rather than the week-scale benches.
+from chunk-level playback dynamics (:mod:`repro.sim.playback`). Two
+interchangeable execution paths sit behind ``generate``:
+
+* ``sim="scalar"`` — one :func:`simulate_session` Python loop per
+  session (the reference semantics);
+* ``sim="batch"`` — the lockstep vectorized kernel
+  (:mod:`repro.sim.batch`), which steps whole live/VOD groups through
+  segments together and is ~an order of magnitude faster;
+* ``sim="auto"`` (default) — currently the batch path: the two are
+  bit-identical, so there is never a reason to fall back.
+
+Bit-identity rests on per-session RNG substreams (DESIGN.md §9): each
+``generate`` call consumes exactly one draw from the shared stream to
+seed a ``SeedSequence``, whose spawned children give every batch row
+its own generator. Both paths consume each child in the same blocked
+layout — watch draw, join uniform, transition uniforms, jitter block —
+so every random number lands in the same place regardless of path.
 
 Event-effect mapping (documented in DESIGN.md):
 
@@ -26,13 +39,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import current_metrics
 from repro.sim.abr import FixedBitrateABR, RateBasedABR
-from repro.sim.bandwidth import MarkovBandwidth
-from repro.sim.cdn import CDNServer
+from repro.sim.bandwidth import (
+    DEFAULT_JITTER_SIGMA,
+    DEFAULT_STATE_FACTORS,
+    DEFAULT_TRANSITIONS,
+    MarkovBandwidth,
+)
+from repro.sim.batch import markov_rate_matrix, simulate_batch
+from repro.sim.cdn import CDNServer, join_failure_probability
 from repro.sim.playback import simulate_session
 from repro.sim.segments import VideoManifest
 from repro.trace.entities import CONNECTION_BANDWIDTH_KBPS, CONNECTION_TYPES, World
 from repro.trace.qoe import EffectArrays, QoEBatch
+
+SIM_MODES = ("auto", "scalar", "batch")
 
 
 @dataclass(frozen=True)
@@ -52,9 +74,17 @@ class MechanisticParams:
 class MechanisticQoEEngine:
     """Chunk-level implementation of the ``QoEEngine`` protocol."""
 
-    def __init__(self, world: World, params: MechanisticParams | None = None) -> None:
+    def __init__(
+        self,
+        world: World,
+        params: MechanisticParams | None = None,
+        sim: str = "auto",
+    ) -> None:
+        if sim not in SIM_MODES:
+            raise ValueError(f"sim must be one of {SIM_MODES}, got {sim!r}")
         self.world = world
         self.params = params or MechanisticParams()
+        self.sim = sim
         self._conn_base = np.array(
             [CONNECTION_BANDWIDTH_KBPS[c] for c in CONNECTION_TYPES]
         )
@@ -62,6 +92,22 @@ class MechanisticQoEEngine:
         self._asn_region = world.region_of_asn
         self._cdn_quality = np.array([c.throughput_quality for c in world.cdns])
         self._cdn_coverage = np.array([c.region_coverage for c in world.cdns])
+        self._cdn_rtt_s = np.array([c.base_rtt_ms / 1000.0 for c in world.cdns])
+        # Join-failure probabilities floored at 1e-4: a zero would take
+        # the scalar path's no-draw shortcut in CDNServer.join_fails and
+        # desynchronise it from the batch path's pre-drawn uniform.
+        self._cdn_fail = np.array(
+            [max(c.failure_prob, 1e-4) for c in world.cdns]
+        )
+        # Ladders padded to a rectangle with +inf (never chosen by ABR):
+        # the per-(site, live) rung-cap table and the batch engine's
+        # effective-ladder rows both index this.
+        ladders = [np.asarray(s.ladder, dtype=np.float64) for s in world.sites]
+        max_rungs = max(ladder.size for ladder in ladders)
+        self._ladder_pad = np.full((len(ladders), max_rungs), np.inf)
+        for i, ladder in enumerate(ladders):
+            self._ladder_pad[i, : ladder.size] = ladder
+        self._site_n_rungs = np.array([ladder.size for ladder in ladders])
         self._manifests = {
             (site_idx, live): VideoManifest(
                 ladder_kbps=world.sites[site_idx].ladder,
@@ -73,6 +119,111 @@ class MechanisticQoEEngine:
             for site_idx in range(len(world.sites))
             for live in (False, True)
         }
+        # Cap-limited manifests, keyed by allowed-rung count (ladders
+        # are ascending, so any cap keeps a prefix); a cap below the
+        # lowest rung (k == 0) serves a degraded stream at the cap rate.
+        self._capped_manifests: dict[tuple, VideoManifest] = {}
+        self._mk_cum = np.cumsum(np.asarray(DEFAULT_TRANSITIONS), axis=1)
+        self._mk_factors = np.asarray(DEFAULT_STATE_FACTORS)
+
+    # -- shared per-batch precomputation --------------------------------
+
+    def _allowed_rungs(self, sites: np.ndarray, caps: np.ndarray) -> np.ndarray:
+        """Rung-cap table: prefix length of each session's ladder.
+
+        ``k[i]`` counts the rungs of site ``sites[i]`` at or under
+        ``caps[i]`` (the +inf padding forces the min against the site's
+        true rung count for uncapped sessions); ``k == 0`` marks
+        cap-below-ladder sessions that get a synthetic single rung.
+        """
+        rows = self._ladder_pad[sites]
+        return np.minimum(
+            (rows <= caps[:, None]).sum(axis=1), self._site_n_rungs[sites]
+        )
+
+    def _capped_manifest(
+        self, site_idx: int, live: bool, k: int, cap: float
+    ) -> VideoManifest:
+        if k == self._site_n_rungs[site_idx]:
+            return self._manifests[(site_idx, live)]
+        key = (site_idx, live, k) if k > 0 else (site_idx, live, 0, cap)
+        manifest = self._capped_manifests.get(key)
+        if manifest is None:
+            base = self._manifests[(site_idx, live)]
+            ladder = base.ladder_kbps[:k] if k > 0 else (float(cap),)
+            manifest = VideoManifest(
+                ladder_kbps=ladder,
+                segment_duration_s=base.segment_duration_s,
+                total_duration_s=base.total_duration_s,
+            )
+            self._capped_manifests[key] = manifest
+        return manifest
+
+    def _effective_ladders(
+        self, sites: np.ndarray, caps: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        """Per-session cap-limited ladder rows, padded with +inf."""
+        eff = self._ladder_pad[sites].copy()
+        cols = np.arange(eff.shape[1])
+        eff[cols[None, :] >= k[:, None]] = np.inf
+        capped_out = k == 0
+        if capped_out.any():
+            eff[capped_out, 0] = caps[capped_out]
+        return eff
+
+    def _session_streams(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[list[np.random.Generator], np.ndarray]:
+        """Per-session substreams plus their watch-duration draws.
+
+        Consumes exactly one integer from the shared ``rng`` (keeping
+        the caller's stream position independent of ``n`` and of the
+        sim path), then seeds one child generator per batch row. The
+        watch draw is each child's first block in both paths.
+        """
+        entropy = int(rng.integers(0, 2**63))
+        children = np.random.SeedSequence(entropy).spawn(n)
+        gens = [
+            np.random.Generator(np.random.PCG64(child)) for child in children
+        ]
+        params = self.params
+        log_median = np.log(params.watch_median_s)
+        watch = np.empty(n)
+        for i, gen in enumerate(gens):
+            watch[i] = gen.normal(log_median, params.watch_sigma)
+        # One vectorized exp over the normals: both sim paths read the
+        # same array, so the scalar-vs-SIMD transcendental concern does
+        # not apply here.
+        return gens, np.exp(watch)
+
+    def _shared_inputs(
+        self, codes: np.ndarray, effects: EffectArrays
+    ) -> dict[str, np.ndarray]:
+        """Vectorized per-session quantities used by both sim paths."""
+        asn, cdn = codes[:, 0], codes[:, 1]
+        region = self._asn_region[asn]
+        coverage = self._cdn_coverage[cdn, region]
+        mean_bw = (
+            self._conn_base[codes[:, 6]]
+            * self._asn_quality[asn]
+            * self._cdn_quality[cdn]
+            * coverage
+            * effects.bandwidth_factor
+        )
+        jt_factor = effects.join_time_factor
+        rtt = self._cdn_rtt_s[cdn] * jt_factor / np.maximum(coverage, 0.2)
+        overhead = self.params.join_overhead_per_factor_s * np.maximum(
+            jt_factor - 1.0, 0.0
+        )
+        fail_p = join_failure_probability(
+            self._cdn_fail[cdn], effects.join_failure_odds
+        )
+        k = self._allowed_rungs(codes[:, 2], effects.bitrate_cap_kbps)
+        return dict(
+            mean_bw=mean_bw, rtt=rtt, overhead=overhead, fail_p=fail_p, k=k
+        )
+
+    # -- generate -------------------------------------------------------
 
     def generate(
         self,
@@ -81,50 +232,52 @@ class MechanisticQoEEngine:
         rng: np.random.Generator,
     ) -> QoEBatch:
         n = codes.shape[0]
+        metrics = current_metrics()
+        metrics.inc("generate.sessions", n)
+        gens, watch = self._session_streams(n, rng)
+        shared = self._shared_inputs(codes, effects)
+        if self.sim == "scalar":
+            batch, segments = self._generate_scalar(
+                codes, effects, shared, gens, watch
+            )
+        else:
+            batch, segments = self._generate_batch(
+                codes, effects, shared, gens, watch
+            )
+        metrics.inc("generate.segments", segments)
+        return batch
+
+    def _generate_scalar(
+        self,
+        codes: np.ndarray,
+        effects: EffectArrays,
+        shared: dict[str, np.ndarray],
+        gens: list[np.random.Generator],
+        watch: np.ndarray,
+    ) -> tuple[QoEBatch, int]:
+        n = codes.shape[0]
         params = self.params
         duration = np.empty(n)
         buffering = np.empty(n)
         join_time = np.empty(n)
         bitrate = np.empty(n)
         failed = np.empty(n, dtype=bool)
-
-        region = self._asn_region[codes[:, 0]]
-        coverage = self._cdn_coverage[codes[:, 1], region]
-        mean_bw = (
-            self._conn_base[codes[:, 6]]
-            * self._asn_quality[codes[:, 0]]
-            * self._cdn_quality[codes[:, 1]]
-            * coverage
-            * effects.bandwidth_factor
+        mean_bw, rtt, overhead, k = (
+            shared["mean_bw"], shared["rtt"], shared["overhead"], shared["k"]
         )
-        watch = np.exp(
-            rng.normal(np.log(params.watch_median_s), params.watch_sigma, size=n)
-        )
+        segments = 0
 
         for i in range(n):
             site_idx = int(codes[i, 2])
             live = bool(codes[i, 3])
-            manifest = self._manifests[(site_idx, live)]
-            cap = effects.bitrate_cap_kbps[i]
-            if np.isfinite(cap):
-                # Throttled session: only rungs under the absolute cap
-                # are offered (at least the lowest rung).
-                allowed = tuple(
-                    b for b in manifest.ladder_kbps if b <= cap
-                ) or (float(cap),)
-                manifest = VideoManifest(
-                    ladder_kbps=allowed,
-                    segment_duration_s=manifest.segment_duration_s,
-                    total_duration_s=manifest.total_duration_s,
-                )
-            cdn_profile = self.world.cdns[int(codes[i, 1])]
-            jt_factor = effects.join_time_factor[i]
+            manifest = self._capped_manifest(
+                site_idx, live, int(k[i]), float(effects.bitrate_cap_kbps[i])
+            )
+            cdn_idx = int(codes[i, 1])
             server = CDNServer(
-                name=cdn_profile.name,
-                rtt_s=(cdn_profile.base_rtt_ms / 1000.0)
-                * jt_factor
-                / max(coverage[i], 0.2),
-                failure_prob=max(cdn_profile.failure_prob, 1e-4),
+                name=self.world.cdns[cdn_idx].name,
+                rtt_s=float(rtt[i]),
+                failure_prob=float(self._cdn_fail[cdn_idx]),
                 throughput_cap_kbps=1e9,
             )
             abr = (
@@ -133,21 +286,21 @@ class MechanisticQoEEngine:
                 else RateBasedABR()
             )
             bandwidth = MarkovBandwidth(
-                mean_kbps=float(mean_bw[i]), rng=rng, initial_state=0
+                mean_kbps=float(mean_bw[i]), rng=gens[i], initial_state=0
             )
             result = simulate_session(
                 manifest=manifest,
                 abr=abr,
                 bandwidth=bandwidth,
                 server=server,
-                rng=rng,
+                rng=gens[i],
                 watch_duration_s=float(watch[i]),
                 startup_buffer_s=params.startup_buffer_s,
                 failure_odds=float(effects.join_failure_odds[i]),
-                join_overhead_s=params.join_overhead_per_factor_s
-                * max(jt_factor - 1.0, 0.0),
+                join_overhead_s=float(overhead[i]),
                 max_join_time_s=params.max_join_time_s,
             )
+            segments += result.segments_downloaded
             if result.failed:
                 failed[i] = True
                 duration[i] = 0.0
@@ -166,10 +319,132 @@ class MechanisticQoEEngine:
             join_time[i] = result.join_time_s
             bitrate[i] = result.avg_bitrate_kbps
 
-        return QoEBatch(
+        batch = QoEBatch(
             duration_s=duration,
             buffering_s=buffering,
             join_time_s=join_time,
             bitrate_kbps=bitrate,
             join_failed=failed,
         )
+        return batch, segments
+
+    def _generate_batch(
+        self,
+        codes: np.ndarray,
+        effects: EffectArrays,
+        shared: dict[str, np.ndarray],
+        gens: list[np.random.Generator],
+        watch: np.ndarray,
+    ) -> tuple[QoEBatch, int]:
+        n = codes.shape[0]
+        params = self.params
+        mean_bw, rtt, overhead, fail_p, k = (
+            shared["mean_bw"], shared["rtt"], shared["overhead"],
+            shared["fail_p"], shared["k"],
+        )
+
+        # Join check first — each child's second draw, matching the
+        # scalar path where simulate_session draws it before the rate
+        # path. Failed rows consume nothing further, as in the scalar
+        # loop's early return.
+        u_join = np.empty(n)
+        for i, gen in enumerate(gens):
+            u_join[i] = gen.random()
+        failed = u_join < fail_p
+
+        eff = self._effective_ladders(
+            codes[:, 2], effects.bitrate_cap_kbps, k
+        )
+        live = codes[:, 3] != 0
+
+        join_time = np.full(n, np.nan)
+        played = np.zeros(n)
+        raw_buffering = np.zeros(n)
+        bitrate = np.full(n, np.nan)
+        segments = 0
+
+        def run_group(
+            rows: np.ndarray,
+            durations: np.ndarray,
+            n_seg_row: np.ndarray | None,
+        ) -> None:
+            """One lockstep pass over ``rows`` on the ``durations`` grid."""
+            nonlocal segments
+            m = rows.size
+            if m == 0:
+                return
+            n_segments = durations.size
+            # Each row's rate-path blocks are drawn with its *own*
+            # segment count, exactly as the scalar path's sample_path
+            # call; ragged rows leave neutral filler (state-0 uniforms,
+            # unit jitter) in the columns they never reach.
+            if n_seg_row is None:
+                uniforms = np.empty((m, n_segments))
+                jitter = np.empty((m, n_segments))
+                for r, i in enumerate(rows):
+                    gen = gens[i]
+                    uniforms[r] = gen.random(n_segments)
+                    jitter[r] = np.exp(
+                        gen.normal(0.0, DEFAULT_JITTER_SIGMA, size=n_segments)
+                    )
+            else:
+                uniforms = np.zeros((m, n_segments))
+                jitter = np.ones((m, n_segments))
+                for r, i in enumerate(rows):
+                    gen = gens[i]
+                    t_i = int(n_seg_row[r])
+                    uniforms[r, :t_i] = gen.random(t_i)
+                    jitter[r, :t_i] = np.exp(
+                        gen.normal(0.0, DEFAULT_JITTER_SIGMA, size=t_i)
+                    )
+            rates = markov_rate_matrix(
+                mean_bw[rows], uniforms, jitter,
+                self._mk_cum, self._mk_factors, initial_state=0,
+            )
+            result = simulate_batch(
+                effective_ladders=eff[rows],
+                segment_durations_s=durations,
+                rates_kbps=rates,
+                rtt_s=rtt[rows],
+                watch_duration_s=watch[rows],
+                join_overhead_s=overhead[rows],
+                n_segments_per_row=n_seg_row,
+                startup_buffer_s=params.startup_buffer_s,
+                max_join_time_s=params.max_join_time_s,
+            )
+            segments += result.segments_downloaded
+            join_time[rows] = result.join_time_s
+            played[rows] = result.played_s
+            raw_buffering[rows] = result.buffering_s
+            bitrate[rows] = result.avg_bitrate_kbps
+            failed[rows] |= result.failed
+
+        # Ragged batches: live and VOD sessions have different segment
+        # grids, so each class steps as its own lockstep group (ladders,
+        # watch limits, RTTs stay per-row inside the group). Merging the
+        # classes into one ragged pass on the long grid is *slower*:
+        # the majority VOD rows would pad every per-step array for the
+        # full live grid, trading a few ufunc dispatches for ~2.5x the
+        # element work.
+        for live_flag in (False, True):
+            rows = np.flatnonzero((live == live_flag) & ~failed)
+            run_group(
+                rows,
+                self._manifests[(0, live_flag)].segment_durations_s,
+                None,
+            )
+
+        ok = ~failed
+        extra = 0.02 * np.maximum(effects.buffering_factor - 1.0, 0.0)
+        stall = np.minimum(
+            raw_buffering + extra * played,
+            np.maximum(played * 0.85, raw_buffering),
+        )
+        batch = QoEBatch(
+            duration_s=np.where(ok, played + stall, 0.0),
+            buffering_s=np.where(ok, stall, 0.0),
+            join_time_s=np.where(ok, join_time, np.nan),
+            bitrate_kbps=np.where(ok, bitrate, np.nan),
+            join_failed=failed,
+        )
+        return batch, segments

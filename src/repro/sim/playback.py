@@ -12,6 +12,13 @@
 
 The result carries the paper's four metrics plus diagnostics (rung
 switches, stall events, per-rung playtime).
+
+RNG draw layout (DESIGN.md §9): the join-failure uniform is consumed
+first, then — when the bandwidth model supports it — the session's
+whole rate path is pre-drawn as two fixed-size blocks via
+:meth:`MarkovBandwidth.sample_path`. The lockstep batch engine
+(:mod:`repro.sim.batch`) consumes per-session substreams in exactly
+this order, which is what makes it bit-identical to this loop.
 """
 
 from __future__ import annotations
@@ -39,6 +46,8 @@ class PlaybackResult:
     rung_switches: int = 0
     stall_events: int = 0
     rung_playtime_s: dict[int, float] = field(default_factory=dict)
+    #: Segment downloads actually simulated (diagnostics/metrics).
+    segments_downloaded: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -50,6 +59,12 @@ class PlaybackResult:
         if self.duration_s <= 0:
             return 0.0
         return self.buffering_s / self.duration_s
+
+
+_FAILED = dict(
+    failed=True, join_time_s=float("nan"), played_s=0.0,
+    buffering_s=0.0, avg_bitrate_kbps=float("nan"),
+)
 
 
 def simulate_session(
@@ -78,10 +93,18 @@ def simulate_session(
         raise ValueError("watch_duration_s must be positive")
 
     if server.join_fails(rng, odds_multiplier=failure_odds):
-        return PlaybackResult(
-            failed=True, join_time_s=float("nan"), played_s=0.0,
-            buffering_s=0.0, avg_bitrate_kbps=float("nan"),
-        )
+        return PlaybackResult(**_FAILED)
+
+    n_segments = manifest.n_segments
+    # Pre-draw the whole rate path as fixed-size blocks so the batch
+    # engine can reproduce the draws; bandwidth models without the
+    # array API fall back to stepwise draws.
+    sample_path = getattr(bandwidth, "sample_path", None)
+    rates = sample_path(n_segments) if sample_path is not None else None
+
+    durations = manifest.segment_durations_s
+    sizes = manifest.segment_sizes_kbits  # (n_rungs, n_segments)
+    rtt_s = server.rtt_s
 
     buffer = PlayerBuffer(capacity_s=buffer_capacity_s)
     wall_clock = join_overhead_s
@@ -91,32 +114,36 @@ def simulate_session(
     switches = 0
     rung_playtime: dict[int, float] = {}
     played = 0.0
+    # Average bitrate accumulates per segment (not grouped by rung) so
+    # the summation order matches the batch engine's bit for bit.
+    bitrate_time = 0.0
+    steady_time = 0.0
 
     limit = watch_duration_s if watch_duration_s is not None else float("inf")
+    downloads = 0
 
-    for index in range(manifest.n_segments):
-        sample = bandwidth.step()
-        throughput = server.effective_throughput(sample.rate_kbps)
+    for index in range(n_segments):
+        downloads += 1
+        rate = float(rates[index]) if rates is not None else bandwidth.step().rate_kbps
+        throughput = server.effective_throughput(rate)
         rung = abr.choose(manifest, throughput, buffer.level_s)
         if last_rung is not None and rung != last_rung:
             switches += 1
         last_rung = rung
-        segment = manifest.segment(index, rung)
-        dl_time = segment.download_time(throughput, rtt_s=server.rtt_s)
+        size_kbits = float(sizes[rung, index])
+        seg_duration = float(durations[index])
+        dl_time = rtt_s + size_kbits / throughput
         # Observed goodput includes the RTT hit.
-        abr.observe(segment.size_kbits / max(dl_time, 1e-9))
+        abr.observe(size_kbits / max(dl_time, 1e-9))
 
         if join_time is None:
             wall_clock += dl_time
-            buffer.add(segment.duration_s)
-            if buffer.level_s >= startup_buffer_s or index == manifest.n_segments - 1:
+            buffer.add(seg_duration)
+            if buffer.level_s >= startup_buffer_s or index == n_segments - 1:
                 join_time = wall_clock
                 buffer.start_playback()
                 if join_time > max_join_time_s:
-                    return PlaybackResult(
-                        failed=True, join_time_s=float("nan"), played_s=0.0,
-                        buffering_s=0.0, avg_bitrate_kbps=float("nan"),
-                    )
+                    return PlaybackResult(**_FAILED, segments_downloaded=downloads)
             continue
 
         # Steady state: the buffer drains while this segment downloads.
@@ -124,9 +151,11 @@ def simulate_session(
         stall = buffer.drain(dl_time)
         play_now = min(dl_time - stall, before)
         played += play_now
-        buffer.add(segment.duration_s)
+        buffer.add(seg_duration)
         watched_wall_s += dl_time
-        rung_playtime[rung] = rung_playtime.get(rung, 0.0) + segment.duration_s
+        rung_playtime[rung] = rung_playtime.get(rung, 0.0) + seg_duration
+        bitrate_time += manifest.ladder_kbps[rung] * seg_duration
+        steady_time += seg_duration
         if watched_wall_s >= limit:
             break
 
@@ -143,12 +172,8 @@ def simulate_session(
         played += buffer.level_s
 
     # Average bitrate: time-weighted over rungs actually buffered.
-    total_rung_time = sum(rung_playtime.values())
-    if total_rung_time > 0:
-        avg_bitrate = (
-            sum(manifest.ladder_kbps[r] * t for r, t in rung_playtime.items())
-            / total_rung_time
-        )
+    if steady_time > 0:
+        avg_bitrate = bitrate_time / steady_time
     else:
         # Session too short to reach steady state: the startup rung.
         avg_bitrate = manifest.ladder_kbps[last_rung if last_rung is not None else 0]
@@ -162,4 +187,5 @@ def simulate_session(
         rung_switches=switches,
         stall_events=buffer.stall_events,
         rung_playtime_s=rung_playtime,
+        segments_downloaded=downloads,
     )

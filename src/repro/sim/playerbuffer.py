@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class PlayerBuffer:
@@ -69,3 +71,51 @@ class PlayerBuffer:
     def start_playback(self) -> None:
         self.playing = True
         self._in_stall = False
+
+
+class BatchPlayerBuffer:
+    """Lockstep buffer dynamics for a session batch (DESIGN.md §9).
+
+    One float64 level per session, updated with masked array arithmetic
+    that mirrors :class:`PlayerBuffer` operation for operation — the
+    same ``min``/``max``/subtractions in the same order, so a batched
+    session's level is bit-identical to its scalar twin's. Sessions
+    outside ``mask`` are left untouched by every update.
+
+    Updates replace the level array rather than mutating it, so a
+    caller holding a reference to ``level_s`` from before a drain still
+    sees the pre-drain levels (the lockstep kernel uses this to compute
+    played-while-downloading without a copy).
+    """
+
+    def __init__(self, n: int, capacity_s: float = 60.0) -> None:
+        if capacity_s <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_s = capacity_s
+        self.level_s = np.zeros(n, dtype=np.float64)
+        self.total_stall_s = np.zeros(n, dtype=np.float64)
+
+    def add(self, seconds: np.ndarray | float, mask: np.ndarray) -> None:
+        """Masked :meth:`PlayerBuffer.add`: clamp to capacity."""
+        self.level_s = np.where(
+            mask, np.minimum(self.level_s + seconds, self.capacity_s), self.level_s
+        )
+
+    def drain(self, wall_seconds: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Masked :meth:`PlayerBuffer.drain`; returns per-session stalls.
+
+        Rows with enough buffered content drain ``level -= wall`` with
+        zero stall; short rows stall the difference and hit level 0 —
+        the same two branches as the scalar buffer, selected per row.
+        Returned stalls are zero outside ``mask``.
+        """
+        level = self.level_s
+        short = level < wall_seconds
+        stall = np.where(mask & short, wall_seconds - level, 0.0)
+        self.level_s = np.where(
+            mask, np.where(short, 0.0, level - wall_seconds), level
+        )
+        self.total_stall_s = np.where(
+            mask, self.total_stall_s + stall, self.total_stall_s
+        )
+        return stall

@@ -9,6 +9,9 @@ rung its ABR algorithm picks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,33 @@ class VideoManifest:
     @property
     def n_rungs(self) -> int:
         return len(self.ladder_kbps)
+
+    @cached_property
+    def ladder_array(self) -> np.ndarray:
+        """The ladder as a read-only float64 array."""
+        arr = np.asarray(self.ladder_kbps, dtype=np.float64)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def segment_durations_s(self) -> np.ndarray:
+        """Per-segment durations (the last one may be short), read-only."""
+        starts = np.arange(self.n_segments, dtype=np.float64) * self.segment_duration_s
+        durations = np.minimum(self.segment_duration_s, self.total_duration_s - starts)
+        durations.flags.writeable = False
+        return durations
+
+    @cached_property
+    def segment_sizes_kbits(self) -> np.ndarray:
+        """Payload sizes, shape ``(n_rungs, n_segments)``, read-only.
+
+        ``segment_sizes_kbits[rung, index]`` equals
+        ``segment(index, rung).size_kbits`` — the hot loops index this
+        table instead of constructing :class:`Segment` objects per step.
+        """
+        sizes = self.ladder_array[:, None] * self.segment_durations_s[None, :]
+        sizes.flags.writeable = False
+        return sizes
 
     def segment(self, index: int, rung: int) -> Segment:
         """The ``index``-th segment encoded at ladder rung ``rung``."""

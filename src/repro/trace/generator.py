@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.epoching import EpochGrid
 from repro.core.sessions import SessionTable
+from repro.obs import current_metrics, current_tracer
 from repro.trace.entities import World, build_world
 from repro.trace.events import EventCatalog, GroundTruthEvent, generate_catalog
 from repro.trace.population import AttributeSampler, constraint_codes
@@ -45,7 +46,7 @@ def _make_engine(spec: WorkloadSpec, world: World) -> QoEEngine:
     # simulation substrate.
     from repro.sim.engine import MechanisticQoEEngine
 
-    return MechanisticQoEEngine(world)
+    return MechanisticQoEEngine(world, sim=spec.sim)
 
 
 def apply_events(
@@ -91,13 +92,22 @@ def generate_trace(
     """
     root = np.random.SeedSequence(spec.seed)
     ss_world, ss_events, ss_arrivals, ss_sessions = root.spawn(4)
+    tracer = current_tracer()
 
     if world is None:
-        world = build_world(spec.world, np.random.default_rng(ss_world))
+        with tracer.span("generate.world") as span:
+            world = build_world(spec.world, np.random.default_rng(ss_world))
+            span.set(
+                n_asns=len(world.asns), n_cdns=len(world.cdns),
+                n_sites=len(world.sites),
+            )
     if catalog is None:
-        catalog = generate_catalog(
-            world, spec.n_epochs, spec.events, np.random.default_rng(ss_events)
-        )
+        with tracer.span("generate.events") as span:
+            catalog = generate_catalog(
+                world, spec.n_epochs, spec.events,
+                np.random.default_rng(ss_events),
+            )
+            span.set(n_events=len(catalog))
 
     sampler = AttributeSampler(world)
     engine = _make_engine(spec, world)
@@ -116,22 +126,30 @@ def generate_trace(
     all_bitrate = []
     all_failed = []
 
-    for epoch in range(spec.n_epochs):
-        n = int(counts[epoch])
-        codes = sampler.sample(n, session_rng)
-        active = catalog.active_at(epoch)
-        effects = apply_events(codes, active, event_codes, n)
-        batch = engine.generate(codes, effects, session_rng)
-        start = epoch * spec.epoch_seconds + session_rng.uniform(
-            0.0, spec.epoch_seconds, size=n
+    with tracer.span("generate.qoe") as span:
+        for epoch in range(spec.n_epochs):
+            n = int(counts[epoch])
+            codes = sampler.sample(n, session_rng)
+            active = catalog.active_at(epoch)
+            effects = apply_events(codes, active, event_codes, n)
+            batch = engine.generate(codes, effects, session_rng)
+            start = epoch * spec.epoch_seconds + session_rng.uniform(
+                0.0, spec.epoch_seconds, size=n
+            )
+            all_codes.append(codes)
+            all_start.append(start)
+            all_duration.append(batch.duration_s)
+            all_buffering.append(batch.buffering_s)
+            all_join_time.append(batch.join_time_s)
+            all_bitrate.append(batch.bitrate_kbps)
+            all_failed.append(batch.join_failed)
+        span.set(
+            engine=spec.engine,
+            sim=spec.sim,
+            n_epochs=spec.n_epochs,
+            n_sessions=int(counts.sum()),
         )
-        all_codes.append(codes)
-        all_start.append(start)
-        all_duration.append(batch.duration_s)
-        all_buffering.append(batch.buffering_s)
-        all_join_time.append(batch.join_time_s)
-        all_bitrate.append(batch.bitrate_kbps)
-        all_failed.append(batch.join_failed)
+        current_metrics().inc("generate.epochs", spec.n_epochs)
 
     codes = np.concatenate(all_codes, axis=0)
     vocabs = world.vocabularies()

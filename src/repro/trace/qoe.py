@@ -31,6 +31,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.obs import current_metrics
 from repro.trace.entities import (
     CONNECTION_BANDWIDTH_KBPS,
     CONNECTION_TYPES,
@@ -177,6 +178,7 @@ class StatisticalQoEEngine:
         rng: np.random.Generator,
     ) -> QoEBatch:
         n = codes.shape[0]
+        current_metrics().inc("generate.sessions", n)
         params = self.params
         cdn = codes[:, 1]
         region = self._asn_region[codes[:, 0]]

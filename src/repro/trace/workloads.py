@@ -32,6 +32,12 @@ class WorkloadSpec:
     events: EventConfig = field(default_factory=EventConfig)
     arrivals: ArrivalModel = field(default_factory=ArrivalModel)
     engine: str = "statistical"
+    #: Mechanistic-engine execution path: ``"auto"`` (the vectorized
+    #: batch kernel), ``"scalar"`` (the reference per-session loop) or
+    #: ``"batch"``. The paths are bit-identical; the knob exists for
+    #: the equivalence suite and benchmarks. Ignored by the
+    #: statistical engine.
+    sim: str = "auto"
     epoch_seconds: float = 3600.0
     #: Paper Section 6 ("hidden attributes"): annotate sessions with
     #: the client's geographic region as an eighth attribute. The
@@ -46,6 +52,10 @@ class WorkloadSpec:
         if self.engine not in ("statistical", "mechanistic"):
             raise ValueError(
                 f"engine must be 'statistical' or 'mechanistic', got {self.engine!r}"
+            )
+        if self.sim not in ("auto", "scalar", "batch"):
+            raise ValueError(
+                f"sim must be 'auto', 'scalar' or 'batch', got {self.sim!r}"
             )
         if self.epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
@@ -125,6 +135,37 @@ class StandardWorkloads:
                        arrivals=ArrivalModel(base_sessions_per_epoch=250))
 
     @staticmethod
+    def mechanistic_day(seed: int = 42) -> WorkloadSpec:
+        """One day at realistic volume on the chunk-level simulation.
+
+        Tractable thanks to the vectorized batch engine; the benchmark
+        harness runs it under both sim paths to gate the speedup.
+        """
+        return WorkloadSpec(
+            name="mechanistic_day",
+            seed=seed,
+            n_epochs=24,
+            world=WorldConfig(n_asns=60, n_cdns=8, n_sites=24),
+            events=EventConfig(
+                chronic_per_metric=1,
+                major_per_week=6,
+                minor_per_week=12,
+                transient_per_week=12,
+            ),
+            arrivals=ArrivalModel(base_sessions_per_epoch=1200),
+            engine="mechanistic",
+        )
+
+    @staticmethod
+    def mechanistic_week(seed: int = 42) -> WorkloadSpec:
+        """A full week of chunk-level traces (the paper-figure scale)."""
+        return replace(
+            StandardWorkloads.mechanistic_day(seed),
+            name="mechanistic_week",
+            n_epochs=168,
+        )
+
+    @staticmethod
     def by_name(name: str, seed: int = 42) -> WorkloadSpec:
         factories = {
             "tiny": StandardWorkloads.tiny,
@@ -133,6 +174,8 @@ class StandardWorkloads:
             "week": StandardWorkloads.week,
             "two_weeks": StandardWorkloads.two_weeks,
             "mechanistic_tiny": StandardWorkloads.mechanistic_tiny,
+            "mechanistic_day": StandardWorkloads.mechanistic_day,
+            "mechanistic_week": StandardWorkloads.mechanistic_week,
         }
         try:
             return factories[name](seed)

@@ -50,39 +50,46 @@ class TestValidation:
 
 class TestDynamics:
     def test_rates_positive(self):
-        bw = make()
-        for sample in bw.sample_series(200):
-            assert sample.rate_kbps > 0
+        rates, _ = make().sample_series(200)
+        assert rates.shape == (200,)
+        assert np.all(rates > 0)
 
     def test_states_valid(self):
-        bw = make()
-        for sample in bw.sample_series(200):
-            assert 0 <= sample.state < 3
+        _, states = make().sample_series(200)
+        assert states.shape == (200,)
+        assert np.all((states >= 0) & (states < 3))
 
     def test_mean_rate_tracks_mean_parameter(self):
         bw = make(mean=8000.0, seed=1, jitter_sigma=0.0)
-        rates = [s.rate_kbps for s in bw.sample_series(5000)]
+        rates, _ = bw.sample_series(5000)
         # Stationary mix of (1.0, 0.5, 0.15) factors: mean well below
         # the nominal but the same order of magnitude.
         assert 0.4 * 8000 < np.mean(rates) <= 8000
 
     def test_deterministic_given_seed(self):
-        r1 = [s.rate_kbps for s in make(seed=7).sample_series(50)]
-        r2 = [s.rate_kbps for s in make(seed=7).sample_series(50)]
-        assert r1 == r2
+        r1, _ = make(seed=7).sample_series(50)
+        r2, _ = make(seed=7).sample_series(50)
+        assert np.array_equal(r1, r2)
+
+    def test_sample_path_matches_series_rates(self):
+        rates, _ = make(seed=11).sample_series(80)
+        assert np.array_equal(rates, make(seed=11).sample_path(80))
+
+    def test_state_advances_across_calls(self):
+        bw = make(seed=13)
+        _, first = bw.sample_series(40)
+        assert bw.state == int(first[-1])
 
     def test_sticky_good_state(self):
-        bw = make(seed=2, initial_state=0)
-        states = [s.state for s in bw.sample_series(2000)]
-        frac_good = states.count(0) / len(states)
+        _, states = make(seed=2, initial_state=0).sample_series(2000)
+        frac_good = np.mean(states == 0)
         assert frac_good > 0.5  # good state dominates the stationary mix
 
     def test_deep_fade_reduces_rate(self):
-        bw = make(seed=3, jitter_sigma=0.0, initial_state=0)
-        rates_by_state = {0: [], 1: [], 2: []}
-        for sample in bw.sample_series(3000):
-            rates_by_state[sample.state].append(sample.rate_kbps)
-        assert np.mean(rates_by_state[2]) < np.mean(rates_by_state[0])
+        rates, states = make(
+            seed=3, jitter_sigma=0.0, initial_state=0
+        ).sample_series(3000)
+        assert np.mean(rates[states == 2]) < np.mean(rates[states == 0])
 
     def test_negative_series_length_rejected(self):
         with pytest.raises(ValueError):
