@@ -23,6 +23,13 @@ Subcommands:
 * ``cache`` — inspect or prune a ``--result-cache`` directory: the
   content-addressed store of per-(shard, config) analysis results that
   makes warm sharded re-runs pure load + merge.
+* ``obs`` — trace analytics and run-history tooling: render a recorded
+  span tree (``view``), compare two runs or a run against its journal
+  baseline (``diff``), browse the append-only run journal
+  (``journal list/show/trend``), summarize a collapsed-stack profile
+  (``flame``), and export a run's metrics in Prometheus text format
+  (``export-prom``). Instrumented commands take ``--journal [DIR]`` to
+  record themselves and ``--profile [HZ]`` to sample a flamegraph.
 
 Examples::
 
@@ -34,6 +41,14 @@ Examples::
     repro-video-quality analyze --shard-dir trace.shards --result-cache rc/
     repro-video-quality cache info rc/
     repro-video-quality cache prune rc/ --max-bytes 256M
+    repro-video-quality analyze trace.npz --trace-out run.json --journal
+    repro-video-quality analyze trace.npz --trace-out run.json --profile 97
+    repro-video-quality obs view run.json
+    repro-video-quality obs diff run1.json run2.json
+    repro-video-quality obs diff --baseline 5 latest
+    repro-video-quality obs journal list
+    repro-video-quality obs flame run.flame.txt
+    repro-video-quality obs export-prom run.json
     repro-video-quality experiment tab1 --workload small
     repro-video-quality validate --workload tiny
     repro-video-quality report --workload small -o report.md
@@ -139,6 +154,37 @@ def _add_trace_out_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_timings_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-phase pipeline timings (and, when collectors "
+        "are installed, the span tree and histogram summaries)",
+    )
+
+
+def _add_journal_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", metavar="DIR", nargs="?", const=".repro-journal",
+        default=None, dest="journal",
+        help="record this run in the append-only run journal at DIR "
+        "(bare flag: .repro-journal); the record combines the run "
+        "manifest, per-phase span aggregation, critical path, metrics, "
+        "config digest and git SHA, and feeds 'obs diff --baseline' "
+        "and 'obs journal'",
+    )
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", metavar="HZ", nargs="?", const=97.0, type=float,
+        default=None, dest="profile",
+        help="sample the run with the SIGPROF statistical profiler at "
+        "HZ (bare flag: 97 Hz) and write the collapsed-stack "
+        "flamegraph next to --trace-out as <stem>.flame.txt "
+        "(requires --trace-out)",
+    )
+
+
 def _add_shard_dir_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shard-dir", metavar="DIR", default=None, dest="shard_dir",
@@ -236,6 +282,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "for timing comparisons (ignored by statistical workloads)",
     )
     _add_trace_out_arg(gen)
+    _add_timings_arg(gen)
+    _add_journal_arg(gen)
+    _add_profile_arg(gen)
 
     ana = sub.add_parser("analyze", help="analyze a trace file")
     ana.add_argument("trace", nargs="?", default=None,
@@ -248,8 +297,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shard_dir_arg(ana)
     _add_result_cache_arg(ana)
     _add_trace_out_arg(ana)
-    ana.add_argument("--timings", action="store_true",
-                     help="print per-phase pipeline timings")
+    _add_timings_arg(ana)
+    _add_journal_arg(ana)
+    _add_profile_arg(ana)
 
     swp = sub.add_parser(
         "sweep",
@@ -282,6 +332,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_out_arg(swp)
     swp.add_argument("--timings", action="store_true",
                      help="print per-variant pipeline timings")
+    _add_journal_arg(swp)
+    _add_profile_arg(swp)
 
     exp = sub.add_parser("experiment", help="run a registered experiment")
     exp.add_argument(
@@ -307,8 +359,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shard_dir_arg(rep)
     _add_result_cache_arg(rep)
     _add_trace_out_arg(rep)
-    rep.add_argument("--timings", action="store_true",
-                     help="print per-phase pipeline timings")
+    _add_timings_arg(rep)
+    _add_journal_arg(rep)
 
     shard = sub.add_parser(
         "shard", help="build or inspect an epoch-range shard store"
@@ -336,6 +388,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="epoch length in seconds (default 3600)",
     )
     _add_trace_out_arg(shb)
+    _add_timings_arg(shb)
+    _add_journal_arg(shb)
     shi = shard_sub.add_parser("info", help="print a shard store's manifest")
     shi.add_argument("store", help="shard store directory")
 
@@ -358,6 +412,106 @@ def _build_parser() -> argparse.ArgumentParser:
         help="target cache size (e.g. 1048576, 512K, 256M, 1G); 0 "
         "empties the cache",
     )
+    _add_trace_out_arg(cpr)
+    _add_timings_arg(cpr)
+    _add_journal_arg(cpr)
+
+    obs = sub.add_parser(
+        "obs", help="trace analytics, run journal and regression diffs"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_journal_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--journal", metavar="DIR", default=".repro-journal",
+            dest="journal_dir",
+            help="run journal directory (default .repro-journal)",
+        )
+
+    ovw = obs_sub.add_parser(
+        "view",
+        help="render a recorded trace JSON: span tree, hotspots, "
+        "critical path",
+    )
+    ovw.add_argument("trace_json", help="a --trace-out JSON file")
+    ovw.add_argument("--depth", type=int, default=6, metavar="N",
+                     help="maximum span-tree depth to render (default 6)")
+    ovw.add_argument("--top", type=int, default=10, metavar="N",
+                     help="hotspot rows to show (default 10)")
+
+    odf = obs_sub.add_parser(
+        "diff",
+        help="compare two runs (or a run vs its journal baseline) with "
+        "typed regressed/improved/neutral verdicts",
+    )
+    odf.add_argument(
+        "before",
+        help="trace JSON path or journal run id ('latest' for the most "
+        "recent record); with --baseline this is the run under test",
+    )
+    odf.add_argument(
+        "after", nargs="?", default=None,
+        help="second run to compare against; omit with --baseline",
+    )
+    odf.add_argument(
+        "--baseline", type=int, default=None, metavar="K",
+        help="diff the run against the mean of its last K matching "
+        "journal runs (same command and config digest) instead of a "
+        "second run",
+    )
+    _add_obs_journal_dir_arg(odf)
+    odf.add_argument(
+        "--rel", type=float, default=0.25, metavar="FRAC",
+        help="relative-change threshold (default 0.25); a phase only "
+        "leaves 'neutral' past both this and the absolute floor",
+    )
+    odf.add_argument(
+        "--abs", type=float, default=0.25, metavar="SECONDS", dest="abs_s",
+        help="absolute floor in seconds for time-valued changes "
+        "(default 0.25)",
+    )
+    odf.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 3 when any phase or resource regressed",
+    )
+
+    ojo = obs_sub.add_parser("journal", help="browse the run journal")
+    ojo_sub = ojo.add_subparsers(dest="journal_command", required=True)
+    ojl = ojo_sub.add_parser("list", help="list journal records")
+    _add_obs_journal_dir_arg(ojl)
+    ojl.add_argument("--command", default=None, dest="filter_command",
+                     metavar="CMD", help="only records of this command")
+    ojl.add_argument("--last", type=int, default=20, metavar="N",
+                     help="show only the most recent N records (default 20)")
+    ojs = ojo_sub.add_parser("show", help="print one record as JSON")
+    ojs.add_argument("run_id", help="run id, unique prefix, or 'latest'")
+    _add_obs_journal_dir_arg(ojs)
+    ojt = ojo_sub.add_parser(
+        "trend",
+        help="duration trend across matching records (with per-phase "
+        "drill-down via --phase)",
+    )
+    _add_obs_journal_dir_arg(ojt)
+    ojt.add_argument("--command", default=None, dest="filter_command",
+                     metavar="CMD", help="only records of this command")
+    ojt.add_argument("--phase", default=None, metavar="NAME",
+                     help="also track one span name's total time")
+    ojt.add_argument("--last", type=int, default=20, metavar="N",
+                     help="most recent N records (default 20)")
+
+    ofl = obs_sub.add_parser(
+        "flame", help="summarize a collapsed-stack profile (<stem>.flame.txt)"
+    )
+    ofl.add_argument("flame_file", help="collapsed-stack file")
+    ofl.add_argument("--top", type=int, default=10, metavar="N",
+                     help="stacks/spans to show (default 10)")
+
+    opr = obs_sub.add_parser(
+        "export-prom",
+        help="export a trace JSON's metrics snapshot in Prometheus "
+        "text format",
+    )
+    opr.add_argument("trace_json", help="a --trace-out JSON file")
 
     rem = sub.add_parser(
         "remedies", help="suggest and evaluate remedies for a workload"
@@ -796,6 +950,259 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "view": _cmd_obs_view,
+        "diff": _cmd_obs_diff,
+        "journal": _cmd_obs_journal,
+        "flame": _cmd_obs_flame,
+        "export-prom": _cmd_obs_export_prom,
+    }
+    return handlers[args.obs_command](args)
+
+
+def _cmd_obs_view(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        critical_path,
+        load_trace_json,
+        render_critical_path,
+        render_tree,
+        top_spans,
+    )
+
+    payload = load_trace_json(args.trace_json)
+    tree = payload["trace"]
+    print(
+        f"trace {args.trace_json}: {tree['name']} "
+        f"({float(tree.get('duration_s', 0.0)):.4f} s)"
+    )
+    print()
+    print(render_tree(tree, max_depth=args.depth))
+    top = top_spans(tree, n=args.top)
+    if top:
+        print()
+        print(
+            render_table(
+                ["Span", "Count", "Total s", "Self s", "Max s"],
+                [[s.name, s.count, s.total_s, s.self_s, s.max_s]
+                 for s in top],
+                title=f"Top {len(top)} spans by self time",
+            )
+        )
+    print()
+    print("critical path:")
+    print(render_critical_path(critical_path(tree)))
+    return 0
+
+
+def _resolve_run(ref: str, journal) -> dict:
+    """A diffable record from a trace-JSON path or a journal run id."""
+    import os
+
+    from repro.obs.diff import record_from_trace
+
+    if os.path.isfile(ref):
+        return record_from_trace(ref)
+    if ref == "latest":
+        record = journal.latest()
+        if record is None:
+            raise ValueError(
+                f"journal {journal.file} is empty ('latest' resolves "
+                "nothing)"
+            )
+        return record
+    record = journal.get(ref)
+    if record is None:
+        raise ValueError(
+            f"{ref!r} is neither a trace JSON file nor a run id in "
+            f"{journal.file}"
+        )
+    return record
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import DiffThresholds, diff_records
+    from repro.obs.journal import RunJournal
+
+    thresholds = DiffThresholds(rel=args.rel, abs_s=args.abs_s)
+    journal = RunJournal(args.journal_dir)
+    record = _resolve_run(args.before, journal)
+    if args.baseline is not None:
+        if args.after is not None:
+            raise ValueError(
+                "--baseline compares one run against journal history; "
+                "drop the second argument"
+            )
+        baseline = journal.baseline(record, k=args.baseline)
+        if baseline is None:
+            raise ValueError(
+                f"journal {journal.file} has no other runs matching "
+                f"{record.get('run_id')} (command + config digest) to "
+                "build a baseline from"
+            )
+        result = diff_records(baseline, record, thresholds)
+    else:
+        if args.after is None:
+            raise ValueError(
+                "obs diff needs two runs, or one run with --baseline K"
+            )
+        result = diff_records(
+            record, _resolve_run(args.after, journal), thresholds
+        )
+    print(result.render())
+    if args.fail_on_regression and result.has_regressions:
+        return 3
+    return 0
+
+
+def _format_unix(ts) -> str:
+    import datetime
+
+    if ts is None:
+        return "-"
+    return datetime.datetime.fromtimestamp(
+        float(ts), tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cmd_obs_journal(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.journal import RunJournal
+
+    journal = RunJournal(args.journal_dir)
+    if args.journal_command == "show":
+        if args.run_id == "latest":
+            record = journal.latest()
+            if record is None:
+                raise ValueError(f"journal {journal.file} is empty")
+        else:
+            record = journal.get(args.run_id)
+            if record is None:
+                raise ValueError(
+                    f"no record {args.run_id!r} in {journal.file}"
+                )
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
+    records = journal.records(command=args.filter_command, last=args.last)
+    if not records:
+        print(f"journal {journal.file}: no matching records")
+        return 0
+    if args.journal_command == "list":
+        print(
+            render_table(
+                ["Run", "Recorded (UTC)", "Command", "Duration s", "Exit",
+                 "Git", "Degraded"],
+                [
+                    [
+                        r.get("run_id", "-"),
+                        _format_unix(r.get("recorded_unix")),
+                        r.get("command", "-"),
+                        f"{float(r.get('duration_s') or 0.0):.4f}",
+                        r.get("exit_code"),
+                        (r.get("git_sha") or "-")[:10],
+                        len(r.get("degradations") or []),
+                    ]
+                    for r in records
+                ],
+                title=f"journal {journal.file}: {len(records)} records",
+            )
+        )
+        return 0
+
+    # trend: duration (and optionally one phase) across the records,
+    # each with its change relative to the previous matching run.
+    headers = ["Run", "Recorded (UTC)", "Command", "Duration s", "Change"]
+    if args.phase:
+        headers.append(f"{args.phase} s")
+    rows = []
+    prev = None
+    for r in records:
+        duration = float(r.get("duration_s") or 0.0)
+        change = (
+            "-" if not prev else f"{100.0 * (duration - prev) / prev:+.1f}%"
+        )
+        row = [
+            r.get("run_id", "-"),
+            _format_unix(r.get("recorded_unix")),
+            r.get("command", "-"),
+            f"{duration:.4f}",
+            change,
+        ]
+        if args.phase:
+            stats = (r.get("phases") or {}).get(args.phase)
+            row.append(
+                "-" if stats is None
+                else f"{float(stats.get('total_s', 0.0)):.4f}"
+            )
+        rows.append(row)
+        if duration > 0:
+            prev = duration
+    print(
+        render_table(
+            headers, rows,
+            title=f"journal {journal.file}: duration trend "
+            f"({len(records)} records)",
+        )
+    )
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from repro.obs.profile import read_collapsed
+
+    stacks = read_collapsed(args.flame_file)
+    if not stacks:
+        print(f"{args.flame_file}: no samples")
+        return 0
+    total = sum(count for _, count in stacks)
+    top_n = max(0, args.top)
+    ranked = sorted(stacks, key=lambda item: (-item[1], item[0]))[:top_n]
+    print(
+        render_table(
+            ["Stack", "Samples", "Share"],
+            [
+                [";".join(path), count, f"{100.0 * count / total:.1f}%"]
+                for path, count in ranked
+            ],
+            title=f"{args.flame_file}: {total} samples, "
+            f"{len(stacks)} unique stacks",
+        )
+    )
+    leaves: dict[str, int] = {}
+    for path, count in stacks:
+        leaves[path[-1]] = leaves.get(path[-1], 0) + count
+    print()
+    print(
+        render_table(
+            ["Innermost span", "Samples", "Share"],
+            [
+                [name, count, f"{100.0 * count / total:.1f}%"]
+                for name, count in sorted(
+                    leaves.items(), key=lambda item: (-item[1], item[0])
+                )[:top_n]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_obs_export_prom(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import load_trace_json
+    from repro.obs.prom import render_prometheus
+
+    payload = load_trace_json(args.trace_json)
+    metrics = payload.get("metrics")
+    if not metrics:
+        raise ValueError(
+            f"{args.trace_json} carries no metrics snapshot to export "
+            "(was the run instrumented?)"
+        )
+    sys.stdout.write(render_prometheus(metrics))
+    return 0
+
+
 def _cmd_remedies(args: argparse.Namespace) -> int:
     from repro.core.pipeline import analyze_trace as _analyze
     from repro.remedies import evaluate_remedies, suggest_remedies
@@ -847,6 +1254,7 @@ def _run_command(args: argparse.Namespace) -> int:
         "report": _cmd_report,
         "shard": _cmd_shard,
         "cache": _cmd_cache,
+        "obs": _cmd_obs,
         "remedies": _cmd_remedies,
         "list": _cmd_list,
     }
@@ -860,13 +1268,38 @@ def _run_command(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
-    if trace_out is None:
+    journal_dir = getattr(args, "journal", None)
+    profile_hz = getattr(args, "profile", None)
+    wants_timings = getattr(args, "timings", False)
+    instrumented = (
+        trace_out is not None
+        or journal_dir is not None
+        or profile_hz is not None
+        or wants_timings
+    )
+    if not instrumented:
         return _run_command(args)
+    if profile_hz is not None and trace_out is None:
+        print(
+            "error: --profile requires --trace-out (the collapsed-stack "
+            "flamegraph is written next to it)",
+            file=sys.stderr,
+        )
+        return 2
+    if profile_hz is not None and profile_hz <= 0:
+        print(
+            f"error: --profile frequency must be positive, got "
+            f"{profile_hz:g}",
+            file=sys.stderr,
+        )
+        return 2
 
     from repro.obs import (
         MetricsRegistry,
         Tracer,
+        build_run_manifest,
         manifest_path_for,
+        render_histograms,
         use_metrics,
         use_tracer,
         write_run_manifest,
@@ -875,24 +1308,77 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     tracer = Tracer(name=args.command)
     metrics = MetricsRegistry()
+    profiler = None
     with use_tracer(tracer), use_metrics(metrics):
-        code = _run_command(args)
+        if profile_hz is not None:
+            from repro.obs.profile import SamplingProfiler, profiler_available
+
+            if profiler_available():
+                profiler = SamplingProfiler(tracer, hz=profile_hz)
+                profiler.start()
+            else:  # pragma: no cover - non-POSIX platforms
+                from repro.obs import record_degradation
+
+                record_degradation(
+                    "profiler_unavailable",
+                    "no SIGPROF/setitimer on this platform; "
+                    "--profile ignored",
+                )
+        try:
+            code = _run_command(args)
+        finally:
+            if profiler is not None:
+                profiler.stop()
     tracer.finish()
-    if getattr(args, "timings", False) and code == 0:
+    if profiler is not None:
+        metrics.inc("profile.samples", profiler.n_samples)
+        metrics.gauge("profile.hz", profiler.hz)
+    if wants_timings and code == 0:
         print()
         print(tracer.render())
-    write_trace_json(trace_out, tracer, metrics)
-    manifest_path = write_run_manifest(
-        manifest_path_for(trace_out),
-        command=args.command,
-        argv=list(argv) if argv is not None else None,
-        tracer=tracer,
+        histograms = render_histograms(metrics)
+        if histograms:
+            print()
+            print(histograms)
+    manifest = build_run_manifest(
+        args.command,
+        list(argv) if argv is not None else None,
+        tracer,
         metrics=metrics,
         args={k: v for k, v in vars(args).items() if k != "command"},
-        outputs=[str(trace_out)],
+        outputs=[str(trace_out)] if trace_out is not None else [],
         exit_code=code,
     )
-    print(f"wrote trace to {trace_out} (run manifest: {manifest_path})")
+    if trace_out is not None:
+        write_trace_json(trace_out, tracer, metrics)
+        manifest_path = write_run_manifest(
+            manifest_path_for(trace_out),
+            command=args.command,
+            argv=None,
+            tracer=tracer,
+            manifest=manifest,
+        )
+        print(f"wrote trace to {trace_out} (run manifest: {manifest_path})")
+        if profiler is not None:
+            from repro.obs.profile import flame_path_for
+
+            flame_path = profiler.write_collapsed(flame_path_for(trace_out))
+            print(
+                f"wrote profile to {flame_path} "
+                f"({profiler.n_samples} samples at {profiler.hz:g} Hz)"
+            )
+    if journal_dir is not None:
+        from repro.obs.journal import RunJournal
+
+        try:
+            record = RunJournal(journal_dir).ingest(
+                manifest, trace=tracer.as_dict()
+            )
+            print(f"journal: recorded {record['run_id']} in {journal_dir}")
+        except (OSError, ValueError) as exc:
+            print(f"error: journal ingestion failed: {exc}", file=sys.stderr)
+            if code == 0:
+                code = 2
     return code
 
 

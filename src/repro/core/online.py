@@ -184,8 +184,37 @@ class OnlineDetector:
                 problem_clusters=observation.n_problem_clusters,
                 critical_clusters=observation.n_critical_clusters,
             )
-        current_metrics().inc("online.epochs")
+        self._export_metrics(observation)
         return observation
+
+    def _export_metrics(self, observation: EpochObservation) -> None:
+        """Keep the metrics registry current after each epoch.
+
+        Gauges carry the *latest* detector state so a long-running
+        detector is a ready Prometheus scrape target
+        (:func:`repro.obs.render_prometheus`); counters accumulate
+        lifecycle transitions; histograms catch per-epoch load tails.
+        All no-ops unless a registry is installed.
+        """
+        metrics = current_metrics()
+        metrics.inc("online.epochs")
+        for event in observation.events:
+            metrics.inc(f"online.alerts_{event.kind}")
+        metrics.gauge("online.last_epoch", observation.epoch)
+        metrics.gauge("online.problem_clusters", observation.n_problem_clusters)
+        metrics.gauge(
+            "online.critical_clusters", observation.n_critical_clusters
+        )
+        metrics.gauge("online.open_alerts", len(self.open_alerts))
+        metrics.gauge(
+            "online.confirmed_open_alerts",
+            sum(1 for a in self.open_alerts.values() if a.is_confirmed),
+        )
+        metrics.gauge(
+            "online.actionable_alleviation", self.total_actionable_alleviation
+        )
+        metrics.observe("online.epoch_sessions", observation.total_sessions)
+        metrics.observe("online.epoch_problems", observation.total_problems)
 
     def _observe_epoch(
         self,

@@ -35,14 +35,27 @@ import logging
 from contextlib import contextmanager
 from typing import Iterator, Union
 
+from repro.obs.analyze import (
+    critical_path,
+    render_critical_path,
+    render_tree,
+    span_stats,
+    top_spans,
+)
+from repro.obs.diff import DiffThresholds, diff_records
+from repro.obs.journal import JOURNAL_VERSION, RunJournal
 from repro.obs.metrics import (
     HistogramSummary,
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    render_histograms,
 )
+from repro.obs.profile import SamplingProfiler, profiler_available
+from repro.obs.prom import render_prometheus
 from repro.obs.sinks import (
     MANIFEST_VERSION,
+    build_run_manifest,
     degradation_reasons,
     manifest_path_for,
     peak_rss_bytes,
@@ -52,19 +65,33 @@ from repro.obs.sinks import (
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "DiffThresholds",
     "HistogramSummary",
+    "JOURNAL_VERSION",
     "MANIFEST_VERSION",
     "MetricsRegistry",
     "NullMetrics",
     "NullTracer",
+    "RunJournal",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "build_run_manifest",
+    "critical_path",
     "current_metrics",
     "current_tracer",
     "degradation_reasons",
+    "diff_records",
     "manifest_path_for",
     "peak_rss_bytes",
+    "profiler_available",
     "record_degradation",
+    "render_critical_path",
+    "render_histograms",
+    "render_prometheus",
+    "render_tree",
+    "span_stats",
+    "top_spans",
     "use_metrics",
     "use_tracer",
     "write_run_manifest",

@@ -1,0 +1,284 @@
+"""Run comparison with typed verdicts: regressed / improved / neutral.
+
+``obs diff`` and the journal-backed regression gate both reduce to the
+same question: given two runs (or a run and a learned baseline), which
+phases got slower *enough to mean something*? A verdict only leaves
+``neutral`` when the change clears **both** a relative threshold and an
+absolute floor — the same anti-flap discipline the paper's detector
+applies to problem clusters (ratio multiplier AND minimum size):
+relative-only flags microsecond phases that doubled from nothing,
+absolute-only flags big phases for ordinary scheduler noise.
+
+Inputs are journal records (:mod:`repro.obs.journal`) or records
+synthesized from a ``--trace-out`` JSON via :func:`record_from_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.analyze import load_trace_json, span_stats
+
+REGRESSED = "regressed"
+IMPROVED = "improved"
+NEUTRAL = "neutral"
+ADDED = "added"
+REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Noise gates. A phase regresses only when the change exceeds the
+    relative threshold AND the absolute floor for its unit."""
+
+    rel: float = 0.25
+    abs_s: float = 0.25
+    abs_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rel < 0 or self.abs_s < 0 or self.abs_bytes < 0:
+            raise ValueError("diff thresholds must be non-negative")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One compared quantity and its classification."""
+
+    kind: str  # "phase" | "resource" | "counter"
+    name: str
+    before: float | None
+    after: float | None
+    verdict: str  # regressed | improved | neutral | added | removed
+
+    @property
+    def rel_change(self) -> float | None:
+        if self.before is None or self.after is None:
+            return None
+        if self.before == 0:
+            return None if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "before": self.before,
+            "after": self.after,
+            "verdict": self.verdict,
+            "rel_change": self.rel_change,
+        }
+
+
+def classify(
+    before: float,
+    after: float,
+    rel: float,
+    abs_floor: float,
+    higher_is_worse: bool = True,
+) -> str:
+    """Three-way verdict under the rel+abs noise gate."""
+    delta = after - before
+    if abs(delta) <= abs_floor:
+        return NEUTRAL
+    if before <= 0:
+        worse = delta > 0
+    else:
+        ratio = delta / before
+        if abs(ratio) <= rel:
+            return NEUTRAL
+        worse = ratio > 0
+    if not higher_is_worse:
+        worse = not worse
+    return REGRESSED if worse else IMPROVED
+
+
+@dataclass
+class DiffResult:
+    """All verdicts of one comparison, plus render/summary helpers."""
+
+    before_id: str
+    after_id: str
+    verdicts: list[Verdict]
+    thresholds: DiffThresholds
+
+    def by_verdict(self, verdict: str) -> list[Verdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def n_regressed(self) -> int:
+        return len(self.by_verdict(REGRESSED))
+
+    @property
+    def n_improved(self) -> int:
+        return len(self.by_verdict(IMPROVED))
+
+    @property
+    def has_regressions(self) -> bool:
+        return self.n_regressed > 0
+
+    def summary(self) -> str:
+        neutral = len(self.verdicts) - self.n_regressed - self.n_improved
+        return (
+            f"{self.before_id} -> {self.after_id}: "
+            f"{self.n_regressed} regressed, {self.n_improved} improved, "
+            f"{neutral} neutral "
+            f"(thresholds: rel {self.thresholds.rel:.0%}, "
+            f"abs {self.thresholds.abs_s:g}s)"
+        )
+
+    def render(self) -> str:
+        from repro.analysis.render import render_table
+
+        rows = []
+        for v in self.verdicts:
+            rel = v.rel_change
+            rows.append(
+                [
+                    v.kind,
+                    v.name,
+                    "-" if v.before is None else f"{v.before:.4g}",
+                    "-" if v.after is None else f"{v.after:.4g}",
+                    "-" if rel is None else f"{100.0 * rel:+.1f}%",
+                    v.verdict,
+                ]
+            )
+        table = render_table(
+            ["Kind", "Name", "Before", "After", "Change", "Verdict"],
+            rows,
+            title=f"Diff {self.before_id} -> {self.after_id}",
+        )
+        return f"{table}\n{self.summary()}"
+
+
+def record_from_trace(path: str | Path) -> dict[str, Any]:
+    """Synthesize a diffable record from a ``--trace-out`` JSON file.
+
+    Pulls phases from the span tree and, when the sibling
+    ``<stem>.manifest.json`` exists, duration / peak RSS / metrics from
+    the manifest; a missing manifest degrades to trace-only fields.
+    """
+    import json
+
+    from repro.obs.sinks import manifest_path_for
+
+    path = Path(path)
+    payload = load_trace_json(path)
+    tree = payload["trace"]
+    record: dict[str, Any] = {
+        "run_id": path.name,
+        "command": tree.get("name", "run"),
+        "duration_s": float(tree.get("duration_s", 0.0)),
+        "peak_rss_bytes": None,
+        "phases": {
+            name: stats.as_dict() for name, stats in span_stats(tree).items()
+        },
+        "metrics": payload.get("metrics")
+        or {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+    manifest_path = manifest_path_for(path)
+    if manifest_path.is_file():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            manifest = {}
+        record["command"] = manifest.get("command", record["command"])
+        record["peak_rss_bytes"] = manifest.get("peak_rss_bytes")
+        if manifest.get("duration_s"):
+            record["duration_s"] = manifest["duration_s"]
+    return record
+
+
+def diff_records(
+    before: dict[str, Any],
+    after: dict[str, Any],
+    thresholds: DiffThresholds | None = None,
+) -> DiffResult:
+    """Phase-by-phase and metric-by-metric comparison of two records.
+
+    * phases — per-name total span time, rel+abs gated;
+    * resources — overall duration and peak RSS (bytes floor);
+    * counters — ``degraded.*`` increases regress outright (a degraded
+      path is never noise); other changed counters are reported neutral
+      so behavioural drift is visible without flapping the verdict.
+    """
+    thresholds = thresholds or DiffThresholds()
+    verdicts: list[Verdict] = []
+
+    a_phases = before.get("phases") or {}
+    b_phases = after.get("phases") or {}
+    for name in list(a_phases) + [n for n in b_phases if n not in a_phases]:
+        a = a_phases.get(name)
+        b = b_phases.get(name)
+        if a is None:
+            verdicts.append(
+                Verdict("phase", name, None, float(b["total_s"]), ADDED)
+            )
+            continue
+        if b is None:
+            verdicts.append(
+                Verdict("phase", name, float(a["total_s"]), None, REMOVED)
+            )
+            continue
+        a_total, b_total = float(a["total_s"]), float(b["total_s"])
+        verdicts.append(
+            Verdict(
+                "phase", name, a_total, b_total,
+                classify(a_total, b_total, thresholds.rel, thresholds.abs_s),
+            )
+        )
+
+    a_dur = float(before.get("duration_s") or 0.0)
+    b_dur = float(after.get("duration_s") or 0.0)
+    verdicts.append(
+        Verdict(
+            "resource", "duration_s", a_dur, b_dur,
+            classify(a_dur, b_dur, thresholds.rel, thresholds.abs_s),
+        )
+    )
+    a_rss, b_rss = before.get("peak_rss_bytes"), after.get("peak_rss_bytes")
+    if a_rss is not None and b_rss is not None:
+        verdicts.append(
+            Verdict(
+                "resource", "peak_rss_bytes", float(a_rss), float(b_rss),
+                classify(
+                    float(a_rss), float(b_rss),
+                    thresholds.rel, float(thresholds.abs_bytes),
+                ),
+            )
+        )
+
+    a_counters = (before.get("metrics") or {}).get("counters") or {}
+    b_counters = (after.get("metrics") or {}).get("counters") or {}
+    for name in sorted(set(a_counters) | set(b_counters)):
+        a_val = float(a_counters.get(name, 0.0))
+        b_val = float(b_counters.get(name, 0.0))
+        if a_val == b_val:
+            continue
+        if name.startswith("degraded."):
+            verdict = REGRESSED if b_val > a_val else IMPROVED
+        else:
+            verdict = NEUTRAL
+        verdicts.append(Verdict("counter", name, a_val, b_val, verdict))
+
+    return DiffResult(
+        before_id=str(before.get("run_id", "before")),
+        after_id=str(after.get("run_id", "after")),
+        verdicts=verdicts,
+        thresholds=thresholds,
+    )
+
+
+def diff_against_baseline(
+    journal,
+    record: dict[str, Any],
+    k: int = 5,
+    thresholds: DiffThresholds | None = None,
+) -> DiffResult | None:
+    """Diff ``record`` against the journal's last-``k`` matching-run
+    baseline (``None`` when the journal has no matching history)."""
+    baseline = journal.baseline(record, k=k)
+    if baseline is None:
+        return None
+    return diff_records(baseline, record, thresholds)

@@ -1,0 +1,167 @@
+"""Statistical sampling profiler attributed to the active span stack.
+
+A dependency-free profiler for answering "*where inside a phase* did
+the CPU go" without per-operation instrumentation cost: a POSIX
+interval timer (``setitimer(ITIMER_PROF)``) delivers ``SIGPROF`` every
+``1/hz`` seconds of consumed CPU time, and the handler charges the
+sample to the innermost active span of the installed
+:class:`~repro.obs.trace.Tracer`. The span stack is already maintained
+by the tracing layer, so each sample costs one tuple build and one dict
+bump — overhead is ``hz x handler_cost``, a fraction of a percent at
+the default 97 Hz (benchmarked and gated in BENCH_pipeline.json's
+``profiling`` section).
+
+97 Hz, not 100: a sampling frequency that is coprime with the
+pipeline's own periodicities (per-epoch loops, timer-driven work at
+round frequencies) avoids systematically hitting the same code points —
+the standard prime-frequency trick from production profilers.
+
+Samples export as collapsed-stack lines (``a;b;c 42``), the interchange
+format consumed by flamegraph renderers, written next to
+``--trace-out`` as ``<stem>.flame.txt``.
+
+Signals are a main-thread, POSIX-only mechanism; :func:`profiler_available`
+reports support, and the CLI degrades with a logged reason elsewhere.
+Worker processes are unaffected — interval timers are not inherited
+across ``fork``, so only the parent is sampled.
+"""
+
+from __future__ import annotations
+
+import signal
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Tracer
+
+#: Default sampling frequency (prime; see module docstring).
+DEFAULT_HZ = 97
+
+#: Stack attributed to samples that land outside any live span.
+NO_SPAN = "(no-span)"
+
+
+def profiler_available() -> bool:
+    """Whether SIGPROF interval timers exist on this platform."""
+    return hasattr(signal, "SIGPROF") and hasattr(signal, "setitimer")
+
+
+class SamplingProfiler:
+    """SIGPROF-driven sampler charging CPU time to the active span path.
+
+    Use as a context manager or via :meth:`start` / :meth:`stop`;
+    ``stop`` restores the previous signal disposition and timer. The
+    profiler holds its tracer explicitly (not the process-wide current
+    one) so a sample can never race an installer swap.
+    """
+
+    def __init__(self, tracer: Tracer, hz: float = DEFAULT_HZ) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        if not isinstance(tracer, Tracer):
+            raise ValueError(
+                "SamplingProfiler needs a live Tracer for span attribution"
+            )
+        self.tracer = tracer
+        self.hz = float(hz)
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.n_samples = 0
+        self._running = False
+        self._previous_handler: Any = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if not profiler_available():
+            raise RuntimeError(
+                "sampling profiler unavailable: no SIGPROF/setitimer "
+                "on this platform"
+            )
+        if self._running:
+            raise RuntimeError("profiler already running")
+        self._previous_handler = signal.signal(signal.SIGPROF, self._handle)
+        interval = 1.0 / self.hz
+        signal.setitimer(signal.ITIMER_PROF, interval, interval)
+        self._running = True
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if not self._running:
+            return self
+        signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
+        signal.signal(signal.SIGPROF, self._previous_handler)
+        self._previous_handler = None
+        self._running = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ----------------------------------------------------------
+    def _handle(self, signum, frame) -> None:
+        """Signal handler: one sample, charged to the span stack.
+
+        Runs between bytecodes on the main thread; it must stay
+        allocation-light and can never raise (a raise here would surface
+        inside unrelated pipeline code).
+        """
+        try:
+            stack = self.tracer._stack
+            path = (
+                tuple(span.name for span in stack) if stack else (NO_SPAN,)
+            )
+            self.samples[path] = self.samples.get(path, 0) + 1
+            self.n_samples += 1
+        except Exception:  # pragma: no cover - belt and braces
+            pass
+
+    # -- export ------------------------------------------------------------
+    def collapsed(self) -> list[str]:
+        """Collapsed-stack lines (``root;phase;leaf 42``), most-sampled
+        first — the flamegraph interchange format."""
+        ranked = sorted(
+            self.samples.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [f"{';'.join(path)} {count}" for path, count in ranked]
+
+    def top_stack(self) -> tuple[tuple[str, ...], int] | None:
+        """The most-sampled span path (``None`` with no samples)."""
+        if not self.samples:
+            return None
+        return max(self.samples.items(), key=lambda item: (item[1], item[0]))
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        """Write the collapsed-stack file (one line per unique path)."""
+        path = Path(path)
+        path.write_text("\n".join(self.collapsed()) + "\n", encoding="utf-8")
+        return path
+
+
+def flame_path_for(trace_out: str | Path) -> Path:
+    """Where the collapsed-stack file lives for a ``--trace-out`` path."""
+    trace_out = Path(trace_out)
+    return trace_out.with_name(trace_out.stem + ".flame.txt")
+
+
+def read_collapsed(path: str | Path) -> list[tuple[tuple[str, ...], int]]:
+    """Parse a collapsed-stack file back into ``(path, count)`` pairs.
+
+    Tolerant of blank lines; malformed lines raise ``ValueError`` with
+    the offending line number (CLI maps that to exit 2).
+    """
+    out: list[tuple[tuple[str, ...], int]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            raise ValueError(
+                f"{path} line {lineno}: not a collapsed-stack line: {line!r}"
+            )
+        out.append((tuple(stack.split(";")), int(count)))
+    return out

@@ -1,0 +1,102 @@
+"""Prometheus text-format rendering of a metrics registry.
+
+Production QoE systems (Ghasemi et al.'s characterization pipeline,
+YouLighter's monitoring loop) live or die by keeping their measurements
+scrapable; this module turns the pipeline's
+:class:`~repro.obs.metrics.MetricsRegistry` — or its JSON snapshot from
+a ``--trace-out`` document — into the Prometheus exposition format
+(text/plain version 0.0.4):
+
+* counters  -> ``# TYPE repro_x counter`` + one sample;
+* gauges    -> gauge samples (including the ``online.*`` per-epoch
+  gauges the :class:`~repro.core.online.OnlineDetector` maintains, so a
+  long-running detector process is a ready scrape target);
+* histograms -> Prometheus *summaries*: ``{quantile="0.5|0.95|0.99"}``
+  samples from the deterministic reservoir plus ``_sum`` / ``_count``
+  (and ``_min`` / ``_max`` gauges, which Prometheus summaries lack but
+  cost nothing to expose).
+
+Dotted metric names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+grammar with a ``repro_`` namespace prefix.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix namespacing every exported sample.
+NAMESPACE = "repro_"
+
+
+def sanitize_name(name: str, prefix: str = NAMESPACE) -> str:
+    """A valid Prometheus metric name for a dotted registry name."""
+    cleaned = _INVALID.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = f"_{cleaned}"
+    return f"{prefix}{cleaned}"
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(metrics: Any, prefix: str = NAMESPACE) -> str:
+    """The registry (or its ``as_dict()`` snapshot) as exposition text.
+
+    Accepts a live registry or the ``{"counters": ..., "gauges": ...,
+    "histograms": ...}`` dict a trace JSON carries; unknown shapes raise
+    ``ValueError`` (the CLI maps it to exit 2).
+    """
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"expected a MetricsRegistry or its dict snapshot, "
+            f"got {type(metrics).__name__}"
+        )
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        hist = histograms[name]
+        if hasattr(hist, "as_dict"):
+            hist = hist.as_dict()
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in ("0.5", "0.95", "0.99"):
+            key = f"p{int(float(q) * 100)}"
+            if key in hist:
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} '
+                    f"{_format_value(hist[key])}"
+                )
+        lines.append(f"{metric}_sum {_format_value(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_format_value(hist.get('count', 0))}")
+        for extra in ("min", "max", "mean"):
+            if extra in hist:
+                lines.append(
+                    f"# TYPE {metric}_{extra} gauge"
+                )
+                lines.append(
+                    f"{metric}_{extra} {_format_value(hist[extra])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

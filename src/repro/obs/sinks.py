@@ -29,6 +29,25 @@ from repro.obs.trace import Tracer
 MANIFEST_VERSION = 1
 
 
+def _write_atomic(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via tmp + :func:`os.replace`.
+
+    The same discipline the result cache uses for its entries: a crashed
+    or interrupted run can never leave a truncated trace or manifest
+    behind to poison later journal ingestion — readers see either the
+    old complete file or the new complete file. The tmp is unlinked on
+    any failure.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
 def peak_rss_bytes() -> int | None:
     """Process-lifetime peak resident set size, in bytes.
 
@@ -70,11 +89,9 @@ def write_trace_json(
     payload: dict[str, Any] = {"trace": tracer.as_dict()}
     if metrics is not None and not isinstance(metrics, NullMetrics):
         payload["metrics"] = metrics.as_dict()
-    path.write_text(
-        json.dumps(payload, indent=2, default=_jsonable) + "\n",
-        encoding="utf-8",
+    return _write_atomic(
+        path, json.dumps(payload, indent=2, default=_jsonable) + "\n"
     )
-    return path
 
 
 def degradation_reasons(tracer: Tracer) -> list[dict]:
@@ -88,8 +105,7 @@ def degradation_reasons(tracer: Tracer) -> list[dict]:
     ]
 
 
-def write_run_manifest(
-    path: str | Path,
+def build_run_manifest(
     command: str,
     argv: list[str] | None,
     tracer: Tracer,
@@ -97,9 +113,10 @@ def write_run_manifest(
     args: dict[str, Any] | None = None,
     outputs: list[str] | None = None,
     exit_code: int | None = None,
-) -> Path:
-    """Write the machine-readable run manifest next to a run's results."""
-    path = Path(path)
+) -> dict[str, Any]:
+    """The run-manifest record as a dict (what :func:`write_run_manifest`
+    serializes, and what :class:`~repro.obs.journal.RunJournal` ingests
+    when no manifest file was requested)."""
     root = tracer.finish()
     manifest: dict[str, Any] = {
         "manifest_version": MANIFEST_VERSION,
@@ -127,11 +144,34 @@ def write_run_manifest(
         pass
     if metrics is not None and not isinstance(metrics, NullMetrics):
         manifest["metrics"] = metrics.as_dict()
-    path.write_text(
-        json.dumps(manifest, indent=2, default=_jsonable) + "\n",
-        encoding="utf-8",
+    return manifest
+
+
+def write_run_manifest(
+    path: str | Path,
+    command: str,
+    argv: list[str] | None,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+    args: dict[str, Any] | None = None,
+    outputs: list[str] | None = None,
+    exit_code: int | None = None,
+    manifest: dict[str, Any] | None = None,
+) -> Path:
+    """Write the machine-readable run manifest next to a run's results.
+
+    Pass a prebuilt ``manifest`` (from :func:`build_run_manifest`) to
+    write exactly that record; otherwise one is built from the other
+    arguments. The write is atomic (tmp + ``os.replace``)."""
+    path = Path(path)
+    if manifest is None:
+        manifest = build_run_manifest(
+            command, argv, tracer, metrics=metrics, args=args,
+            outputs=outputs, exit_code=exit_code,
+        )
+    return _write_atomic(
+        path, json.dumps(manifest, indent=2, default=_jsonable) + "\n"
     )
-    return path
 
 
 def manifest_path_for(trace_out: str | Path) -> Path:

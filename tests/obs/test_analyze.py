@@ -1,0 +1,158 @@
+"""Span-tree analytics: aggregation, critical path, hotspots."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.analyze import (
+    critical_path,
+    load_trace_json,
+    normalize_tree,
+    render_critical_path,
+    render_tree,
+    span_stats,
+    top_spans,
+    walk_tree,
+)
+
+
+def node(name, duration, children=(), **attrs):
+    return {
+        "name": name,
+        "start_s": 0.0,
+        "duration_s": duration,
+        "attrs": attrs,
+        "children": list(children),
+    }
+
+
+@pytest.fixture
+def fanout_tree():
+    """A run with a parallel fan-out: worker durations sum past the
+    parent's wall clock, and worker-1 is the slowest chain."""
+    return node(
+        "run", 10.0,
+        [
+            node("ingest", 2.0),
+            node(
+                "fanout", 7.0,
+                [
+                    node("worker", 6.5, [node("aggregate", 5.0)], pid=1),
+                    node("worker", 6.0, [node("aggregate", 4.0)], pid=2),
+                ],
+            ),
+        ],
+    )
+
+
+class TestNormalize:
+    def test_accepts_dict_and_span(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        root = tracer.finish()
+        assert normalize_tree(root)["name"] == root.name
+        assert normalize_tree({"name": "x"}) == {"name": "x"}
+
+    def test_rejects_other_shapes(self):
+        with pytest.raises(ValueError):
+            normalize_tree(["not", "a", "tree"])
+        with pytest.raises(ValueError):
+            normalize_tree({"no_name_key": 1})
+
+
+class TestLoadTraceJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"trace": node("run", 1.0)}))
+        assert load_trace_json(path)["trace"]["name"] == "run"
+
+    def test_invalid_json_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trace_json(path)
+
+    def test_missing_trace_key_is_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"metrics": {}}))
+        with pytest.raises(ValueError, match="no 'trace' key"):
+            load_trace_json(path)
+
+
+class TestSpanStats:
+    def test_aggregates_by_name(self, fanout_tree):
+        stats = span_stats(fanout_tree)
+        workers = stats["worker"]
+        assert workers.count == 2
+        assert workers.total_s == pytest.approx(12.5)
+        assert workers.max_s == pytest.approx(6.5)
+        # 6.5 - 5.0 + 6.0 - 4.0
+        assert workers.self_s == pytest.approx(3.5)
+
+    def test_self_time_clamped_under_parallel_children(self):
+        # Children ran in parallel: summed durations exceed the parent.
+        tree = node("fanout", 1.0, [node("w", 0.9), node("w", 0.8)])
+        assert span_stats(tree)["fanout"].self_s == 0.0
+
+    def test_depth_first_order(self, fanout_tree):
+        names = list(span_stats(fanout_tree))
+        assert names == ["run", "ingest", "fanout", "worker", "aggregate"]
+
+    def test_walk_yields_depths(self, fanout_tree):
+        depths = {
+            span["name"]: depth for span, depth in walk_tree(fanout_tree)
+        }
+        assert depths["run"] == 0
+        assert depths["fanout"] == 1
+        assert depths["aggregate"] == 3
+
+
+class TestCriticalPath:
+    def test_follows_longest_child(self, fanout_tree):
+        path = critical_path(fanout_tree)
+        assert [hop["name"] for hop in path] == [
+            "run", "fanout", "worker", "aggregate",
+        ]
+        # The slowest worker, not the first or the last.
+        assert path[2]["attrs"]["pid"] == 1
+        assert path[2]["duration_s"] == pytest.approx(6.5)
+        assert path[2]["self_s"] == pytest.approx(1.5)
+
+    def test_leaf_self_is_full_duration(self, fanout_tree):
+        leaf = critical_path(fanout_tree)[-1]
+        assert leaf["self_s"] == leaf["duration_s"]
+
+    def test_single_node(self):
+        path = critical_path(node("only", 2.0))
+        assert len(path) == 1 and path[0]["self_s"] == 2.0
+
+    def test_render(self, fanout_tree):
+        text = render_critical_path(critical_path(fanout_tree))
+        assert "run" in text and "100.0% of run" in text
+        assert "worker" in text
+
+
+class TestTopSpans:
+    def test_ranked_by_self_time(self, fanout_tree):
+        ranked = top_spans(fanout_tree, n=2)
+        assert [s.name for s in ranked] == ["aggregate", "worker"]
+
+    def test_n_limits_and_zero(self, fanout_tree):
+        assert len(top_spans(fanout_tree, n=1)) == 1
+        assert top_spans(fanout_tree, n=0) == []
+
+
+class TestRenderTree:
+    def test_indentation_and_depth_limit(self, fanout_tree):
+        full = render_tree(fanout_tree)
+        assert "aggregate" in full
+        shallow = render_tree(fanout_tree, max_depth=1)
+        assert "fanout" in shallow and "aggregate" not in shallow
+
+    def test_attrs_shown_started_unix_hidden(self):
+        tree = node("run", 1.0, rows=7, started_unix=1700000000.0)
+        text = render_tree(tree)
+        assert "rows=7" in text
+        assert "started_unix" not in text

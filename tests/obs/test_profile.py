@@ -1,0 +1,136 @@
+"""The SIGPROF sampling profiler: attribution, lifecycle, export."""
+
+import signal
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.profile import (
+    NO_SPAN,
+    SamplingProfiler,
+    flame_path_for,
+    profiler_available,
+    read_collapsed,
+)
+
+needs_sigprof = pytest.mark.skipif(
+    not profiler_available(), reason="no SIGPROF/setitimer on this platform"
+)
+
+
+def burn_cpu(seconds=0.05):
+    """Consume CPU time (ITIMER_PROF counts CPU, not wall clock)."""
+    import time
+
+    deadline = time.process_time() + seconds
+    x = 0
+    while time.process_time() < deadline:
+        x += 1
+    return x
+
+
+class TestConstruction:
+    def test_rejects_bad_hz_and_tracer(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(tracer, hz=0)
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(tracer, hz=-5)
+        with pytest.raises(ValueError, match="Tracer"):
+            SamplingProfiler("not a tracer")
+
+
+@needs_sigprof
+class TestSampling:
+    def test_samples_attribute_to_innermost_span(self, tmp_path):
+        tracer = Tracer(name="run")
+        profiler = SamplingProfiler(tracer, hz=500)
+        with profiler:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    burn_cpu(0.1)
+        assert profiler.n_samples > 0
+        top = profiler.top_stack()
+        assert top is not None
+        path, count = top
+        assert path == ("run", "outer", "inner")
+        assert count == max(profiler.samples.values())
+
+    def test_stop_restores_handler_and_is_idempotent(self):
+        before = signal.getsignal(signal.SIGPROF)
+        profiler = SamplingProfiler(Tracer(), hz=50)
+        profiler.start()
+        assert signal.getsignal(signal.SIGPROF) == profiler._handle
+        profiler.stop()
+        profiler.stop()  # second stop is a no-op
+        assert signal.getsignal(signal.SIGPROF) == before
+        # Timer disarmed: no residual interval.
+        assert signal.getitimer(signal.ITIMER_PROF) == (0.0, 0.0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(Tracer(), hz=50)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+
+class TestHandler:
+    """Drive _handle directly — no timers, so no platform dependence."""
+
+    def test_empty_stack_charges_no_span(self):
+        tracer = Tracer()
+        tracer._stack.clear()  # simulate a sample landing outside any span
+        profiler = SamplingProfiler(tracer, hz=50)
+        profiler._handle(0, None)
+        assert profiler.samples == {(NO_SPAN,): 1}
+
+    def test_handler_never_raises(self):
+        profiler = SamplingProfiler(Tracer(), hz=50)
+        profiler.tracer = None  # sabotage: stack access will explode
+        profiler._handle(0, None)  # must swallow, not raise
+        assert profiler.n_samples == 0
+
+
+class TestExport:
+    def make_profiler(self):
+        profiler = SamplingProfiler(Tracer(), hz=50)
+        profiler.samples = {
+            ("run", "epochs"): 30,
+            ("run", "ingest"): 10,
+            ("run",): 5,
+        }
+        profiler.n_samples = 45
+        return profiler
+
+    def test_collapsed_format_most_sampled_first(self):
+        lines = self.make_profiler().collapsed()
+        assert lines == ["run;epochs 30", "run;ingest 10", "run 5"]
+
+    def test_write_read_round_trip(self, tmp_path):
+        profiler = self.make_profiler()
+        path = profiler.write_collapsed(tmp_path / "out.flame.txt")
+        assert read_collapsed(path) == [
+            (("run", "epochs"), 30),
+            (("run", "ingest"), 10),
+            (("run",), 5),
+        ]
+
+    def test_read_tolerates_blanks_rejects_garbage(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("a;b 3\n\n")
+        assert read_collapsed(path) == [(("a", "b"), 3)]
+        path.write_text("a;b 3\nnot a stack line\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_collapsed(path)
+
+    def test_flame_path_for(self):
+        assert (
+            flame_path_for("out/trace.json").name == "trace.flame.txt"
+        )
+        assert flame_path_for("out/trace.json").parent.name == "out"
+
+    def test_top_stack_none_when_empty(self):
+        assert SamplingProfiler(Tracer(), hz=50).top_stack() is None

@@ -1,0 +1,72 @@
+"""Prometheus exposition rendering of the metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prom import render_prometheus, sanitize_name
+
+
+class TestSanitize:
+    def test_dotted_names(self):
+        assert sanitize_name("cache.hit") == "repro_cache_hit"
+        assert sanitize_name("a-b c") == "repro_a_b_c"
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_name("5xx.count") == "repro__5xx_count"
+
+    def test_custom_prefix(self):
+        assert sanitize_name("x", prefix="") == "x"
+
+
+class TestRender:
+    def test_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        metrics.inc("cache.hit", 3)
+        metrics.gauge("peak.rss", 1.5)
+        text = render_prometheus(metrics)
+        assert "# TYPE repro_cache_hit counter" in text
+        assert "repro_cache_hit 3" in text
+        assert "# TYPE repro_peak_rss gauge" in text
+        assert "repro_peak_rss 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histograms_become_summaries(self):
+        metrics = MetricsRegistry()
+        for v in range(1, 101):
+            metrics.observe("epoch.seconds", float(v))
+        text = render_prometheus(metrics)
+        assert "# TYPE repro_epoch_seconds summary" in text
+        assert 'repro_epoch_seconds{quantile="0.5"}' in text
+        assert 'repro_epoch_seconds{quantile="0.95"}' in text
+        assert 'repro_epoch_seconds{quantile="0.99"}' in text
+        assert "repro_epoch_seconds_count 100" in text
+        assert "repro_epoch_seconds_sum 5050" in text
+        assert "repro_epoch_seconds_min 1" in text
+        assert "repro_epoch_seconds_max 100" in text
+
+    def test_dict_snapshot_accepted(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.observe("h", 2.0)
+        assert render_prometheus(metrics.as_dict()) == render_prometheus(
+            metrics
+        )
+
+    def test_online_detector_gauges_render(self):
+        # The long-running detector path: its _export_metrics gauges
+        # must be scrapable without translation.
+        metrics = MetricsRegistry()
+        metrics.gauge("online.epochs_processed", 42)
+        metrics.gauge("online.problem_clusters", 3)
+        text = render_prometheus(metrics)
+        assert "repro_online_epochs_processed 42" in text
+        assert "repro_online_problem_clusters 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            render_prometheus(["nope"])
+        with pytest.raises(ValueError, match="snapshot"):
+            render_prometheus(None)

@@ -519,3 +519,165 @@ class TestResultCacheCLI:
         counters = manifest["metrics"]["counters"]
         assert counters["cache.hit"] == 3   # x1.0 entries reused
         assert counters["cache.miss"] == 3  # x2.0 computed fresh
+
+
+class TestObsCli:
+    """The obs command family and the --journal / --profile flags."""
+
+    def _analyze(self, tmp_path, name="run.json", journal=None,
+                 extra=()):
+        trace = tmp_path / "trace.jsonl"
+        if not trace.exists():
+            main(["generate", "--workload", "tiny", "--seed", "3",
+                  "-o", str(trace)])
+        argv = ["analyze", str(trace), "--trace-out",
+                str(tmp_path / name)]
+        if journal is not None:
+            argv += ["--journal", str(journal)]
+        argv += list(extra)
+        assert main(argv) == 0
+        return tmp_path / name
+
+    def test_journal_records_run(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        self._analyze(tmp_path, journal=journal)
+        out = capsys.readouterr().out
+        assert "journal: recorded r00001-" in out
+        assert (journal / "journal.jsonl").exists()
+
+    def test_obs_view(self, tmp_path, capsys):
+        run = self._analyze(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "view", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "analyze_trace" in out
+        assert "Critical path" in out or "critical path" in out
+
+    def test_obs_view_bad_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["obs", "view", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_obs_diff_identical_runs_all_neutral(self, tmp_path, capsys):
+        a = self._analyze(tmp_path, "a.json")
+        b = self._analyze(tmp_path, "b.json")
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_obs_diff_fail_on_regression(self, tmp_path, capsys):
+        import json
+
+        slow = {"trace": {"name": "analyze", "duration_s": 9.0,
+                          "attrs": {},
+                          "children": [{"name": "epochs",
+                                        "duration_s": 8.0, "attrs": {},
+                                        "children": []}]}}
+        fast = json.loads(json.dumps(slow))
+        fast["trace"]["duration_s"] = 1.0
+        fast["trace"]["children"][0]["duration_s"] = 0.5
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(fast))
+        b.write_text(json.dumps(slow))
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert main(["obs", "diff", str(a), str(b),
+                     "--fail-on-regression"]) == 3
+        out = capsys.readouterr().out
+        assert "regressed" in out
+
+    def test_obs_diff_against_baseline(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        self._analyze(tmp_path, "a.json", journal=journal)
+        self._analyze(tmp_path, "b.json", journal=journal)
+        capsys.readouterr()
+        assert main(["obs", "diff", "latest", "--baseline", "1",
+                     "--journal", str(journal)]) == 0
+        assert "baseline[1]" in capsys.readouterr().out
+
+    def test_obs_journal_list_show_trend(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        self._analyze(tmp_path, "a.json", journal=journal)
+        self._analyze(tmp_path, "b.json", journal=journal)
+        capsys.readouterr()
+
+        assert main(["obs", "journal", "list",
+                     "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "r00001-" in out and "r00002-" in out
+
+        assert main(["obs", "journal", "show", "latest",
+                     "--journal", str(journal)]) == 0
+        import json
+
+        record = json.loads(capsys.readouterr().out)
+        assert record["run_id"].startswith("r00002-")
+
+        assert main(["obs", "journal", "trend", "--command", "analyze",
+                     "--journal", str(journal)]) == 0
+        assert "r00002-" in capsys.readouterr().out
+
+    def test_obs_journal_unknown_run_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        self._analyze(tmp_path, journal=journal)
+        assert main(["obs", "journal", "show", "r99999",
+                     "--journal", str(journal)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_writes_flamegraph(self, tmp_path, capsys):
+        from repro.obs.profile import profiler_available, read_collapsed
+
+        if not profiler_available():
+            pytest.skip("no SIGPROF on this platform")
+        run = self._analyze(tmp_path, extra=["--profile", "400"])
+        out = capsys.readouterr().out
+        flame = tmp_path / "run.flame.txt"
+        assert flame.exists()
+        assert "wrote profile to" in out
+        read_collapsed(flame)  # parses cleanly (may be empty on tiny)
+
+        capsys.readouterr()
+        assert main(["obs", "flame", str(flame)]) == 0
+
+    def test_profile_requires_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["generate", "--workload", "tiny", "-o", str(trace)])
+        capsys.readouterr()
+        assert main(["analyze", str(trace), "--profile"]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+        assert main(["analyze", str(trace), "--profile", "0",
+                     "--trace-out", str(tmp_path / "r.json")]) == 2
+
+    def test_obs_export_prom(self, tmp_path, capsys):
+        run = self._analyze(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "export-prom", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_pipeline_runs counter" in out
+        assert "repro_ingest_rows" in out
+
+    def test_cache_prune_trace_out(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "rc"
+        cache.mkdir()
+        out = tmp_path / "prune.json"
+        assert main(["cache", "prune", str(cache), "--max-bytes", "1",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["trace"]["name"] == "cache"
+        manifest = json.loads(
+            (tmp_path / "prune.manifest.json").read_text()
+        )
+        assert manifest["command"] == "cache"
+
+    def test_shard_build_timings(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["generate", "--workload", "tiny", "--seed", "3",
+              "-o", str(trace)])
+        capsys.readouterr()
+        assert main(["shard", "build", str(trace),
+                     "-o", str(tmp_path / "store"), "--timings"]) == 0
+        assert "shard" in capsys.readouterr().out

@@ -186,3 +186,86 @@ class TestSinks:
         assert peak is not None
         assert peak > 1_000_000
         assert peak_rss_bytes() >= peak
+
+
+class TestHistogramQuantiles:
+    def test_as_dict_carries_quantile_keys(self):
+        m = MetricsRegistry()
+        for v in range(1, 101):
+            m.observe("latency", float(v))
+        hist = m.as_dict()["histograms"]["latency"]
+        assert set(hist) >= {"p50", "p95", "p99", "count", "sum", "min",
+                             "max", "mean"}
+        # 100 uniform values fit the reservoir whole: exact quantiles.
+        assert hist["p50"] == pytest.approx(50.5)
+        assert hist["p95"] == pytest.approx(95.05)
+        assert hist["p99"] == pytest.approx(99.01)
+
+    def test_quantiles_deterministic_across_registries(self):
+        # Vitter's reservoir is seeded from the histogram name, so two
+        # runs observing the same 10k-value series (more than the
+        # reservoir holds) report identical estimates — no diff flap.
+        def run():
+            m = MetricsRegistry()
+            for i in range(10_000):
+                m.observe("epoch.seconds", float(i % 997))
+            return m.as_dict()["histograms"]["epoch.seconds"]
+
+        assert run() == run()
+
+    def test_different_names_seed_differently(self):
+        m = MetricsRegistry()
+        for i in range(10_000):
+            m.observe("a", float(i % 997))
+            m.observe("b", float(i % 997))
+        hists = m.as_dict()["histograms"]
+        # Same series, different reservoirs (seeded per name).
+        assert hists["a"] != hists["b"]
+
+    def test_quantile_validation_and_empty(self):
+        from repro.obs.metrics import HistogramSummary
+
+        hist = HistogramSummary()
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(-0.1)
+
+    def test_render_histograms(self):
+        from repro.obs.metrics import render_histograms
+
+        m = MetricsRegistry()
+        assert render_histograms(m) == ""
+        for v in (1.0, 2.0, 3.0):
+            m.observe("queue.wait", v)
+        text = render_histograms(m)
+        assert "queue.wait" in text
+        assert "p95" in text and "count" in text
+
+
+class TestAtomicWrites:
+    def test_trace_write_is_atomic_under_failure(self, tmp_path,
+                                                 monkeypatch):
+        import os
+
+        import repro.obs.sinks as sinks
+
+        target = tmp_path / "trace.json"
+        target.write_text('{"trace": {"name": "old"}}')
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        tracer = Tracer()
+        with pytest.raises(OSError):
+            write_trace_json(target, tracer)
+        # Old content intact, no tmp litter.
+        assert json.loads(target.read_text())["trace"]["name"] == "old"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_no_tmp_left_after_success(self, tmp_path):
+        tracer = Tracer()
+        write_trace_json(tmp_path / "trace.json", tracer)
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.json"]
